@@ -1,0 +1,138 @@
+// Experiment E5 — reproduces the paper's Fig. 6 (device-level Spice study,
+// Fig. 5 setup): interaction between unselected cells and floating
+// bit-lines in the low-power test mode.
+//
+//   6a: BL discharges progressively to logic 0 in "nearly nine" 3 ns
+//       cycles; BLB and node SB (both at VDD) are unaffected.
+//   6b: the stress (power drawn out of the bit-line into the cell) decays
+//       with the bit-line voltage — after a short time the cell is no
+//       longer stressed.
+//   6c: at the row hand-over the discharged pair overwrites the
+//       opposite-valued cell of the next row (the faulty swap).
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "circuit/subcircuits.h"
+#include "circuit/transient.h"
+#include "util/ascii_chart.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sramlp;
+using namespace sramlp::circuit;
+
+util::Series wave_series(const Waveform& w, const char* name, char glyph,
+                         double t_scale) {
+  util::Series s;
+  s.name = name;
+  s.glyph = glyph;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    s.x.push_back(w.times()[i] * t_scale);
+    s.y.push_back(w.values()[i]);
+  }
+  return s;
+}
+
+void run() {
+  std::puts("== E5: Fig. 6 — cell vs floating bit-line interaction ==");
+  std::puts("0.13 um, 3 ns cycle, 1.6 V; cell C(i,j) stores '1', C(i+1,j) "
+            "stores '0'\n");
+
+  ColumnConfig cfg;
+  cfg.scenario = PrechargeScenario::kAlwaysOff;
+  cfg.handover_cycle = 10.0;
+  cfg.cycles = 14.0;
+  const auto fixture = build_column_fixture(cfg);
+
+  TransientOptions opt;
+  opt.t_end = fixture.t_end;
+  opt.dt = 0.2e-12;
+  opt.sample_every = 50e-12;
+  const auto result = simulate(
+      fixture.circuit,
+      {fixture.bl, fixture.blb, fixture.s0, fixture.sb0, fixture.s1,
+       fixture.sb1},
+      opt);
+
+  const double to_cycles = 1.0 / cfg.clock_period;
+
+  // --- 6a: bit-line voltages -------------------------------------------
+  util::ChartOptions chart;
+  chart.width = 70;
+  chart.height = 14;
+  chart.autoscale_y = false;
+  chart.y_min = 0.0;
+  chart.y_max = 1.7;
+  chart.x_label = "time [clock cycles];  WL hand-over at cycle 10";
+  chart.y_label = "Fig. 6a — bit-line voltages [V]";
+  std::fputs(
+      util::render_chart({wave_series(result.wave("bl"), "BL", '*', to_cycles),
+                          wave_series(result.wave("blb"), "BLB", '-',
+                                      to_cycles)},
+                         chart)
+          .c_str(),
+      stdout);
+
+  const auto t_cross =
+      result.wave("bl").time_of_crossing(0.05 * cfg.vdd, false);
+  std::printf("\nBL crosses 5%% of VDD after %.1f clock cycles "
+              "(paper: nearly nine)\n",
+              t_cross ? *t_cross * to_cycles : -1.0);
+
+  // --- 6b: stress power decays with the bit-line -----------------------
+  // Power flowing out of the bit-line into the cell: P = -C * V * dV/dt.
+  const auto& bl = result.wave("bl");
+  util::Series stress;
+  stress.name = "P(RES)";
+  stress.glyph = '*';
+  for (std::size_t i = 1; i + 1 < bl.size(); ++i) {
+    const double dt = bl.times()[i + 1] - bl.times()[i - 1];
+    const double dv = bl.values()[i + 1] - bl.values()[i - 1];
+    const double p = -cfg.c_bitline * bl.values()[i] * dv / dt;
+    stress.x.push_back(bl.times()[i] * to_cycles);
+    stress.y.push_back(units::as_uW(std::max(p, 0.0)));
+  }
+  util::ChartOptions chart_b;
+  chart_b.width = 70;
+  chart_b.height = 10;
+  chart_b.x_label = "time [clock cycles]";
+  chart_b.y_label = "\nFig. 6b — cell stress power [uW] (decays with BL)";
+  std::fputs(util::render_chart({stress}, chart_b).c_str(), stdout);
+
+  // --- 6c: the faulty swap at the hand-over -----------------------------
+  util::ChartOptions chart_c;
+  chart_c.width = 70;
+  chart_c.height = 10;
+  chart_c.autoscale_y = false;
+  chart_c.y_min = 0.0;
+  chart_c.y_max = 1.7;
+  chart_c.x_label = "time [clock cycles]";
+  chart_c.y_label = "\nFig. 6c — next row's cell nodes at the hand-over [V]";
+  std::fputs(
+      util::render_chart(
+          {wave_series(result.wave("s1"), "S(i+1)", '*', to_cycles),
+           wave_series(result.wave("sb1"), "SB(i+1)", '-', to_cycles)},
+          chart_c)
+          .c_str(),
+      stdout);
+  std::printf(
+      "\ncell C(i+1,j) stored '0' (S = VDD); after the hand-over at cycle "
+      "10\nits S node is %.2f V — the discharged bit-line forced the faulty "
+      "swap\n(the Fig. 7 restore cycle prevents this; see "
+      "bench_fig7_row_transition).\n",
+      result.wave("s1").back_value());
+}
+
+}  // namespace
+
+int main() {
+  try {
+    run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_fig6_discharge failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

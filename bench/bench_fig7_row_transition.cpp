@@ -1,0 +1,114 @@
+// Experiment E6 — reproduces the paper's Fig. 7 at both abstraction levels:
+// the faulty swap during row transitions in the low-power test mode, and
+// the one-cycle functional restore that prevents it while preserving
+// data-background independence.
+#include <cstdio>
+#include <exception>
+
+#include "circuit/subcircuits.h"
+#include "circuit/transient.h"
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+using sram::Mode;
+
+// Array-level: run March C- on a 64x64 array in LP mode with and without
+// the restore, across four data backgrounds.
+void array_level() {
+  util::Table table({"data background", "restore", "faulty swaps",
+                     "false detections", "verdict"});
+
+  for (const bool restore : {true, false}) {
+    for (const char* background :
+         {"solid 0", "solid 1", "checkerboard", "row stripes"}) {
+      SessionConfig cfg;
+      cfg.geometry = {64, 64, 1};
+      cfg.mode = Mode::kLowPowerTest;
+      cfg.row_transition_restore = restore;
+      TestSession session(cfg);
+
+      // Pre-load the background (the March init element will overwrite it,
+      // but intermediate element states still differ per background).
+      for (std::size_t r = 0; r < 64; ++r)
+        for (std::size_t c = 0; c < 64; ++c) {
+          bool v = false;
+          if (std::string(background) == "solid 1") v = true;
+          if (std::string(background) == "checkerboard") v = (r + c) % 2;
+          if (std::string(background) == "row stripes") v = r % 2;
+          session.array().poke(r, c, v);
+        }
+
+      const auto result = session.run(march::algorithms::march_c_minus());
+      table.add_row({background, restore ? "on" : "off",
+                     util::fmt_count(static_cast<long long>(
+                         result.stats.faulty_swaps)),
+                     util::fmt_count(static_cast<long long>(
+                         result.mismatches)),
+                     result.mismatches == 0 ? "clean pass"
+                                            : "corrupted (would fail a good "
+                                              "die)"});
+    }
+  }
+  std::fputs(table.str("March C- on 64x64, low-power test mode").c_str(),
+             stdout);
+}
+
+// Device level: the same story on the Fig. 5 two-cell column.
+void device_level() {
+  util::Table table({"scenario", "cell C(i+1,j) before", "after hand-over",
+                     "swapped?"});
+  for (const auto scenario :
+       {circuit::PrechargeScenario::kAlwaysOff,
+        circuit::PrechargeScenario::kRestoreAtHandover}) {
+    circuit::ColumnConfig cfg;
+    cfg.scenario = scenario;
+    const auto fixture = circuit::build_column_fixture(cfg);
+    circuit::TransientOptions opt;
+    opt.t_end = fixture.t_end;
+    opt.dt = 0.2e-12;
+    const auto result =
+        circuit::simulate(fixture.circuit, {fixture.s1}, opt);
+    const double before = result.wave("s1").front_value();
+    const double after = result.wave("s1").back_value();
+    const bool swapped = (before > 0.8) != (after > 0.8);
+    table.add_row(
+        {scenario == circuit::PrechargeScenario::kAlwaysOff
+             ? "no restore (hazard)"
+             : "restore cycle (paper's fix)",
+         util::fmt(before, 2) + " V", util::fmt(after, 2) + " V",
+         swapped ? "YES - faulty swap" : "no"});
+  }
+  std::fputs(
+      table.str("device level (Fig. 5 fixture, 0.13 um)").c_str(), stdout);
+}
+
+void run() {
+  std::puts("== E6: Fig. 7 — row-transition restore vs faulty swap ==\n");
+  device_level();
+  std::puts("");
+  array_level();
+  std::puts(
+      "\npaper Fig. 7: without the restore, bit-lines driven by row i "
+      "overwrite\nopposite-valued cells of row i+1 (C_BL >> C_cell).  "
+      "Activating every\npre-charge circuit for the single cycle of the "
+      "last operation on the row\neliminates all swaps for every data "
+      "background.");
+}
+
+}  // namespace
+
+int main() {
+  try {
+    run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_fig7_row_transition failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

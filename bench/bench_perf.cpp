@@ -1,0 +1,115 @@
+// Experiment E13 — engineering micro-benchmarks (google-benchmark):
+// throughput of the cycle simulator in both modes, full March runs, the
+// switch-level transient integrator, and the gate-level controller.
+#include <benchmark/benchmark.h>
+
+#include "circuit/subcircuits.h"
+#include "circuit/transient.h"
+#include "core/session.h"
+#include "ctrl/precharge_control.h"
+#include "march/algorithms.h"
+
+namespace {
+
+using namespace sramlp;
+using sram::CycleCommand;
+using sram::Mode;
+using sram::SramArray;
+using sram::SramConfig;
+
+void BM_FunctionalCycle(benchmark::State& state) {
+  SramConfig cfg;
+  cfg.geometry = {512, 512, 1};
+  cfg.mode = Mode::kFunctional;
+  SramArray array(cfg);
+  std::size_t col = 0;
+  for (auto _ : state) {
+    CycleCommand cmd;
+    cmd.row = 0;
+    cmd.col_group = col;
+    cmd.is_read = false;
+    cmd.value = true;
+    benchmark::DoNotOptimize(array.cycle(cmd));
+    col = (col + 1) % 512;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FunctionalCycle);
+
+void BM_LowPowerCycle(benchmark::State& state) {
+  SramConfig cfg;
+  cfg.geometry = {512, 512, 1};
+  cfg.mode = Mode::kLowPowerTest;
+  SramArray array(cfg);
+  std::size_t col = 0;
+  for (auto _ : state) {
+    CycleCommand cmd;
+    cmd.row = 0;
+    cmd.col_group = col;
+    cmd.is_read = false;
+    cmd.value = true;
+    cmd.restore_row_transition = col == 511;
+    benchmark::DoNotOptimize(array.cycle(cmd));
+    col = (col + 1) % 512;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LowPowerCycle);
+
+void BM_MarchRun(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? Mode::kFunctional
+                                        : Mode::kLowPowerTest;
+  core::SessionConfig cfg;
+  cfg.geometry = {64, 64, 1};
+  cfg.mode = mode;
+  const auto test = march::algorithms::march_c_minus();
+  for (auto _ : state) {
+    core::TestSession session(cfg);
+    benchmark::DoNotOptimize(session.run(test));
+  }
+  // 10 ops x 4096 addresses per run.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 10 * 64 * 64);
+  state.SetLabel(mode == Mode::kFunctional ? "functional (cycles/s)"
+                                           : "low-power (cycles/s)");
+}
+BENCHMARK(BM_MarchRun)->Arg(0)->Arg(1);
+
+void BM_TransientStep(benchmark::State& state) {
+  circuit::ColumnConfig cfg;
+  cfg.scenario = circuit::PrechargeScenario::kAlwaysOff;
+  const auto fixture = circuit::build_column_fixture(cfg);
+  circuit::TransientOptions opt;
+  opt.t_end = 1e-9;  // short window per iteration
+  opt.dt = 0.5e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        circuit::simulate(fixture.circuit, {fixture.bl}, opt));
+  }
+  // steps per simulate call
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+  state.SetLabel("integrator steps/s");
+}
+BENCHMARK(BM_TransientStep);
+
+void BM_ControllerEvaluate(benchmark::State& state) {
+  ctrl::PrechargeController controller(512);
+  ctrl::PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.phase = ctrl::Phase::kOperate;
+  std::size_t col = 0;
+  for (auto _ : state) {
+    in.selected = col;
+    benchmark::DoNotOptimize(controller.evaluate(in));
+    col = (col + 1) % 512;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          512);
+  state.SetLabel("column elements/s");
+}
+BENCHMARK(BM_ControllerEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

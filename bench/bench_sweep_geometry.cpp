@@ -1,0 +1,82 @@
+// Experiment E10 — the paper's §5 claim that "this result can be extended
+// to all SRAM memories": PRR as a function of the array organisation.
+// The sweep also exposes the crossover the paper does not discuss: on very
+// narrow arrays the follower-recharge overhead eats the saving.
+#include <cstdio>
+#include <exception>
+
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "power/analytic.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+
+void sweep_columns() {
+  util::Table t({"organisation", "PF [pJ/cyc]", "PLPT [pJ/cyc]",
+                 "PRR (sim)", "PRR (model)"});
+  const auto test = march::algorithms::march_c_minus();
+  const auto counts = test.counts();
+  const auto tech = power::TechnologyParams::tech_0p13um();
+
+  for (const std::size_t cols : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    SessionConfig cfg;
+    // Keep the cell count near 64k so runs stay comparable and fast.
+    const std::size_t rows = std::max<std::size_t>(1, 65536 / cols);
+    cfg.geometry = {rows, cols, 1};
+    const auto cmp = TestSession::compare_modes(cfg, test);
+    const power::AnalyticModel model(tech, rows, cols);
+    t.add_row({std::to_string(rows) + "x" + std::to_string(cols),
+               util::fmt(units::as_pJ(cmp.functional.energy_per_cycle_j)),
+               util::fmt(units::as_pJ(cmp.low_power.energy_per_cycle_j)),
+               util::fmt_percent(cmp.prr),
+               util::fmt_percent(model.prr(counts))});
+  }
+  std::fputs(t.str("PRR vs #columns (March C-, ~64k cells)").c_str(),
+             stdout);
+}
+
+void sweep_rows() {
+  util::Table t({"organisation", "PRR (sim)"});
+  const auto test = march::algorithms::mats_plus();
+  for (const std::size_t rows : {64u, 128u, 256u, 512u}) {
+    SessionConfig cfg;
+    cfg.geometry = {rows, 512, 1};
+    const auto cmp = TestSession::compare_modes(cfg, test);
+    t.add_row({std::to_string(rows) + "x512", util::fmt_percent(cmp.prr)});
+  }
+  std::fputs(
+      t.str("\nPRR vs #rows at 512 columns (MATS+) — row count is nearly "
+            "irrelevant")
+          .c_str(),
+      stdout);
+}
+
+void run() {
+  std::puts("== E10: §5 — PRR across array organisations ==\n");
+  sweep_columns();
+  sweep_rows();
+  std::puts(
+      "\nthe saving scales with (#col - 2) * P_A while the overheads are\n"
+      "column-independent per cycle, so PRR grows with row width and\n"
+      "saturates near the pre-charge share of total power.  Narrow arrays\n"
+      "(<~32 columns) can even lose energy — the technique targets the\n"
+      "wide arrays the paper's ITRS motivation is about.");
+}
+
+}  // namespace
+
+int main() {
+  try {
+    run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_sweep_geometry failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

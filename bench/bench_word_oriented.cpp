@@ -1,0 +1,60 @@
+// Experiment E11 — the paper's §6 future work, implemented: word-oriented
+// memories.  A word access activates `w` adjacent columns, the LP mode
+// pre-charges the selected and the following word group (2w columns), and
+// the saving drops from (#col - 2) * P_A to (#col - 2w) * P_A.
+#include <cstdio>
+#include <exception>
+
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "power/analytic.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+
+void run() {
+  std::puts("== E11: §6 future work — word-oriented memories ==\n");
+  const auto test = march::algorithms::march_c_minus();
+  const auto counts = test.counts();
+  const auto tech = power::TechnologyParams::tech_0p13um();
+
+  util::Table t({"word width", "words", "PF [pJ/cyc]", "PLPT [pJ/cyc]",
+                 "PRR (sim)", "PRR (model)"});
+  for (const std::size_t w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SessionConfig cfg;
+    // 512 columns; scale rows down so total cycles stay bounded.
+    cfg.geometry = {128, 512, w};
+    const auto cmp = TestSession::compare_modes(cfg, test);
+    const power::AnalyticModel model(tech, 128, 512, w);
+    t.add_row({util::fmt_count(static_cast<long long>(w)),
+               std::to_string(128 * (512 / w)),
+               util::fmt(units::as_pJ(cmp.functional.energy_per_cycle_j)),
+               util::fmt(units::as_pJ(cmp.low_power.energy_per_cycle_j)),
+               util::fmt_percent(cmp.prr),
+               util::fmt_percent(model.prr(counts))});
+  }
+  std::fputs(
+      t.str("128x512 array, March C-, word width swept").c_str(), stdout);
+  std::puts(
+      "\nbit-oriented memories (w = 1, the paper's scope) save the most;\n"
+      "each doubling of the word width halves the idle columns the mode\n"
+      "can silence, and the functional-mode baseline also spends more per\n"
+      "operation — PRR decays gracefully rather than collapsing.");
+}
+
+}  // namespace
+
+int main() {
+  try {
+    run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_word_oriented failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

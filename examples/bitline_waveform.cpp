@@ -1,0 +1,75 @@
+// Device-level waveform export: the paper's Fig. 6 experiment as CSV.
+//
+// Simulates the Fig. 5 two-cell column at switch level and writes the node
+// voltages to a CSV file (or stdout) for plotting, plus a quick terminal
+// chart.  Choose the pre-charge scenario with the first argument.
+//
+//   $ ./examples/bitline_waveform [off|on|restore] [out.csv]
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+
+#include "circuit/subcircuits.h"
+#include "circuit/transient.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace sramlp;
+  using namespace sramlp::circuit;
+  try {
+    ColumnConfig config;
+    config.scenario = PrechargeScenario::kAlwaysOff;
+    if (argc > 1 && std::strcmp(argv[1], "on") == 0)
+      config.scenario = PrechargeScenario::kAlwaysOn;
+    if (argc > 1 && std::strcmp(argv[1], "restore") == 0)
+      config.scenario = PrechargeScenario::kRestoreAtHandover;
+
+    const ColumnFixture fixture = build_column_fixture(config);
+
+    TransientOptions options;
+    options.t_end = fixture.t_end;
+    options.dt = 0.2e-12;
+    options.sample_every = 50e-12;
+    const TransientResult result = simulate(
+        fixture.circuit,
+        {fixture.bl, fixture.blb, fixture.s0, fixture.sb0, fixture.s1,
+         fixture.sb1},
+        options);
+
+    // CSV with all probed nodes on a shared time base.
+    std::vector<const Waveform*> waves;
+    for (const auto& w : result.waves()) waves.push_back(&w);
+    const std::string csv = to_csv(waves);
+    if (argc > 2) {
+      std::ofstream out(argv[2]);
+      out << csv;
+      std::printf("wrote %zu samples to %s\n", result.waves()[0].size(),
+                  argv[2]);
+    } else {
+      std::fputs(csv.c_str(), stdout);
+    }
+
+    // Terminal chart of the bit-line pair.
+    util::Series bl{"BL", '*', {}, {}};
+    util::Series blb{"BLB", '-', {}, {}};
+    const auto& w_bl = result.wave("bl");
+    const auto& w_blb = result.wave("blb");
+    for (std::size_t i = 0; i < w_bl.size(); ++i) {
+      bl.x.push_back(w_bl.times()[i] / config.clock_period);
+      bl.y.push_back(w_bl.values()[i]);
+      blb.x.push_back(w_blb.times()[i] / config.clock_period);
+      blb.y.push_back(w_blb.values()[i]);
+    }
+    util::ChartOptions chart;
+    chart.x_label = "clock cycles";
+    chart.y_label = "bit-line voltages [V]";
+    chart.autoscale_y = false;
+    chart.y_max = 1.7;
+    std::fputs(util::render_chart({bl, blb}, chart).c_str(), stderr);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bitline_waveform failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,122 @@
+#include "circuit/netlist.h"
+
+#include "util/error.h"
+
+namespace sramlp::circuit {
+
+void PiecewiseLinear::add(double time_s, double volts) {
+  SRAMLP_REQUIRE(points_.empty() || time_s >= points_.back().t,
+                 "schedule breakpoints must be time-ordered");
+  points_.push_back({time_s, volts});
+}
+
+double PiecewiseLinear::at(double time_s) const {
+  SRAMLP_REQUIRE(!points_.empty(), "empty schedule sampled");
+  if (time_s <= points_.front().t) return points_.front().v;
+  if (time_s >= points_.back().t) return points_.back().v;
+  // Linear scan; schedules are short (a handful of edges).
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (time_s <= points_[i].t) {
+      const Point& p0 = points_[i - 1];
+      const Point& p1 = points_[i];
+      if (p1.t <= p0.t) return p1.v;  // coincident breakpoints: step
+      const double f = (time_s - p0.t) / (p1.t - p0.t);
+      return p0.v + f * (p1.v - p0.v);
+    }
+  }
+  return points_.back().v;
+}
+
+PiecewiseLinear make_square_wave(double v0, double v1,
+                                 const std::vector<double>& edges,
+                                 double slew_s) {
+  PiecewiseLinear pl;
+  double current = v0;
+  pl.add(0.0, current);
+  for (double t : edges) {
+    const double next = (current == v0) ? v1 : v0;
+    pl.add(t, current);
+    pl.add(t + slew_s, next);
+    current = next;
+  }
+  return pl;
+}
+
+NodeId Circuit::add_node_impl(Node node) {
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+NodeId Circuit::add_node(std::string name, double cap_f, double v0) {
+  SRAMLP_REQUIRE(cap_f > 0.0, "free nodes need positive capacitance");
+  Node n;
+  n.name = std::move(name);
+  n.capacitance = cap_f;
+  n.v0 = v0;
+  return add_node_impl(std::move(n));
+}
+
+NodeId Circuit::add_rail(std::string name, double volts) {
+  Node n;
+  n.name = std::move(name);
+  n.v0 = volts;
+  n.fixed = true;
+  n.schedule = PiecewiseLinear(volts);
+  return add_node_impl(std::move(n));
+}
+
+NodeId Circuit::add_signal(std::string name, PiecewiseLinear schedule) {
+  SRAMLP_REQUIRE(!schedule.empty(), "signal node needs a schedule");
+  Node n;
+  n.name = std::move(name);
+  n.v0 = schedule.at(0.0);
+  n.fixed = true;
+  n.schedule = std::move(schedule);
+  return add_node_impl(std::move(n));
+}
+
+std::size_t Circuit::add_resistor(std::string name, NodeId a, NodeId b,
+                                  double ohms) {
+  SRAMLP_REQUIRE(ohms > 0.0, "resistance must be positive");
+  SRAMLP_REQUIRE(a < nodes_.size() && b < nodes_.size(), "bad node id");
+  branches_.push_back({std::move(name), Resistor{a, b, 1.0 / ohms}});
+  return branches_.size() - 1;
+}
+
+std::size_t Circuit::add_nmos(std::string name, NodeId gate, NodeId drain,
+                              NodeId source, const MosParams& params) {
+  SRAMLP_REQUIRE(gate < nodes_.size() && drain < nodes_.size() &&
+                     source < nodes_.size(),
+                 "bad node id");
+  branches_.push_back(
+      {std::move(name), Mosfet{MosType::kNmos, gate, drain, source, params}});
+  return branches_.size() - 1;
+}
+
+std::size_t Circuit::add_pmos(std::string name, NodeId gate, NodeId drain,
+                              NodeId source, const MosParams& params) {
+  SRAMLP_REQUIRE(gate < nodes_.size() && drain < nodes_.size() &&
+                     source < nodes_.size(),
+                 "bad node id");
+  branches_.push_back(
+      {std::move(name), Mosfet{MosType::kPmos, gate, drain, source, params}});
+  return branches_.size() - 1;
+}
+
+std::size_t Circuit::add_transmission_gate(const std::string& name,
+                                           NodeId ctrl, NodeId ctrl_n,
+                                           NodeId a, NodeId b,
+                                           const MosParams& nmos_params,
+                                           const MosParams& pmos_params) {
+  const std::size_t idx = add_nmos(name + ".n", ctrl, a, b, nmos_params);
+  add_pmos(name + ".p", ctrl_n, a, b, pmos_params);
+  return idx;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return i;
+  throw Error("no node named '" + name + "'");
+}
+
+}  // namespace sramlp::circuit

@@ -1,0 +1,125 @@
+// Netlist container for the switch-level transient simulator.
+//
+// A Circuit is a set of capacitive nodes connected by branches (resistors
+// and MOSFETs).  Nodes are either free (their voltage integrates I/C) or
+// fixed (rails and driven signals; their voltage follows a schedule).
+// The TransientSim in transient.h integrates the network.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "circuit/mos.h"
+
+namespace sramlp::circuit {
+
+/// Index of a node within its Circuit.
+using NodeId = std::size_t;
+
+/// Piecewise-linear voltage schedule for driven (fixed) nodes.
+/// Points must be added in non-decreasing time order; the value is held
+/// constant before the first and after the last point.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// Constant schedule.
+  explicit PiecewiseLinear(double constant) { add(0.0, constant); }
+
+  /// Append a (time, value) breakpoint.
+  void add(double time_s, double volts);
+
+  /// Value at @p time_s with linear interpolation between breakpoints.
+  double at(double time_s) const;
+
+  bool empty() const { return points_.empty(); }
+
+ private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+/// Builds a square-ish digital waveform: starts at @p v0, then at each entry
+/// of @p edges toggles to the other rail with a linear slew of @p slew_s.
+PiecewiseLinear make_square_wave(double v0, double v1,
+                                 const std::vector<double>& edges,
+                                 double slew_s);
+
+/// Ideal linear resistor between nodes a and b.
+struct Resistor {
+  NodeId a;
+  NodeId b;
+  double conductance;  ///< 1/ohms
+};
+
+/// MOSFET branch; current flows between drain and source as a function of
+/// the three terminal voltages (see mos.h).
+struct Mosfet {
+  MosType type;
+  NodeId gate;
+  NodeId drain;
+  NodeId source;
+  MosParams params;
+};
+
+/// A branch is one of the supported two/three-terminal elements.
+using BranchElement = std::variant<Resistor, Mosfet>;
+
+/// Named branch with its accumulated dissipation (filled by the simulator).
+struct Branch {
+  std::string name;
+  BranchElement element;
+};
+
+/// One electrical node.
+struct Node {
+  std::string name;
+  double capacitance = 0.0;  ///< farads; ignored for fixed nodes
+  double v0 = 0.0;           ///< initial voltage
+  bool fixed = false;        ///< true for rails / driven signals
+  PiecewiseLinear schedule;  ///< drive waveform when fixed
+};
+
+/// Mutable netlist.  All add_* methods return ids/indices for probing.
+class Circuit {
+ public:
+  /// Free node with capacitance @p cap_f, initial voltage @p v0.
+  NodeId add_node(std::string name, double cap_f, double v0 = 0.0);
+
+  /// Fixed node pinned at @p volts forever (power/ground rail).
+  NodeId add_rail(std::string name, double volts);
+
+  /// Fixed node following @p schedule (digital control signal).
+  NodeId add_signal(std::string name, PiecewiseLinear schedule);
+
+  std::size_t add_resistor(std::string name, NodeId a, NodeId b, double ohms);
+  std::size_t add_nmos(std::string name, NodeId gate, NodeId drain,
+                       NodeId source, const MosParams& params);
+  std::size_t add_pmos(std::string name, NodeId gate, NodeId drain,
+                       NodeId source, const MosParams& params);
+
+  /// CMOS transmission gate = NMOS + PMOS in parallel with complementary
+  /// gate signals. Returns the index of the NMOS half (PMOS is next).
+  std::size_t add_transmission_gate(const std::string& name, NodeId ctrl,
+                                    NodeId ctrl_n, NodeId a, NodeId b,
+                                    const MosParams& nmos_params,
+                                    const MosParams& pmos_params);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Branch>& branches() const { return branches_; }
+
+  /// Look up a node id by name; throws if absent.
+  NodeId node(const std::string& name) const;
+
+ private:
+  NodeId add_node_impl(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<Branch> branches_;
+};
+
+}  // namespace sramlp::circuit

@@ -1,0 +1,142 @@
+#include "circuit/subcircuits.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace sramlp::circuit {
+
+namespace {
+
+/// Node voltages for a stored value following the paper's Fig. 5 convention:
+/// value '1' => S = 0 V, SB = VDD.
+struct CellInit {
+  double s;
+  double sb;
+};
+
+CellInit cell_init(bool value, double vdd) {
+  return value ? CellInit{0.0, vdd} : CellInit{vdd, 0.0};
+}
+
+/// Wire one 6T cell: cross-coupled inverters plus two access devices.
+void add_cell(Circuit& c, const std::string& prefix, NodeId vdd, NodeId gnd,
+              NodeId wl, NodeId bl, NodeId blb, NodeId s, NodeId sb,
+              const DeviceLibrary& d) {
+  // Inverter driving S (input SB).
+  c.add_pmos(prefix + ".pu_s", sb, s, vdd, d.cell_pullup);
+  c.add_nmos(prefix + ".pd_s", sb, s, gnd, d.cell_pulldown);
+  // Inverter driving SB (input S).
+  c.add_pmos(prefix + ".pu_sb", s, sb, vdd, d.cell_pullup);
+  c.add_nmos(prefix + ".pd_sb", s, sb, gnd, d.cell_pulldown);
+  // Access transistors.
+  c.add_nmos(prefix + ".ax_bl", wl, bl, s, d.cell_access);
+  c.add_nmos(prefix + ".ax_blb", wl, blb, sb, d.cell_access);
+}
+
+}  // namespace
+
+ColumnFixture build_column_fixture(const ColumnConfig& config) {
+  SRAMLP_REQUIRE(config.handover_cycle > 0.0 &&
+                     config.handover_cycle < config.cycles,
+                 "hand-over must fall inside the simulated window");
+  ColumnFixture f;
+  Circuit& c = f.circuit;
+  const double vdd = config.vdd;
+  const double tck = config.clock_period;
+  f.t_end = config.cycles * tck;
+
+  f.vdd_cell = c.add_rail("vdd_cell", vdd);
+  f.vdd_pre = c.add_rail("vdd_pre", vdd);
+  f.gnd = c.add_rail("gnd", 0.0);
+
+  // Bit-lines start pre-charged at VDD (functional-mode hand-off state).
+  f.bl = c.add_node("bl", config.c_bitline, vdd);
+  f.blb = c.add_node("blb", config.c_bitline, vdd);
+
+  const CellInit i0 = cell_init(config.cell0_value, vdd);
+  const CellInit i1 = cell_init(config.cell1_value, vdd);
+  f.s0 = c.add_node("s0", config.c_cellnode, i0.s);
+  f.sb0 = c.add_node("sb0", config.c_cellnode, i0.sb);
+  f.s1 = c.add_node("s1", config.c_cellnode, i1.s);
+  f.sb1 = c.add_node("sb1", config.c_cellnode, i1.sb);
+
+  const double t_handover = config.handover_cycle * tck;
+
+  // Word lines: WLi high from t=0 until hand-over, WLi+1 high afterwards.
+  PiecewiseLinear wl0;
+  wl0.add(0.0, vdd);
+  wl0.add(t_handover, vdd);
+  wl0.add(t_handover + config.slew, 0.0);
+  PiecewiseLinear wl1;
+  wl1.add(0.0, 0.0);
+  wl1.add(t_handover + config.slew, 0.0);
+  wl1.add(t_handover + 2 * config.slew, vdd);
+  const NodeId wl0_id = c.add_signal("wl0", std::move(wl0));
+  const NodeId wl1_id = c.add_signal("wl1", std::move(wl1));
+
+  // Pre-charge enable (active low).
+  PiecewiseLinear npr;
+  switch (config.scenario) {
+    case PrechargeScenario::kAlwaysOn:
+      npr.add(0.0, 0.0);
+      break;
+    case PrechargeScenario::kAlwaysOff:
+      npr.add(0.0, vdd);
+      break;
+    case PrechargeScenario::kRestoreAtHandover:
+      // Functional mode restored for the clock cycle preceding the
+      // hand-over (the "last operation on the last cell of the row").
+      npr.add(0.0, vdd);
+      npr.add(t_handover - tck, vdd);
+      npr.add(t_handover - tck + config.slew, 0.0);
+      npr.add(t_handover, 0.0);
+      npr.add(t_handover + config.slew, vdd);
+      break;
+  }
+  const NodeId npr_id = c.add_signal("npr", std::move(npr));
+
+  // Pre-charge unit: two pull-up PMOS plus an equalizer between BL and BLB.
+  c.add_pmos("pre.bl", npr_id, f.bl, f.vdd_pre, config.devices.precharge_pmos);
+  c.add_pmos("pre.blb", npr_id, f.blb, f.vdd_pre,
+             config.devices.precharge_pmos);
+  c.add_pmos("pre.eq", npr_id, f.bl, f.blb, config.devices.equalizer_pmos);
+
+  add_cell(c, "cell0", f.vdd_cell, f.gnd, wl0_id, f.bl, f.blb, f.s0, f.sb0,
+           config.devices);
+  add_cell(c, "cell1", f.vdd_cell, f.gnd, wl1_id, f.bl, f.blb, f.s1, f.sb1,
+           config.devices);
+  return f;
+}
+
+PassFixture build_pass_fixture(PassDevice device, bool rising_edge,
+                               double c_load, const DeviceLibrary& devices,
+                               double vdd) {
+  PassFixture f;
+  Circuit& c = f.circuit;
+  f.edge_time = 1e-9;
+  f.t_end = 6e-9;
+
+  const NodeId on = c.add_rail("ctrl_on", vdd);
+  const NodeId off = c.add_rail("ctrl_off", 0.0);
+
+  PiecewiseLinear in;
+  const double v_from = rising_edge ? 0.0 : vdd;
+  const double v_to = rising_edge ? vdd : 0.0;
+  in.add(0.0, v_from);
+  in.add(f.edge_time, v_from);
+  in.add(f.edge_time + 50e-12, v_to);
+  f.in = c.add_signal("in", std::move(in));
+
+  f.out = c.add_node("out", c_load, v_from);
+
+  if (device == PassDevice::kTransmissionGate) {
+    c.add_transmission_gate("tg", on, off, f.in, f.out, devices.logic_nmos,
+                            devices.logic_pmos);
+  } else {
+    c.add_nmos("pass", on, f.in, f.out, devices.logic_nmos);
+  }
+  return f;
+}
+
+}  // namespace sramlp::circuit

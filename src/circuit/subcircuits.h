@@ -1,0 +1,104 @@
+// Prebuilt device-level fixtures reproducing the paper's Spice setups.
+//
+// * build_column_fixture — paper Fig. 5: two 6T cells sharing one column
+//   (bit-line pair + pre-charge unit).  Drives word lines so that cell
+//   C(i,j) is selected first and C(i+1,j) afterwards.  Depending on the
+//   configuration the pre-charge is kept on (functional-mode RES fight),
+//   kept off (low-power test mode: floating bit-line discharge, Fig. 6),
+//   or pulsed on at the row hand-over (the paper's Fig. 7 restore fix).
+//
+// * build_pass_fixture — the §4 design-choice experiment: a control edge
+//   propagating through either a full CMOS transmission gate or a single
+//   NMOS pass transistor into the pre-charge control load, to show why the
+//   paper picks the transmission gate (symmetric, full-swing transitions).
+//
+// Voltage convention follows the paper's Fig. 5 text exactly: a cell
+// "storing 1" has node S at 0 V and node SB at VDD.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace sramlp::circuit {
+
+/// Device parameter set shared by all fixtures (square-law k = k' W/L).
+/// Values are sized for a 0.13 um / 1.6 V design point such that a floating
+/// 300 fF bit-line discharges through a cell in ~9 cycles of 3 ns, matching
+/// the paper's Fig. 6.
+struct DeviceLibrary {
+  MosParams cell_pulldown{0.35, 120e-6};
+  MosParams cell_pullup{0.35, 40e-6};
+  MosParams cell_access{0.35, 54e-6};
+  MosParams precharge_pmos{0.35, 800e-6};
+  MosParams equalizer_pmos{0.35, 400e-6};
+  MosParams logic_nmos{0.35, 300e-6};
+  MosParams logic_pmos{0.35, 150e-6};
+
+  /// The default 0.13 um library used throughout the reproduction.
+  static DeviceLibrary tech_0p13um() { return {}; }
+};
+
+/// Pre-charge behaviour during the two-cell column experiment.
+enum class PrechargeScenario {
+  kAlwaysOn,          ///< functional mode: RES fight for the whole window
+  kAlwaysOff,         ///< LP test mode, no restore: Fig. 6a/6b/6c behaviour
+  kRestoreAtHandover  ///< LP test mode + one-cycle restore (Fig. 7 fix)
+};
+
+/// Configuration of the Fig. 5 column fixture.
+struct ColumnConfig {
+  double vdd = 1.6;             ///< [V]
+  double clock_period = 3e-9;   ///< [s]
+  double c_bitline = 300e-15;   ///< [F] per bit-line
+  double c_cellnode = 2e-15;    ///< [F] per internal cell node
+  DeviceLibrary devices = DeviceLibrary::tech_0p13um();
+  bool cell0_value = true;      ///< C(i,j)   stores '1' (S=0, SB=VDD), Fig. 5
+  bool cell1_value = false;     ///< C(i+1,j) stores '0'
+  PrechargeScenario scenario = PrechargeScenario::kAlwaysOff;
+  double handover_cycle = 10.0; ///< WLi drops / WLi+1 rises at this cycle
+  double cycles = 14.0;         ///< total simulated cycles
+  double slew = 50e-12;         ///< control edge slew [s]
+};
+
+/// Handles into the built column circuit.
+struct ColumnFixture {
+  Circuit circuit;
+  NodeId vdd_cell = 0;  ///< rail feeding the two cells' pull-ups
+  NodeId vdd_pre = 0;   ///< rail feeding the pre-charge unit (separate so
+                        ///< delivered energy can be attributed, paper P_A)
+  NodeId gnd = 0;
+  NodeId bl = 0;
+  NodeId blb = 0;
+  NodeId s0 = 0;        ///< cell C(i,j) node S
+  NodeId sb0 = 0;
+  NodeId s1 = 0;        ///< cell C(i+1,j) node S
+  NodeId sb1 = 0;
+  double t_end = 0.0;   ///< convenience: cycles * clock_period
+};
+
+/// Build the two-cell column of paper Fig. 5.
+ColumnFixture build_column_fixture(const ColumnConfig& config);
+
+/// Which switch carries the control edge in the pass fixture.
+enum class PassDevice { kTransmissionGate, kNmosPassTransistor };
+
+/// Handles into the pass-device delay experiment.
+struct PassFixture {
+  Circuit circuit;
+  NodeId in = 0;    ///< driven input edge
+  NodeId out = 0;   ///< loaded output
+  double edge_time = 0.0;  ///< when the input edge starts
+  double t_end = 0.0;
+};
+
+/// Build the §4 mux-device experiment: one rising and one falling edge
+/// through @p device into @p c_load farads.
+PassFixture build_pass_fixture(PassDevice device, bool rising_edge,
+                               double c_load = 5e-15,
+                               const DeviceLibrary& devices =
+                                   DeviceLibrary::tech_0p13um(),
+                               double vdd = 1.6);
+
+}  // namespace sramlp::circuit

@@ -1,0 +1,99 @@
+#include "circuit/transient.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sramlp::circuit {
+
+const Waveform& TransientResult::wave(const std::string& name) const {
+  for (const auto& w : waves_)
+    if (w.name() == name) return w;
+  throw Error("no probed waveform named '" + name + "'");
+}
+
+double TransientResult::total_supplied() const {
+  double total = 0.0;
+  for (double e : energy_.node_delivery)
+    if (e > 0.0) total += e;
+  return total;
+}
+
+TransientResult simulate(const Circuit& circuit,
+                         const std::vector<NodeId>& probes,
+                         const TransientOptions& options) {
+  SRAMLP_REQUIRE(options.dt > 0.0 && options.t_end > 0.0,
+                 "bad transient options");
+  const auto& nodes = circuit.nodes();
+  const auto& branches = circuit.branches();
+  SRAMLP_REQUIRE(!nodes.empty(), "empty circuit");
+  for (NodeId p : probes) SRAMLP_REQUIRE(p < nodes.size(), "bad probe id");
+
+  std::vector<double> v(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) v[i] = nodes[i].v0;
+
+  std::vector<double> i_into(nodes.size(), 0.0);
+  EnergyAccount account{std::vector<double>(branches.size(), 0.0),
+                        std::vector<double>(nodes.size(), 0.0)};
+
+  std::vector<Waveform> waves;
+  waves.reserve(probes.size());
+  for (NodeId p : probes) waves.emplace_back(nodes[p].name);
+
+  const auto n_steps =
+      static_cast<std::size_t>(std::llround(options.t_end / options.dt));
+  const auto sample_stride = static_cast<std::size_t>(
+      std::max(1.0, std::floor(options.sample_every / options.dt)));
+  const double dt = options.dt;
+
+  for (std::size_t step = 0; step <= n_steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+
+    // Driven nodes follow their schedules.
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+      if (nodes[n].fixed) v[n] = nodes[n].schedule.at(t);
+
+    // Record before advancing so the initial condition is captured.
+    if (step % sample_stride == 0)
+      for (std::size_t pi = 0; pi < probes.size(); ++pi)
+        waves[pi].append(t, v[probes[pi]]);
+
+    std::fill(i_into.begin(), i_into.end(), 0.0);
+
+    for (std::size_t bi = 0; bi < branches.size(); ++bi) {
+      const BranchElement& el = branches[bi].element;
+      double i = 0.0;    // current from terminal "a"/drain into "b"/source
+      NodeId from = 0;   // node the current leaves
+      NodeId to = 0;     // node the current enters
+      if (const auto* r = std::get_if<Resistor>(&el)) {
+        i = (v[r->a] - v[r->b]) * r->conductance;
+        from = r->a;
+        to = r->b;
+      } else {
+        const auto& m = std::get<Mosfet>(el);
+        i = (m.type == MosType::kNmos)
+                ? nmos_current(v[m.gate], v[m.drain], v[m.source], m.params)
+                : pmos_current(v[m.gate], v[m.drain], v[m.source], m.params);
+        from = m.drain;
+        to = m.source;
+      }
+      i_into[from] -= i;
+      i_into[to] += i;
+      // Dissipation is i * (v_from - v_to), non-negative for these elements.
+      account.branch_dissipation[bi] += i * (v[from] - v[to]) * dt;
+    }
+
+    // Integrate free nodes; account delivered energy on fixed nodes.
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].fixed) {
+        account.node_delivery[n] += v[n] * (-i_into[n]) * dt;
+      } else {
+        v[n] += i_into[n] * dt / nodes[n].capacitance;
+      }
+    }
+  }
+
+  return TransientResult(std::move(waves), std::move(account));
+}
+
+}  // namespace sramlp::circuit

@@ -1,0 +1,59 @@
+// Explicit transient integration of a Circuit.
+//
+// Forward-Euler with a fixed step.  The step must resolve the fastest
+// RC constant in the netlist (cell nodes of ~2 fF against strong devices
+// give tau of a few ps, so the default step is 0.2 ps).  All the circuits
+// this library simulates at this level are tiny (tens of nodes), so even
+// 30 ns windows integrate in well under a second.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/waveform.h"
+
+namespace sramlp::circuit {
+
+/// Integration and recording options.
+struct TransientOptions {
+  double t_end = 30e-9;        ///< simulation window [s]
+  double dt = 0.2e-12;         ///< integration step [s]
+  double sample_every = 10e-12;///< waveform sampling interval [s]
+};
+
+/// Per-branch dissipated energy plus per-fixed-node delivered energy.
+struct EnergyAccount {
+  std::vector<double> branch_dissipation;  ///< [J], indexed like branches
+  std::vector<double> node_delivery;       ///< [J], >0 when a fixed node sources energy
+};
+
+/// Simulation output: one waveform per probed node plus energy bookkeeping.
+class TransientResult {
+ public:
+  TransientResult(std::vector<Waveform> waves, EnergyAccount energy)
+      : waves_(std::move(waves)), energy_(std::move(energy)) {}
+
+  /// Waveform of the probe named @p name; throws if absent.
+  const Waveform& wave(const std::string& name) const;
+  const std::vector<Waveform>& waves() const { return waves_; }
+  const EnergyAccount& energy() const { return energy_; }
+
+  /// Total energy delivered by all fixed nodes with voltage > 0 (the supply
+  /// rails and high control signals) — the circuit's drawn energy.
+  double total_supplied() const;
+
+ private:
+  std::vector<Waveform> waves_;
+  EnergyAccount energy_;
+};
+
+/// Integrates @p circuit over the options window.
+/// @param probes node ids whose voltages are recorded (all fixed+free state
+///        is still simulated; probing only affects recording).
+TransientResult simulate(const Circuit& circuit,
+                         const std::vector<NodeId>& probes,
+                         const TransientOptions& options);
+
+}  // namespace sramlp::circuit

@@ -1,0 +1,85 @@
+#include "circuit/waveform.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace sramlp::circuit {
+
+double Waveform::at(double time_s) const {
+  SRAMLP_REQUIRE(!time_.empty(), "empty waveform sampled");
+  if (time_s <= time_.front()) return value_.front();
+  if (time_s >= time_.back()) return value_.back();
+  const auto it = std::lower_bound(time_.begin(), time_.end(), time_s);
+  const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = time_[hi] - time_[lo];
+  if (span <= 0.0) return value_[hi];
+  const double f = (time_s - time_[lo]) / span;
+  return value_[lo] + f * (value_[hi] - value_[lo]);
+}
+
+std::optional<double> Waveform::time_of_crossing(double threshold, bool rising,
+                                                 double from_time) const {
+  for (std::size_t i = 1; i < time_.size(); ++i) {
+    if (time_[i] < from_time) continue;
+    const double a = value_[i - 1];
+    const double b = value_[i];
+    const bool crossed =
+        rising ? (a < threshold && b >= threshold)
+               : (a > threshold && b <= threshold);
+    if (!crossed) continue;
+    const double dv = b - a;
+    if (dv == 0.0) return time_[i];
+    const double f = (threshold - a) / dv;
+    return time_[i - 1] + f * (time_[i] - time_[i - 1]);
+  }
+  return std::nullopt;
+}
+
+double Waveform::front_value() const {
+  SRAMLP_REQUIRE(!value_.empty(), "empty waveform");
+  return value_.front();
+}
+
+double Waveform::back_value() const {
+  SRAMLP_REQUIRE(!value_.empty(), "empty waveform");
+  return value_.back();
+}
+
+double Waveform::min_value() const {
+  SRAMLP_REQUIRE(!value_.empty(), "empty waveform");
+  return *std::min_element(value_.begin(), value_.end());
+}
+
+double Waveform::max_value() const {
+  SRAMLP_REQUIRE(!value_.empty(), "empty waveform");
+  return *std::max_element(value_.begin(), value_.end());
+}
+
+double Waveform::integral() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < time_.size(); ++i)
+    acc += 0.5 * (value_[i] + value_[i - 1]) * (time_[i] - time_[i - 1]);
+  return acc;
+}
+
+std::string to_csv(const std::vector<const Waveform*>& waves) {
+  SRAMLP_REQUIRE(!waves.empty() && !waves.front()->empty(),
+                 "need at least one non-empty waveform");
+  std::ostringstream out;
+  out << "time";
+  for (const Waveform* w : waves) out << ',' << w->name();
+  out << '\n';
+  const auto& base = waves.front()->times();
+  out.precision(9);
+  for (double t : base) {
+    out << t;
+    for (const Waveform* w : waves) out << ',' << w->at(t);
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sramlp::circuit

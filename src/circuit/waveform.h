@@ -1,0 +1,60 @@
+// Waveform storage and analysis.
+//
+// The transient simulator records node voltages (and derived powers) into
+// Waveform objects; benches and tests then ask questions such as "when does
+// the bit-line cross 5 % of VDD?" (paper Fig. 6: ~9 clock cycles).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sramlp::circuit {
+
+/// A uniformly- or non-uniformly-sampled scalar signal over time.
+class Waveform {
+ public:
+  Waveform() = default;
+  explicit Waveform(std::string name) : name_(std::move(name)) {}
+
+  void append(double time_s, double value) {
+    time_.push_back(time_s);
+    value_.push_back(value);
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return time_.size(); }
+  bool empty() const { return time_.empty(); }
+  const std::vector<double>& times() const { return time_; }
+  const std::vector<double>& values() const { return value_; }
+
+  /// Linear interpolation at @p time_s; clamps outside the record.
+  double at(double time_s) const;
+
+  /// First time the signal crosses @p threshold in the given direction
+  /// (rising: from below to >=; falling: from above to <=), searching from
+  /// @p from_time. Returns nullopt if it never does.
+  std::optional<double> time_of_crossing(double threshold, bool rising,
+                                         double from_time = 0.0) const;
+
+  double front_value() const;
+  double back_value() const;
+  double min_value() const;
+  double max_value() const;
+
+  /// Trapezoidal integral of the signal over its whole record
+  /// (e.g. power -> energy).
+  double integral() const;
+
+ private:
+  std::string name_;
+  std::vector<double> time_;
+  std::vector<double> value_;
+};
+
+/// Write a set of waveforms sharing a time base to CSV ("time,sig1,sig2,...").
+/// All waveforms are resampled onto the first one's time points via at().
+std::string to_csv(const std::vector<const Waveform*>& waves);
+
+}  // namespace sramlp::circuit

@@ -1,0 +1,134 @@
+#include "core/bist.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace sramlp::core {
+
+BistProgram BistProgram::compile(const march::MarchTest& test) {
+  BistProgram p;
+  p.name_ = test.name();
+  for (const auto& element : test.elements()) {
+    SRAMLP_REQUIRE(!element.is_pause(),
+                   "BIST programs do not support delay elements; run "
+                   "retention tests through core::TestSession");
+    BistElementRecord record;
+    record.descending = element.direction == march::Direction::kDown;
+    record.first_op = static_cast<std::uint32_t>(p.rom_.size());
+    record.op_count = static_cast<std::uint32_t>(element.ops.size());
+    for (const march::Operation op : element.ops)
+      p.rom_.push_back(BistMicroOp{march::is_read(op), march::value_of(op)});
+    p.elements_.push_back(record);
+  }
+  return p;
+}
+
+std::uint64_t BistProgram::cycle_count(std::size_t rows,
+                                       std::size_t col_groups) const {
+  return static_cast<std::uint64_t>(rom_.size()) *
+         static_cast<std::uint64_t>(rows) *
+         static_cast<std::uint64_t>(col_groups);
+}
+
+BistController::BistController(BistProgram program,
+                               const sram::Geometry& geometry,
+                               const Options& options)
+    : program_(std::move(program)), geometry_(geometry), options_(options) {
+  geometry_.validate();
+  SRAMLP_REQUIRE(!program_.elements().empty(), "empty BIST program");
+  done_ = false;
+}
+
+std::uint64_t BistController::current_index() const {
+  const auto& record = program_.elements()[element_];
+  const std::uint64_t words = geometry_.words();
+  return record.descending ? words - 1 - address_ : address_;
+}
+
+std::size_t BistController::row_of(std::size_t index) const {
+  // Word-line-after-word-line: the linear counter's high part is the row.
+  return index / geometry_.col_groups();
+}
+
+std::size_t BistController::col_of(std::size_t index) const {
+  return index % geometry_.col_groups();
+}
+
+std::optional<std::size_t> BistController::next_row() const {
+  const auto& record = program_.elements()[element_];
+  const std::uint64_t words = geometry_.words();
+  if (op_ + 1 < record.op_count) return row_of(current_index());
+  if (address_ + 1 < words) {
+    const std::uint64_t next = address_ + 1;
+    const std::uint64_t idx = record.descending ? words - 1 - next : next;
+    return row_of(idx);
+  }
+  if (element_ + 1 < program_.elements().size()) {
+    const auto& next_record = program_.elements()[element_ + 1];
+    return next_record.descending ? geometry_.rows - 1 : std::size_t{0};
+  }
+  return std::nullopt;
+}
+
+std::optional<sram::CycleCommand> BistController::peek() const {
+  if (done_) return std::nullopt;
+  const auto& record = program_.elements()[element_];
+  const std::uint64_t idx = current_index();
+  const BistMicroOp& micro = program_.rom()[record.first_op + op_];
+
+  sram::CycleCommand cmd;
+  cmd.row = row_of(idx);
+  cmd.col_group = col_of(idx);
+  cmd.is_read = micro.is_read;
+  cmd.value = micro.value;
+  cmd.background = options_.background;
+  cmd.scan = record.descending ? sram::Scan::kDescending
+                               : sram::Scan::kAscending;
+  const auto next = next_row();
+  cmd.restore_row_transition =
+      options_.mode == sram::Mode::kLowPowerTest &&
+      options_.row_transition_restore && op_ + 1 == record.op_count &&
+      next.has_value() && *next != cmd.row;
+  return cmd;
+}
+
+bool BistController::lptest_level() const {
+  if (options_.mode != sram::Mode::kLowPowerTest) return false;
+  const auto cmd = peek();
+  // The mode line drops for the single restore cycle (paper §4).
+  return cmd.has_value() && !cmd->restore_row_transition;
+}
+
+sram::CycleResult BistController::step(sram::SramArray& array) {
+  SRAMLP_REQUIRE(!done_, "stepping a finished BIST run");
+  SRAMLP_REQUIRE(array.geometry() == geometry_,
+                 "array geometry does not match the program");
+  const auto cmd = peek();
+  const sram::CycleResult result = array.cycle(*cmd);
+  ++outcome_.cycles;
+  if (cmd->restore_row_transition) ++outcome_.restore_pulses;
+  if (cmd->is_read && result.mismatch) {
+    ++outcome_.fails;
+    outcome_.fail_latch = true;
+  }
+  advance();
+  return result;
+}
+
+void BistController::advance() {
+  const auto& record = program_.elements()[element_];
+  if (++op_ < record.op_count) return;
+  op_ = 0;
+  if (++address_ < geometry_.words()) return;
+  address_ = 0;
+  if (++element_ < program_.elements().size()) return;
+  done_ = true;
+}
+
+BistOutcome BistController::run(sram::SramArray& array) {
+  while (!done_) step(array);
+  return outcome_;
+}
+
+}  // namespace sramlp::core

@@ -1,0 +1,127 @@
+// Memory BIST controller — the hardware-shaped counterpart of TestSession.
+//
+// The paper assumes an on- or off-chip test controller that (a) sources
+// the March algorithm, (b) fixes the address order to word-line-after-
+// word-line, (c) drives the LPtest mode select and (d) de-asserts it for
+// the one restore cycle at each row hand-over.  This module models that
+// controller the way BIST hardware is actually built:
+//
+//   * BistProgram  — a March test compiled into a flat micro-instruction
+//     ROM (one entry per March operation, loop bounds implicit in the
+//     element records);
+//   * BistController — a small FSM with row/column counters, an operation
+//     pointer, a comparator with a fail latch, and the LPtest/restore
+//     decision logic.  One step() == one memory clock cycle.
+//
+// The FSM produces exactly the same cycle stream as core::TestSession
+// (asserted by tests/test_bist.cpp), and can optionally drive the
+// gate-level ctrl::PrechargeController in lock-step to cross-check the
+// behavioural array's pre-charge activity against the Fig. 8 netlist.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "march/test.h"
+#include "sram/array.h"
+#include "sram/background.h"
+
+namespace sramlp::core {
+
+/// One compiled March operation.
+struct BistMicroOp {
+  bool is_read = false;
+  bool value = false;  ///< logical data bit
+};
+
+/// One compiled March element: a direction plus an operation window in the
+/// micro-op ROM.
+struct BistElementRecord {
+  bool descending = false;
+  std::uint32_t first_op = 0;  ///< index into the ROM
+  std::uint32_t op_count = 0;
+};
+
+/// A March test compiled for the controller.
+class BistProgram {
+ public:
+  /// Compile @p test; kEither elements run ascending (their coverage is
+  /// direction-independent by definition).
+  static BistProgram compile(const march::MarchTest& test);
+
+  const std::vector<BistMicroOp>& rom() const { return rom_; }
+  const std::vector<BistElementRecord>& elements() const { return elements_; }
+  const std::string& name() const { return name_; }
+
+  /// Total cycles needed on a rows x col_groups array.
+  std::uint64_t cycle_count(std::size_t rows, std::size_t col_groups) const;
+
+ private:
+  std::string name_;
+  std::vector<BistMicroOp> rom_;
+  std::vector<BistElementRecord> elements_;
+};
+
+/// Per-run outcome collected by the controller's comparator.
+struct BistOutcome {
+  std::uint64_t cycles = 0;
+  std::uint64_t fails = 0;      ///< comparator mismatches
+  bool fail_latch = false;      ///< sticky pass/fail flag
+  std::uint64_t restore_pulses = 0;
+};
+
+/// The FSM.  Owns counters and the program pointer; drives a caller-owned
+/// SramArray one cycle per step().
+class BistController {
+ public:
+  struct Options {
+    sram::Mode mode = sram::Mode::kFunctional;
+    sram::DataBackground background;
+    bool row_transition_restore = true;
+  };
+
+  /// The program is copied in: the controller's "ROM" is its own.
+  BistController(BistProgram program, const sram::Geometry& geometry,
+                 const Options& options);
+
+  /// True once the program has run to completion.
+  bool done() const { return done_; }
+
+  /// The command the FSM will issue this cycle (visible for lock-step
+  /// checking against the gate-level controller); empty when done.
+  std::optional<sram::CycleCommand> peek() const;
+
+  /// Execute one clock cycle against @p array; returns the cycle result.
+  sram::CycleResult step(sram::SramArray& array);
+
+  /// Run to completion (convenience).
+  BistOutcome run(sram::SramArray& array);
+
+  const BistOutcome& outcome() const { return outcome_; }
+
+  /// Level of the LPtest mode-select line this cycle (de-asserted during
+  /// the restore pulse, matching the paper's §4 one-cycle switch).
+  bool lptest_level() const;
+
+ private:
+  void advance();
+  /// Row of the address the FSM will visit after the current cycle.
+  std::optional<std::size_t> next_row() const;
+  /// Linear word index of the current address under the element direction.
+  std::uint64_t current_index() const;
+  std::size_t col_of(std::size_t index) const;
+  std::size_t row_of(std::size_t index) const;
+
+  BistProgram program_;
+  sram::Geometry geometry_;
+  Options options_;
+
+  std::size_t element_ = 0;  ///< element record pointer
+  std::uint64_t address_ = 0;///< linear address counter (0 .. words-1)
+  std::uint32_t op_ = 0;     ///< operation pointer within the element
+  bool done_ = false;
+  BistOutcome outcome_;
+};
+
+}  // namespace sramlp::core

@@ -1,0 +1,78 @@
+#include "core/fault_campaign.h"
+
+namespace sramlp::core {
+
+std::size_t CampaignReport::detected_functional() const {
+  std::size_t n = 0;
+  for (const auto& e : entries)
+    if (e.detected_functional) ++n;
+  return n;
+}
+
+std::size_t CampaignReport::detected_low_power() const {
+  std::size_t n = 0;
+  for (const auto& e : entries)
+    if (e.detected_low_power) ++n;
+  return n;
+}
+
+double CampaignReport::coverage_functional() const {
+  return entries.empty() ? 0.0
+                         : static_cast<double>(detected_functional()) /
+                               static_cast<double>(entries.size());
+}
+
+double CampaignReport::coverage_low_power() const {
+  return entries.empty() ? 0.0
+                         : static_cast<double>(detected_low_power()) /
+                               static_cast<double>(entries.size());
+}
+
+bool CampaignReport::modes_agree() const {
+  for (const auto& e : entries)
+    if (e.detected_functional != e.detected_low_power) return false;
+  return true;
+}
+
+bool detects_fault(const SessionConfig& config, const march::MarchTest& test,
+                   const faults::FaultSpec& fault) {
+  faults::FaultSet set({fault});
+  TestSession session(config);
+  session.attach_fault_model(&set);
+  const SessionResult result = session.run(test);
+  return result.detected();
+}
+
+CampaignReport run_fault_campaign(
+    const SessionConfig& config, const march::MarchTest& test,
+    const std::vector<faults::FaultSpec>& faults) {
+  CampaignReport report;
+  report.algorithm = test.name();
+  report.entries.reserve(faults.size());
+
+  for (const faults::FaultSpec& spec : faults) {
+    CampaignEntry entry;
+    entry.spec = spec;
+
+    for (const sram::Mode mode :
+         {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
+      SessionConfig cfg = config;
+      cfg.mode = mode;
+      faults::FaultSet set({spec});
+      TestSession session(cfg);
+      session.attach_fault_model(&set);
+      const SessionResult result = session.run(test);
+      if (mode == sram::Mode::kFunctional) {
+        entry.detected_functional = result.detected();
+        entry.mismatches_functional = result.mismatches;
+      } else {
+        entry.detected_low_power = result.detected();
+        entry.mismatches_low_power = result.mismatches;
+      }
+    }
+    report.entries.push_back(entry);
+  }
+  return report;
+}
+
+}  // namespace sramlp::core

@@ -1,0 +1,47 @@
+// Single-fault campaigns: inject each fault on a fresh array, run a March
+// test, record whether it was detected — in functional mode, in low-power
+// test mode, and optionally across address orders (DOF-1 verification).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "faults/models.h"
+
+namespace sramlp::core {
+
+/// Per-fault campaign outcome.
+struct CampaignEntry {
+  faults::FaultSpec spec;
+  bool detected_functional = false;
+  bool detected_low_power = false;
+  std::uint64_t mismatches_functional = 0;
+  std::uint64_t mismatches_low_power = 0;
+};
+
+/// Aggregate campaign outcome.
+struct CampaignReport {
+  std::string algorithm;
+  std::vector<CampaignEntry> entries;
+
+  std::size_t detected_functional() const;
+  std::size_t detected_low_power() const;
+  double coverage_functional() const;
+  double coverage_low_power() const;
+  /// True when every fault's detection verdict agrees across the modes —
+  /// the paper's correctness requirement for the low-power test mode.
+  bool modes_agree() const;
+};
+
+/// Run @p test against each fault of @p faults, one at a time, on fresh
+/// arrays built from @p config (mode field ignored; both modes are run).
+CampaignReport run_fault_campaign(const SessionConfig& config,
+                                  const march::MarchTest& test,
+                                  const std::vector<faults::FaultSpec>& faults);
+
+/// Detection verdict for a single fault under a single configuration.
+bool detects_fault(const SessionConfig& config, const march::MarchTest& test,
+                   const faults::FaultSpec& fault);
+
+}  // namespace sramlp::core

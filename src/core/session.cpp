@@ -1,0 +1,155 @@
+#include "core/session.h"
+
+#include "util/error.h"
+
+namespace sramlp::core {
+
+namespace {
+
+sram::SramConfig make_array_config(const SessionConfig& config, bool lp_ok) {
+  sram::SramConfig ac;
+  ac.geometry = config.geometry;
+  ac.tech = config.tech;
+  ac.mode = (config.mode == sram::Mode::kLowPowerTest && lp_ok)
+                ? sram::Mode::kLowPowerTest
+                : sram::Mode::kFunctional;
+  ac.row_transition_restore = config.row_transition_restore;
+  ac.wordline_duty = config.wordline_duty;
+  ac.swap_threshold_frac = config.swap_threshold_frac;
+  return ac;
+}
+
+sram::Scan to_scan(march::Direction direction) {
+  return direction == march::Direction::kDown ? sram::Scan::kDescending
+                                              : sram::Scan::kAscending;
+}
+
+}  // namespace
+
+TestSession::TestSession(const SessionConfig& config)
+    : config_(config),
+      order_(config.order ? *config.order
+                          : march::AddressOrder::word_line_after_word_line(
+                                config.geometry.rows,
+                                config.geometry.col_groups())),
+      array_(make_array_config(config, /*lp_ok=*/true)) {
+  SRAMLP_REQUIRE(order_->rows() == config_.geometry.rows &&
+                     order_->col_groups() == config_.geometry.col_groups(),
+                 "address order does not match the array geometry");
+
+  // Paper §4: the low-power test mode assumes the word-line-after-word-line
+  // sequence; algorithms needing another order must use functional mode.
+  if (config_.mode == sram::Mode::kLowPowerTest &&
+      !order_->is_word_line_after_word_line()) {
+    SRAMLP_REQUIRE(!config_.strict_lp_order,
+                   "low-power test mode requires the "
+                   "word-line-after-word-line address order (March DOF-1)");
+    fell_back_ = true;
+    array_.set_mode(sram::Mode::kFunctional);
+  }
+}
+
+void TestSession::attach_fault_model(sram::CellFaultModel* model) {
+  array_.attach_fault_model(model);
+}
+
+SessionResult TestSession::run(const march::MarchTest& input_test) {
+  const march::MarchTest test =
+      config_.invert_background ? input_test.complemented() : input_test;
+
+  array_.reset_measurements();
+
+  SessionResult result;
+  result.algorithm = input_test.name();
+  result.mode = array_.mode();
+  result.fell_back_to_functional = fell_back_;
+
+  const bool lp = array_.mode() == sram::Mode::kLowPowerTest;
+  const std::size_t n = order_->size();
+  const auto& elements = test.elements();
+
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    const march::MarchElement& element = elements[e];
+    if (element.is_pause()) {
+      // Delay element: the memory idles with word lines low.
+      array_.idle(element.pause_cycles);
+      continue;
+    }
+    const march::Direction dir = element.direction;
+    const std::size_t ops = element.ops.size();
+
+    for (std::size_t step = 0; step < n; ++step) {
+      const march::Address& addr = order_->at(step, dir);
+
+      // Row of the next address in test order (for the restore decision).
+      // A following delay element forces a restore: bit-lines must not sit
+      // discharged through a long idle window.
+      std::optional<std::size_t> next_row;
+      bool restore_before_pause = false;
+      if (step + 1 < n) {
+        next_row = order_->at(step + 1, dir).row;
+      } else if (e + 1 < elements.size()) {
+        if (elements[e + 1].is_pause()) {
+          restore_before_pause = true;
+        } else {
+          const march::Direction next_dir = elements[e + 1].direction;
+          next_row = order_->at(0, next_dir).row;
+        }
+      }
+
+      for (std::size_t o = 0; o < ops; ++o) {
+        const march::Operation op = element.ops[o];
+        sram::CycleCommand cmd;
+        cmd.row = addr.row;
+        cmd.col_group = addr.col;
+        cmd.is_read = march::is_read(op);
+        cmd.value = march::value_of(op);
+        cmd.background = config_.background;
+        cmd.scan = to_scan(dir);
+        cmd.restore_row_transition =
+            lp && config_.row_transition_restore && o + 1 == ops &&
+            (restore_before_pause ||
+             (next_row.has_value() && *next_row != addr.row));
+
+        const sram::CycleResult r = array_.cycle(cmd);
+        if (cmd.is_read && r.mismatch) {
+          ++result.mismatches;
+          if (result.first_detections.size() < 16)
+            result.first_detections.push_back(
+                Detection{e, o, addr.row, addr.col});
+        }
+      }
+    }
+  }
+
+  result.cycles = array_.meter().cycles();
+  result.supply_energy_j = array_.meter().supply_total();
+  result.energy_per_cycle_j = array_.meter().supply_per_cycle();
+  result.meter = array_.meter();
+  result.stats = array_.stats();
+  return result;
+}
+
+PrrComparison TestSession::compare_modes(const SessionConfig& config,
+                                         const march::MarchTest& test,
+                                         sram::CellFaultModel* faults) {
+  PrrComparison cmp;
+
+  SessionConfig functional = config;
+  functional.mode = sram::Mode::kFunctional;
+  TestSession fs(functional);
+  fs.attach_fault_model(faults);
+  cmp.functional = fs.run(test);
+
+  SessionConfig low_power = config;
+  low_power.mode = sram::Mode::kLowPowerTest;
+  TestSession ls(low_power);
+  ls.attach_fault_model(faults);
+  cmp.low_power = ls.run(test);
+
+  const double pf = cmp.functional.energy_per_cycle_j;
+  cmp.prr = pf > 0.0 ? 1.0 - cmp.low_power.energy_per_cycle_j / pf : 0.0;
+  return cmp;
+}
+
+}  // namespace sramlp::core

@@ -1,0 +1,114 @@
+// TestSession — the paper's low-power March testing flow, assembled.
+//
+// A session owns one simulated SRAM and runs March tests on it in either
+// operating mode.  It implements the sequencing responsibilities the paper
+// assigns to the test controller:
+//
+//  * fixing the address sequence to word-line-after-word-line when the
+//    low-power test mode is selected (March DOF-1 makes this legal); any
+//    other order triggers the paper's §4 fallback to functional mode
+//    (or an error, when strict_lp_order is set);
+//  * issuing the one-cycle functional restore during the last operation on
+//    the last cell of each row (Fig. 7), unless the experiment disables it;
+//  * feeding the per-cycle scan direction so the controller pre-charges the
+//    correct follower column for descending March elements.
+//
+// compare_modes() packages the paper's headline measurement: the same
+// algorithm run in both modes on identical arrays, reduced to the Power
+// Reduction Ratio PRR = 1 - PLPT / PF.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "march/address_order.h"
+#include "march/test.h"
+#include "power/meter.h"
+#include "sram/array.h"
+
+namespace sramlp::core {
+
+/// Session configuration (one array, one mode).
+struct SessionConfig {
+  sram::Geometry geometry;
+  power::TechnologyParams tech = power::TechnologyParams::tech_0p13um();
+  sram::Mode mode = sram::Mode::kFunctional;
+  /// Address sequence; defaults to word-line-after-word-line.
+  std::optional<march::AddressOrder> order;
+  /// Apply the one-cycle functional restore at row transitions (Fig. 7).
+  bool row_transition_restore = true;
+  /// Throw instead of falling back to functional mode when the low-power
+  /// mode is requested with an incompatible address order.
+  bool strict_lp_order = false;
+  /// Run the complemented test (every operation's data bit flipped).
+  bool invert_background = false;
+  /// Data background pattern: March data bits are logical relative to it
+  /// (physical cell value = bit XOR background(row, col)).
+  sram::DataBackground background;
+  double wordline_duty = 0.5;
+  double swap_threshold_frac = 0.5;
+};
+
+/// Location of a detected mismatch (first few are recorded).
+struct Detection {
+  std::size_t element = 0;
+  std::size_t op = 0;
+  std::size_t row = 0;
+  std::size_t col_group = 0;
+};
+
+/// Everything measured over one March run.
+struct SessionResult {
+  std::string algorithm;
+  sram::Mode mode = sram::Mode::kFunctional;
+  bool fell_back_to_functional = false;
+  std::uint64_t cycles = 0;
+  double supply_energy_j = 0.0;
+  double energy_per_cycle_j = 0.0;
+  power::EnergyMeter meter;   ///< full per-source accounting
+  sram::ArrayStats stats;
+  std::uint64_t mismatches = 0;
+  bool detected() const { return mismatches > 0; }
+  std::vector<Detection> first_detections;  ///< capped at 16 entries
+};
+
+/// Functional vs low-power runs of the same algorithm plus the PRR.
+struct PrrComparison {
+  SessionResult functional;
+  SessionResult low_power;
+  /// Power Reduction Ratio: 1 - PLPT / PF (the paper's Table 1 metric).
+  double prr = 0.0;
+};
+
+class TestSession {
+ public:
+  explicit TestSession(const SessionConfig& config);
+
+  const SessionConfig& config() const { return config_; }
+  sram::SramArray& array() { return array_; }
+  const sram::SramArray& array() const { return array_; }
+
+  /// Attach a fault model for subsequent runs (non-owning; nullptr clears).
+  void attach_fault_model(sram::CellFaultModel* model);
+
+  /// Run one March test; meters are reset at the start of the run.
+  SessionResult run(const march::MarchTest& test);
+
+  /// Run @p test in functional and low-power mode on two identical arrays
+  /// built from @p config (mode field ignored) and compute the PRR.
+  static PrrComparison compare_modes(const SessionConfig& config,
+                                     const march::MarchTest& test,
+                                     sram::CellFaultModel* faults = nullptr);
+
+ private:
+  const march::AddressOrder& order() const { return *order_; }
+
+  SessionConfig config_;
+  std::optional<march::AddressOrder> order_;
+  sram::SramArray array_;
+  bool fell_back_ = false;
+};
+
+}  // namespace sramlp::core

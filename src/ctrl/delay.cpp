@@ -1,0 +1,43 @@
+#include "ctrl/delay.h"
+
+#include <cmath>
+#include <limits>
+
+#include "circuit/transient.h"
+
+namespace sramlp::ctrl {
+
+EdgeTiming measure_pass_edge(circuit::PassDevice device, bool rising_edge,
+                             double c_load,
+                             const circuit::DeviceLibrary& devices,
+                             double vdd) {
+  circuit::PassFixture fixture =
+      circuit::build_pass_fixture(device, rising_edge, c_load, devices, vdd);
+
+  circuit::TransientOptions options;
+  options.t_end = fixture.t_end;
+  options.dt = 0.05e-12;
+  options.sample_every = 1e-12;
+
+  const auto result = circuit::simulate(
+      fixture.circuit, {fixture.in, fixture.out}, options);
+
+  const auto& in = result.wave("in");
+  const auto& out = result.wave("out");
+
+  EdgeTiming timing;
+  timing.v_final = out.back_value();
+  const double target = rising_edge ? vdd : 0.0;
+  timing.reaches_full_rail = std::fabs(timing.v_final - target) <= 0.05 * vdd;
+
+  const double half = 0.5 * vdd;
+  const auto t_in = in.time_of_crossing(half, rising_edge, 0.0);
+  const auto t_out = out.time_of_crossing(half, rising_edge, 0.0);
+  if (t_in && t_out)
+    timing.delay_s = *t_out - *t_in;
+  else
+    timing.delay_s = std::numeric_limits<double>::infinity();
+  return timing;
+}
+
+}  // namespace sramlp::ctrl

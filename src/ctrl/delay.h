@@ -1,0 +1,31 @@
+// Device-level timing of the mux pass device (paper §4 design choice).
+//
+// The paper picks a full CMOS transmission gate (two transistors) over a
+// single pass transistor "to ensure the minimum delay in the transitions
+// (0->1 and 1->0)" of the routed pre-charge signals.  These helpers measure
+// both options with the switch-level simulator so the Fig. 8 bench can
+// quantify the claim: an NMOS-only pass device degrades the rising edge
+// (output saturates a threshold below VDD), while the transmission gate
+// passes both edges rail to rail.
+#pragma once
+
+#include "circuit/subcircuits.h"
+
+namespace sramlp::ctrl {
+
+/// Result of driving one edge through a pass device into the control load.
+struct EdgeTiming {
+  double delay_s = 0.0;        ///< input-50% to output-50% delay; +inf if the
+                               ///< output never reaches 50% of VDD
+  double v_final = 0.0;        ///< settled output voltage [V]
+  bool reaches_full_rail = false;  ///< settles within 5% of the target rail
+};
+
+/// Measure one edge (rising or falling) through the chosen device.
+EdgeTiming measure_pass_edge(circuit::PassDevice device, bool rising_edge,
+                             double c_load = 5e-15,
+                             const circuit::DeviceLibrary& devices =
+                                 circuit::DeviceLibrary::tech_0p13um(),
+                             double vdd = 1.6);
+
+}  // namespace sramlp::ctrl

@@ -1,0 +1,57 @@
+#include "ctrl/precharge_control.h"
+
+#include "util/error.h"
+
+namespace sramlp::ctrl {
+
+PrechargeController::PrechargeController(std::size_t columns)
+    : npr_(columns, false) {
+  SRAMLP_REQUIRE(columns >= 2, "controller needs at least two columns");
+}
+
+const std::vector<bool>& PrechargeController::evaluate(
+    const CycleInputs& inputs) {
+  const std::size_t n = npr_.size();
+  if (inputs.selected)
+    SRAMLP_REQUIRE(*inputs.selected < n, "selected column out of range");
+
+  const bool lptest = inputs.lptest && !inputs.force_functional;
+  std::uint64_t toggles = 0;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    ElementInputs e;
+    e.lptest = lptest;
+    e.cs_j = inputs.selected && *inputs.selected == j;
+
+    // Scan neighbour whose CS pre-charges this column.  The boundary
+    // column has no feeder: its CSbar input is left high (pre-charge off),
+    // as the paper specifies for column 0 in the ascending scan.
+    bool cs_prev = false;
+    if (inputs.ascending) {
+      if (j > 0) cs_prev = inputs.selected && *inputs.selected == j - 1;
+    } else {
+      if (j + 1 < n) cs_prev = inputs.selected && *inputs.selected == j + 1;
+    }
+    e.cs_prev = cs_prev;
+
+    // Former pre-charge signal: off (high) only for the selected column
+    // during the operate phase; on (low) otherwise.
+    e.pr_j = e.cs_j && inputs.phase == Phase::kOperate;
+
+    const bool out = element_npr(e);
+    if (!first_eval_ && out != npr_[j]) ++toggles;
+    npr_[j] = out;
+  }
+  first_eval_ = false;
+  switching_events_ += toggles;
+  return npr_;
+}
+
+std::size_t PrechargeController::active_precharge_count() const {
+  std::size_t count = 0;
+  for (bool off : npr_)
+    if (!off) ++count;
+  return count;
+}
+
+}  // namespace sramlp::ctrl

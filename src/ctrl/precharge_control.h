@@ -1,0 +1,101 @@
+// Gate-level model of the paper's modified pre-charge control (Fig. 8).
+//
+// Per column the paper adds one element built from:
+//   * one NAND gate (4 transistors) computing the mux select
+//       S = NAND(LPtest, CSbar_j)
+//     so that functional mode (LPtest = 0) and the selected column
+//     (CSbar_j = 0) both route the normal pre-charge signal ("the NAND gate
+//     forces the functional mode for the column when it is selected");
+//   * one 2:1 multiplexer made of two transmission gates plus one inverter
+//     (4 + 2 transistors) routing
+//       NPr_j = S ? Pr_j : CSbar_{j-1}
+// for a total of ten transistors per column, exactly as the paper counts.
+//
+// NPr_j is ACTIVE LOW: the pre-charge circuit is on when NPr_j = 0.
+// In low-power test mode the selection signal of column j pre-charges
+// column j+1; the CSbar of the last column is left unconnected (the
+// row-transition functional cycle readies column 0 for the next row).
+//
+// The paper presents the ascending scan; descending March elements mirror
+// the wiring (CSbar_{j+1} feeds column j).  We model that with a direction
+// input; a hardware realisation needs one extra 2:1 mux per column
+// (6 transistors), which the overhead report quotes separately.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sramlp::ctrl {
+
+/// Half-cycle phase of the two-phase clock (paper Fig. 2).
+enum class Phase {
+  kOperate,  ///< word line high, selected column's pre-charge off
+  kRestore   ///< word line low, selected column's pre-charge on
+};
+
+/// Inputs of one per-column control element.
+struct ElementInputs {
+  bool lptest = false;   ///< low-power test mode select
+  bool cs_j = false;     ///< this column's selection signal CS_j
+  bool cs_prev = false;  ///< the scan-neighbour's selection signal CS_{j+-1}
+  bool pr_j = false;     ///< former pre-charge signal (1 = pre-charge off)
+};
+
+/// Combinational function of the element: the active-low NPr_j output.
+constexpr bool element_npr(const ElementInputs& in) {
+  const bool cs_bar_j = !in.cs_j;
+  const bool select_functional = !(in.lptest && cs_bar_j);  // NAND
+  const bool cs_bar_prev = !in.cs_prev;
+  return select_functional ? in.pr_j : cs_bar_prev;  // transmission-gate mux
+}
+
+/// Transistor cost of the added logic.
+inline constexpr int kTransistorsPerElement = 10;        // paper Fig. 8
+inline constexpr int kTransistorsPerElementBidir = 16;   // + direction mux
+
+/// Whole-row controller: evaluates every column's element each half-cycle
+/// and counts output switching activity.
+class PrechargeController {
+ public:
+  explicit PrechargeController(std::size_t columns);
+
+  /// State of one evaluated half-cycle.
+  struct CycleInputs {
+    bool lptest = false;
+    /// Selected column (driving CS); nullopt when no access is in flight.
+    std::optional<std::size_t> selected;
+    Phase phase = Phase::kOperate;
+    bool ascending = true;  ///< scan direction (which neighbour feeds whom)
+    /// Row-transition restore: LPtest is dropped for this cycle, returning
+    /// every column to functional pre-charge.
+    bool force_functional = false;
+  };
+
+  /// Evaluate all columns; returns NPr per column (active low).
+  /// Pre-charge circuit j is ON exactly when the result[j] is false.
+  const std::vector<bool>& evaluate(const CycleInputs& inputs);
+
+  /// Columns whose pre-charge is on in the last evaluated half-cycle.
+  std::size_t active_precharge_count() const;
+
+  /// Total NPr output toggles since construction (switching activity).
+  std::uint64_t switching_events() const { return switching_events_; }
+
+  std::size_t columns() const { return npr_.size(); }
+
+  /// Transistors added by the modification for this row of columns.
+  int added_transistors(bool bidirectional = false) const {
+    return static_cast<int>(npr_.size()) *
+           (bidirectional ? kTransistorsPerElementBidir
+                          : kTransistorsPerElement);
+  }
+
+ private:
+  std::vector<bool> npr_;
+  bool first_eval_ = true;
+  std::uint64_t switching_events_ = 0;
+};
+
+}  // namespace sramlp::ctrl

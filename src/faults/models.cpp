@@ -1,0 +1,263 @@
+#include "faults/models.h"
+
+#include "sram/array.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sramlp::faults {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAt0: return "SA0";
+    case FaultKind::kStuckAt1: return "SA1";
+    case FaultKind::kTransitionUp: return "TF<0->1>";
+    case FaultKind::kTransitionDown: return "TF<1->0>";
+    case FaultKind::kWriteDisturb: return "WDF";
+    case FaultKind::kReadDestructive: return "RDF";
+    case FaultKind::kDeceptiveReadDestructive: return "DRDF";
+    case FaultKind::kIncorrectRead: return "IRF";
+    case FaultKind::kCouplingInversion: return "CFin";
+    case FaultKind::kCouplingIdempotent: return "CFid";
+    case FaultKind::kCouplingState: return "CFst";
+    case FaultKind::kDynamicReadDestructive: return "dRDF<w;r>";
+    case FaultKind::kResSensitive: return "RES-sensitive";
+    case FaultKind::kDataRetention: return "DRF (data retention)";
+  }
+  throw Error("invalid FaultKind");
+}
+
+std::string FaultSpec::describe() const {
+  std::string out = to_string(kind) + " @(" + std::to_string(victim.row) +
+                    "," + std::to_string(victim.col) + ")";
+  if (is_coupling(kind)) {
+    out += " aggr(" + std::to_string(aggressor.row) + "," +
+           std::to_string(aggressor.col) + ")";
+    if (kind == FaultKind::kCouplingState)
+      out += std::string(" state=") + (aggressor_state ? "1" : "0");
+    else
+      out += std::string(" on ") + (aggressor_up ? "0->1" : "1->0");
+    if (kind != FaultKind::kCouplingInversion)
+      out += std::string(" forces ") + (forced_value ? "1" : "0");
+  }
+  if (kind == FaultKind::kResSensitive)
+    out += " threshold=" + std::to_string(res_threshold);
+  if (kind == FaultKind::kDataRetention)
+    out += " leaks to " + std::string(forced_value ? "1" : "0") + " after " +
+           std::to_string(retention_idle_cycles) + " idle cycles";
+  return out;
+}
+
+FaultSet::FaultSet(std::vector<FaultSpec> specs) {
+  for (const auto& s : specs) add(s);
+}
+
+void FaultSet::add(const FaultSpec& spec) {
+  if (is_coupling(spec.kind))
+    SRAMLP_REQUIRE(!(spec.aggressor == spec.victim),
+                   "coupling fault needs distinct aggressor and victim");
+  if (spec.kind == FaultKind::kResSensitive)
+    SRAMLP_REQUIRE(spec.res_threshold > 0.0,
+                   "RES threshold must be positive");
+  specs_.push_back(spec);
+  res_accumulated_.push_back(0.0);
+  res_fired_.push_back(false);
+}
+
+void FaultSet::reset_state() {
+  for (auto& v : res_accumulated_) v = 0.0;
+  res_fired_.assign(res_fired_.size(), false);
+  have_last_write_ = false;
+}
+
+double FaultSet::res_stress_accumulated() const {
+  double total = 0.0;
+  for (double v : res_accumulated_) total += v;
+  return total;
+}
+
+bool FaultSet::res_fault_fired() const {
+  for (bool fired : res_fired_)
+    if (fired) return true;
+  return false;
+}
+
+bool FaultSet::write_result(sram::CellCoord cell, bool stored, bool intended) {
+  bool value = intended;
+  // Track the write for dynamic write-then-read faults.
+  have_last_write_ = true;
+  last_write_cell_ = cell;
+  for (const FaultSpec& f : specs_) {
+    if (!(f.victim == cell)) continue;
+    switch (f.kind) {
+      case FaultKind::kStuckAt0: value = false; break;
+      case FaultKind::kStuckAt1: value = true; break;
+      case FaultKind::kTransitionUp:
+        if (!stored && value) value = false;
+        break;
+      case FaultKind::kTransitionDown:
+        if (stored && !value) value = true;
+        break;
+      case FaultKind::kWriteDisturb:
+        if (value == stored) value = !stored;
+        break;
+      case FaultKind::kCouplingState:
+        SRAMLP_REQUIRE(array_ != nullptr, "FaultSet not bound to an array");
+        if (array_->peek(f.aggressor.row, f.aggressor.col) ==
+            f.aggressor_state)
+          value = f.forced_value;
+        break;
+      default:
+        break;  // read-path and aggressor-path faults don't act here
+    }
+  }
+  return value;
+}
+
+bool FaultSet::read_result(sram::CellCoord cell, bool stored,
+                           bool* stored_after) {
+  bool sensed = stored;
+  *stored_after = stored;
+  const bool read_follows_write =
+      have_last_write_ && last_write_cell_ == cell;
+  have_last_write_ = false;  // any operation ends the "immediately after"
+  for (const FaultSpec& f : specs_) {
+    if (!(f.victim == cell)) continue;
+    switch (f.kind) {
+      case FaultKind::kDynamicReadDestructive:
+        if (read_follows_write) {
+          *stored_after = !stored;
+          sensed = !stored;
+        }
+        break;
+      case FaultKind::kStuckAt0:
+        sensed = false;
+        *stored_after = false;
+        break;
+      case FaultKind::kStuckAt1:
+        sensed = true;
+        *stored_after = true;
+        break;
+      case FaultKind::kReadDestructive:
+        *stored_after = !stored;
+        sensed = !stored;
+        break;
+      case FaultKind::kDeceptiveReadDestructive:
+        *stored_after = !stored;
+        sensed = stored;
+        break;
+      case FaultKind::kIncorrectRead:
+        sensed = !stored;
+        break;
+      case FaultKind::kCouplingState:
+        SRAMLP_REQUIRE(array_ != nullptr, "FaultSet not bound to an array");
+        if (array_->peek(f.aggressor.row, f.aggressor.col) ==
+            f.aggressor_state) {
+          sensed = f.forced_value;
+          *stored_after = f.forced_value;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return sensed;
+}
+
+void FaultSet::after_write(sram::SramArray& array, sram::CellCoord cell,
+                           bool old_value, bool new_value) {
+  if (old_value == new_value) return;  // coupling needs a transition
+  const bool rising = !old_value && new_value;
+  for (const FaultSpec& f : specs_) {
+    if (!is_coupling(f.kind) || !(f.aggressor == cell)) continue;
+    if (f.kind == FaultKind::kCouplingState) continue;  // state, not edge
+    if (f.aggressor_up != rising) continue;
+    if (f.kind == FaultKind::kCouplingInversion) {
+      const bool v = array.peek(f.victim.row, f.victim.col);
+      array.force(f.victim, !v);
+    } else {  // kCouplingIdempotent
+      array.force(f.victim, f.forced_value);
+    }
+  }
+}
+
+std::vector<sram::CellCoord> FaultSet::res_sensitive_cells() const {
+  std::vector<sram::CellCoord> cells;
+  for (const FaultSpec& f : specs_)
+    if (f.kind == FaultKind::kResSensitive) cells.push_back(f.victim);
+  return cells;
+}
+
+void FaultSet::on_res(sram::SramArray& array, sram::CellCoord cell,
+                      double stress) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& f = specs_[i];
+    if (f.kind != FaultKind::kResSensitive || !(f.victim == cell)) continue;
+    res_accumulated_[i] += stress;
+    if (!res_fired_[i] && res_accumulated_[i] >= f.res_threshold) {
+      res_fired_[i] = true;
+      const bool v = array.peek(cell.row, cell.col);
+      array.force(cell, !v);
+    }
+  }
+}
+
+void FaultSet::on_idle(sram::SramArray& array, std::uint64_t cycles) {
+  // Idle time also breaks any pending write-then-read dynamic pair.
+  have_last_write_ = false;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& f = specs_[i];
+    if (f.kind != FaultKind::kDataRetention) continue;
+    res_accumulated_[i] += static_cast<double>(cycles);
+    if (!res_fired_[i] &&
+        res_accumulated_[i] >= static_cast<double>(f.retention_idle_cycles)) {
+      res_fired_[i] = true;
+      array.force(f.victim, f.forced_value);  // the cell leaks to its
+                                              // preferred value
+    }
+  }
+}
+
+std::vector<FaultSpec> standard_fault_library(const sram::Geometry& geometry,
+                                              std::uint64_t seed) {
+  geometry.validate();
+  util::Rng rng(seed);
+  const auto random_cell = [&rng, &geometry]() {
+    return sram::CellCoord{rng.next_below(geometry.rows),
+                           rng.next_below(geometry.cols)};
+  };
+  const auto neighbour_of = [&geometry](sram::CellCoord c) {
+    // Pick an adjacent cell (coupling faults are typically neighbours).
+    if (c.col + 1 < geometry.cols) return sram::CellCoord{c.row, c.col + 1};
+    return sram::CellCoord{c.row, c.col - 1};
+  };
+
+  std::vector<FaultSpec> library;
+  const int per_kind = 3;
+  for (int i = 0; i < per_kind; ++i) {
+    for (FaultKind kind :
+         {FaultKind::kStuckAt0, FaultKind::kStuckAt1,
+          FaultKind::kTransitionUp, FaultKind::kTransitionDown,
+          FaultKind::kWriteDisturb, FaultKind::kReadDestructive,
+          FaultKind::kDeceptiveReadDestructive, FaultKind::kIncorrectRead}) {
+      FaultSpec f;
+      f.kind = kind;
+      f.victim = random_cell();
+      library.push_back(f);
+    }
+    for (FaultKind kind :
+         {FaultKind::kCouplingInversion, FaultKind::kCouplingIdempotent,
+          FaultKind::kCouplingState}) {
+      FaultSpec f;
+      f.kind = kind;
+      f.victim = random_cell();
+      f.aggressor = neighbour_of(f.victim);
+      f.aggressor_up = rng.next_bool();
+      f.aggressor_state = rng.next_bool();
+      f.forced_value = rng.next_bool();
+      library.push_back(f);
+    }
+  }
+  return library;
+}
+
+}  // namespace sramlp::faults

@@ -1,0 +1,97 @@
+#include "march/algorithms.h"
+
+#include "march/parser.h"
+
+namespace sramlp::march::algorithms {
+
+MarchTest mats() { return parse_march("MATS", "{ B(w0); B(r0,w1); B(r1) }"); }
+
+MarchTest mats_plus() {
+  return parse_march("MATS+", "{ B(w0); U(r0,w1); D(r1,w0) }");
+}
+
+MarchTest mats_pp() {
+  return parse_march("MATS++", "{ B(w0); U(r0,w1); D(r1,w0,r0) }");
+}
+
+MarchTest march_x() {
+  return parse_march("March X", "{ B(w0); U(r0,w1); D(r1,w0); B(r0) }");
+}
+
+MarchTest march_y() {
+  return parse_march("March Y", "{ B(w0); U(r0,w1,r1); D(r1,w0,r0); B(r0) }");
+}
+
+MarchTest march_c_minus() {
+  return parse_march(
+      "March C-",
+      "{ B(w0); U(r0,w1); U(r1,w0); D(r0,w1); D(r1,w0); B(r0) }");
+}
+
+MarchTest march_a() {
+  return parse_march(
+      "March A",
+      "{ B(w0); U(r0,w1,w0,w1); U(r1,w0,w1); D(r1,w0,w1,w0); D(r0,w1,w0) }");
+}
+
+MarchTest march_b() {
+  return parse_march("March B",
+                     "{ B(w0); U(r0,w1,r1,w0,r0,w1); U(r1,w0,w1); "
+                     "D(r1,w0,w1,w0); D(r0,w1,w0) }");
+}
+
+MarchTest march_ss() {
+  return parse_march("March SS",
+                     "{ B(w0); U(r0,r0,w0,r0,w1); U(r1,r1,w1,r1,w0); "
+                     "D(r0,r0,w0,r0,w1); D(r1,r1,w1,r1,w0); B(r0) }");
+}
+
+MarchTest march_sr() {
+  return parse_march("March SR",
+                     "{ D(w0); U(r0,w1,r1,w0); U(r0,r0); U(w1); "
+                     "D(r1,w0,r0,w1); D(r1,r1) }");
+}
+
+MarchTest march_g() {
+  // Delay pauses between the last three elements are omitted (they are not
+  // operations); counts then match Table 1: 7 elements, 23 ops, 10 r, 13 w.
+  return parse_march("March G",
+                     "{ B(w0); U(r0,w1,r1,w0,r0,w1); U(r1,w0,w1); "
+                     "D(r1,w0,w1,w0); D(r0,w1,w0); B(r0,w1,r1); "
+                     "B(r1,w0,r0) }");
+}
+
+MarchTest march_g_with_delays() {
+  // The published March G pauses before its final verification passes to
+  // let weak cells leak (data-retention faults).  Op counts are unchanged:
+  // delay elements are not operations.
+  return parse_march("March G (with delays)",
+                     "{ B(w0); U(r0,w1,r1,w0,r0,w1); U(r1,w0,w1); "
+                     "D(r1,w0,w1,w0); D(r0,w1,w0); Del; B(r0,w1,r1); "
+                     "Del; B(r1,w0,r0) }");
+}
+
+MarchTest march_lr() {
+  return parse_march("March LR",
+                     "{ B(w0); D(r0,w1); U(r1,w0,r0,w1); U(r1,w0); "
+                     "U(r0,w1,r1,w0); U(r0) }");
+}
+
+MarchTest march_ic_minus() {
+  return parse_march(
+      "March iC-",
+      "{ B(w0); U(r0,w1); U(r1,w0); D(r0,w1); D(r1,w0); B(r0) }");
+}
+
+std::vector<MarchTest> all() {
+  return {mats(),          mats_plus(), mats_pp(),  march_x(),
+          march_y(),       march_c_minus(), march_a(), march_b(),
+          march_ss(),      march_sr(),  march_g(),
+          march_g_with_delays(), march_lr(), march_ic_minus()};
+}
+
+std::vector<MarchTest> table1() {
+  return {march_c_minus(), march_ss(), mats_plus(), march_sr(), march_g()};
+}
+
+}  // namespace sramlp::march::algorithms

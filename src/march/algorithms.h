@@ -1,0 +1,40 @@
+// Library of standard March algorithms.
+//
+// The five algorithms of the paper's Table 1 (March C-, March SS, MATS+,
+// March SR, March G) plus the other classic tests referenced by the memory
+// testing literature the paper builds on (van de Goor).  All are
+// bit-oriented.  March G's delay pauses (for data-retention faults) are not
+// operations and are omitted; its element/operation counts then match the
+// paper's Table 1 exactly (7 elements, 23 operations).
+#pragma once
+
+#include <vector>
+
+#include "march/test.h"
+
+namespace sramlp::march::algorithms {
+
+MarchTest mats();      ///< { B(w0); B(r0,w1); B(r1) }
+MarchTest mats_plus(); ///< { B(w0); U(r0,w1); D(r1,w0) }                 Table 1
+MarchTest mats_pp();   ///< { B(w0); U(r0,w1); D(r1,w0,r0) }
+MarchTest march_x();   ///< { B(w0); U(r0,w1); D(r1,w0); B(r0) }
+MarchTest march_y();   ///< { B(w0); U(r0,w1,r1); D(r1,w0,r0); B(r0) }
+MarchTest march_c_minus();  ///< 6 elements / 10 ops                      Table 1
+MarchTest march_a();   ///< { B(w0); U(r0,w1,w0,w1); U(r1,w0,w1); D(r1,w0,w1,w0); D(r0,w1,w0) }
+MarchTest march_b();   ///< { B(w0); U(r0,w1,r1,w0,r0,w1); U(r1,w0,w1); D(r1,w0,w1,w0); D(r0,w1,w0) }
+MarchTest march_ss();  ///< 6 elements / 22 ops                           Table 1
+MarchTest march_sr();  ///< 6 elements / 14 ops                           Table 1
+MarchTest march_g();   ///< 7 elements / 23 ops (delays omitted)          Table 1
+MarchTest march_g_with_delays();  ///< March G including its two "Del"
+                                  ///< pauses (sensitises retention faults)
+MarchTest march_lr();  ///< { B(w0); D(r0,w1); U(r1,w0,r0,w1); U(r1,w0); U(r0,w1,r1,w0); U(r0) }
+MarchTest march_ic_minus();  ///< March iC-: March C- operations; relies on
+                             ///< fast-column addressing to sensitise ADOFs
+
+/// Every algorithm above.
+std::vector<MarchTest> all();
+
+/// The five algorithms of the paper's Table 1, in the paper's row order.
+std::vector<MarchTest> table1();
+
+}  // namespace sramlp::march::algorithms

@@ -1,0 +1,51 @@
+// March test primitive operations (bit-oriented).
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+
+namespace sramlp::march {
+
+/// One March operation applied to the cell under the address pointer.
+enum class Operation {
+  kR0,  ///< read, expect 0
+  kR1,  ///< read, expect 1
+  kW0,  ///< write 0
+  kW1,  ///< write 1
+};
+
+constexpr bool is_read(Operation op) {
+  return op == Operation::kR0 || op == Operation::kR1;
+}
+
+constexpr bool is_write(Operation op) { return !is_read(op); }
+
+/// The data value written, or the value a read expects.
+constexpr bool value_of(Operation op) {
+  return op == Operation::kR1 || op == Operation::kW1;
+}
+
+inline std::string to_string(Operation op) {
+  switch (op) {
+    case Operation::kR0: return "r0";
+    case Operation::kR1: return "r1";
+    case Operation::kW0: return "w0";
+    case Operation::kW1: return "w1";
+  }
+  throw Error("invalid Operation");
+}
+
+/// Complement the data value of an operation (r0 <-> r1, w0 <-> w1).
+/// Used to apply alternative data backgrounds (DOF of March tests).
+constexpr Operation complement(Operation op) {
+  switch (op) {
+    case Operation::kR0: return Operation::kR1;
+    case Operation::kR1: return Operation::kR0;
+    case Operation::kW0: return Operation::kW1;
+    case Operation::kW1: return Operation::kW0;
+  }
+  return op;
+}
+
+}  // namespace sramlp::march

@@ -1,0 +1,135 @@
+#include "march/parser.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace sramlp::march {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the notation string.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    SRAMLP_REQUIRE(pos_ < text_.size(), context("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    const char got = take();
+    if (got != c)
+      throw Error(context(std::string("expected '") + c + "', got '" + got +
+                          "'"));
+  }
+
+  std::string context(const std::string& msg) const {
+    return "March notation error at offset " + std::to_string(pos_) + ": " +
+           msg;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Direction parse_direction(Scanner& s) {
+  const char c = s.take();
+  switch (c) {
+    case 'U': case 'u': case '^': return Direction::kUp;
+    case 'D': case 'd': case 'v': return Direction::kDown;
+    case 'B': case 'b': case '~': return Direction::kEither;
+    default:
+      throw Error(s.context(std::string("expected direction U/D/B, got '") +
+                            c + "'"));
+  }
+}
+
+/// "Del" already had its 'D' consumed when we reach here; check for "el".
+bool looks_like_delay(Scanner& s) {
+  return s.peek() == 'e';
+}
+
+Operation parse_operation(Scanner& s) {
+  const char kind = s.take();
+  const char digit = s.take();
+  const bool one = digit == '1';
+  if (digit != '0' && digit != '1')
+    throw Error(s.context(std::string("expected data value 0/1, got '") +
+                          digit + "'"));
+  switch (kind) {
+    case 'r': case 'R': return one ? Operation::kR1 : Operation::kR0;
+    case 'w': case 'W': return one ? Operation::kW1 : Operation::kW0;
+    default:
+      throw Error(s.context(std::string("expected operation r/w, got '") +
+                            kind + "'"));
+  }
+}
+
+MarchElement parse_element(Scanner& s) {
+  MarchElement e;
+  // "Del" (delay element) shares its first letter with the D direction.
+  const char first = s.peek();
+  if (first == 'D' || first == 'd') {
+    s.take();
+    if (!s.done() && looks_like_delay(s)) {
+      s.expect('e');
+      s.expect('l');
+      e.pause_cycles = kDefaultPauseCycles;
+      return e;
+    }
+    e.direction = Direction::kDown;
+  } else {
+    e.direction = parse_direction(s);
+  }
+  s.expect('(');
+  while (true) {
+    e.ops.push_back(parse_operation(s));
+    const char c = s.take();
+    if (c == ')') break;
+    if (c != ',')
+      throw Error(s.context(std::string("expected ',' or ')', got '") + c +
+                            "'"));
+  }
+  return e;
+}
+
+}  // namespace
+
+MarchTest parse_march(std::string name, std::string_view notation) {
+  Scanner s(notation);
+  s.expect('{');
+  std::vector<MarchElement> elements;
+  while (true) {
+    elements.push_back(parse_element(s));
+    const char c = s.take();
+    if (c == '}') break;
+    if (c != ';')
+      throw Error(s.context(std::string("expected ';' or '}', got '") + c +
+                            "'"));
+  }
+  SRAMLP_REQUIRE(s.done(), "trailing characters after closing '}'");
+  return MarchTest(std::move(name), std::move(elements));
+}
+
+}  // namespace sramlp::march

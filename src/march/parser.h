@@ -1,0 +1,26 @@
+// Parser for March test notation.
+//
+// Grammar (whitespace-insensitive, case-insensitive operations):
+//
+//   test     := '{' element (';' element)* '}'
+//   element  := dir '(' op (',' op)* ')'
+//   dir      := 'U' | '^'          (ascending)
+//             | 'D' | 'v'          (descending)
+//             | 'B' | '~'          (either)
+//   op       := 'r0' | 'r1' | 'w0' | 'w1'
+//
+// Example: parse_march("my", "{ B(w0); U(r0,w1); D(r1,w0); B(r0) }")
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "march/test.h"
+
+namespace sramlp::march {
+
+/// Parse @p notation into a MarchTest named @p name.
+/// Throws sramlp::Error with a position-annotated message on bad syntax.
+MarchTest parse_march(std::string name, std::string_view notation);
+
+}  // namespace sramlp::march

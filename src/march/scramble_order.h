@@ -1,0 +1,20 @@
+// The logical address sequence a BIST must issue so that a scrambled
+// memory is physically walked word-line-after-word-line.
+//
+// The paper's low-power test mode constrains the PHYSICAL access order;
+// March DOF-1 permits any LOGICAL permutation.  Given the memory's
+// scramble map, wlawl_logical_order() returns the logical "up" sequence
+// whose physical image is row-major — what the test engineer programs
+// into the pattern generator.
+#pragma once
+
+#include "march/address_order.h"
+#include "sram/scramble.h"
+
+namespace sramlp::march {
+
+/// Logical sequence visiting physical cells word-line-after-word-line.
+/// With the identity scramble this is the canonical order itself.
+AddressOrder wlawl_logical_order(const sram::AddressScramble& scramble);
+
+}  // namespace sramlp::march

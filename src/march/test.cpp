@@ -1,0 +1,61 @@
+#include "march/test.h"
+
+namespace sramlp::march {
+
+std::string MarchElement::str() const {
+  if (is_pause()) return "Del";
+  std::string out = to_string(direction) + "(";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i) out += ',';
+    out += to_string(ops[i]);
+  }
+  out += ')';
+  return out;
+}
+
+MarchTest::MarchTest(std::string name, std::vector<MarchElement> elements)
+    : name_(std::move(name)), elements_(std::move(elements)) {
+  SRAMLP_REQUIRE(!elements_.empty(), "March test needs at least one element");
+  for (const auto& e : elements_) e.validate();
+}
+
+MarchStats MarchTest::stats() const {
+  // Delay elements are not operations and are not counted (the paper's
+  // Table 1 counts March G without its pauses: 7 elements, 23 ops).
+  MarchStats s;
+  for (const auto& e : elements_) {
+    if (e.is_pause()) continue;
+    ++s.elements;
+    for (Operation op : e.ops) {
+      ++s.operations;
+      if (is_read(op)) ++s.reads;
+      else ++s.writes;
+    }
+  }
+  return s;
+}
+
+power::AlgorithmCounts MarchTest::counts() const {
+  const MarchStats s = stats();
+  return power::AlgorithmCounts{name_, s.elements, s.operations, s.reads,
+                                s.writes};
+}
+
+std::string MarchTest::str() const {
+  std::string out = "{ ";
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (i) out += "; ";
+    out += elements_[i].str();
+  }
+  out += " }";
+  return out;
+}
+
+MarchTest MarchTest::complemented() const {
+  std::vector<MarchElement> flipped = elements_;
+  for (auto& e : flipped)
+    for (auto& op : e.ops) op = complement(op);
+  return MarchTest(name_ + " (inverted background)", std::move(flipped));
+}
+
+}  // namespace sramlp::march

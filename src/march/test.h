@@ -1,0 +1,96 @@
+// March elements and March tests.
+//
+// A March test is a sequence of March elements; each element pairs an
+// address direction with a list of operations applied at every address
+// before the pointer advances (van de Goor's notation):
+//
+//   March C-: { B(w0); U(r0,w1); U(r1,w0); D(r0,w1); D(r1,w0); B(r0) }
+//
+// where U = ascending, D = descending, B = either direction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "march/operation.h"
+#include "power/analytic.h"
+
+namespace sramlp::march {
+
+/// Address direction of one March element.
+enum class Direction {
+  kUp,      ///< ascending address sequence
+  kDown,    ///< descending address sequence
+  kEither,  ///< direction irrelevant for coverage; runs ascending
+};
+
+inline std::string to_string(Direction d) {
+  switch (d) {
+    case Direction::kUp: return "U";
+    case Direction::kDown: return "D";
+    case Direction::kEither: return "B";
+  }
+  throw Error("invalid Direction");
+}
+
+/// Idle cycles a "Del" (delay) element waits for, when none is specified.
+/// Delay elements sensitise data-retention faults (March G's pauses).
+inline constexpr std::size_t kDefaultPauseCycles = 1024;
+
+/// One March element: either a direction plus at least one operation, or a
+/// delay ("Del") element that idles the memory for pause_cycles.
+struct MarchElement {
+  Direction direction = Direction::kEither;
+  std::vector<Operation> ops;
+  /// Non-zero for delay elements (which carry no operations).
+  std::size_t pause_cycles = 0;
+
+  bool is_pause() const { return pause_cycles > 0; }
+
+  void validate() const {
+    if (is_pause())
+      SRAMLP_REQUIRE(ops.empty(), "delay elements carry no operations");
+    else
+      SRAMLP_REQUIRE(!ops.empty(),
+                     "March element needs at least one operation");
+  }
+
+  /// Notation, e.g. "U(r0,w1)" or "Del".
+  std::string str() const;
+};
+
+/// Aggregate operation counts (the columns of the paper's Table 1).
+struct MarchStats {
+  int elements = 0;
+  int operations = 0;
+  int reads = 0;
+  int writes = 0;
+};
+
+/// A complete March algorithm.
+class MarchTest {
+ public:
+  MarchTest(std::string name, std::vector<MarchElement> elements);
+
+  const std::string& name() const { return name_; }
+  const std::vector<MarchElement>& elements() const { return elements_; }
+
+  MarchStats stats() const;
+
+  /// Stats packaged for the power model.
+  power::AlgorithmCounts counts() const;
+
+  /// Full notation, e.g. "{ B(w0); U(r0,w1); ... }".
+  std::string str() const;
+
+  /// The same test with every operation's data value complemented —
+  /// March DOF: the data background may be inverted without affecting
+  /// coverage of data-independent faults.
+  MarchTest complemented() const;
+
+ private:
+  std::string name_;
+  std::vector<MarchElement> elements_;
+};
+
+}  // namespace sramlp::march

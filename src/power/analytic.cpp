@@ -1,0 +1,146 @@
+#include "power/analytic.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sramlp::power {
+
+void AlgorithmCounts::validate() const {
+  SRAMLP_REQUIRE(elements > 0, "algorithm needs at least one element");
+  SRAMLP_REQUIRE(operations > 0, "algorithm needs at least one operation");
+  SRAMLP_REQUIRE(reads >= 0 && writes >= 0, "negative op counts");
+  SRAMLP_REQUIRE(reads + writes == operations,
+                 "reads + writes must equal operations");
+}
+
+namespace {
+
+std::size_t address_bits(std::size_t words) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < words) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+AnalyticModel::AnalyticModel(const TechnologyParams& tech, std::size_t rows,
+                             std::size_t cols, std::size_t word_width)
+    : tech_(tech), rows_(rows), cols_(cols), word_width_(word_width) {
+  tech_.validate();
+  SRAMLP_REQUIRE(rows_ >= 1 && cols_ >= 1, "empty array");
+  SRAMLP_REQUIRE(word_width_ >= 1, "word width must be at least 1");
+  SRAMLP_REQUIRE(cols_ % word_width_ == 0,
+                 "columns must divide evenly into words");
+  SRAMLP_REQUIRE(cols_ >= 2 * word_width_,
+                 "LP test mode needs at least two word groups per row");
+}
+
+double AnalyticModel::peripheral_per_cycle() const {
+  const std::size_t words = rows_ * (cols_ / word_width_);
+  const double bits = static_cast<double>(address_bits(words));
+  return tech_.e_wordline(cols_) +
+         bits * (tech_.e_decoder_per_address_bit +
+                 tech_.e_addressbus_per_bit) +
+         tech_.e_clock_tree + tech_.e_control_base;
+}
+
+double AnalyticModel::pr() const {
+  const double w = static_cast<double>(word_width_);
+  // Unselected columns of the active row: pre-charge fight plus the tiny
+  // dynamic disturbance of the stressed cells themselves.
+  const double background =
+      static_cast<double>(cols_ - word_width_) *
+      (p_a() + tech_.e_cell_res_dynamic());
+  return peripheral_per_cycle() +
+         w * (tech_.e_sense_amp_per_bit + tech_.e_data_io_per_bit +
+              tech_.e_read_restore() + tech_.e_cell_res_dynamic()) +
+         background;
+}
+
+double AnalyticModel::pw() const {
+  const double w = static_cast<double>(word_width_);
+  const double background =
+      static_cast<double>(cols_ - word_width_) *
+      (p_a() + tech_.e_cell_res_dynamic());
+  return peripheral_per_cycle() +
+         w * (tech_.e_write_driver_per_bit + tech_.e_data_io_per_bit +
+              tech_.e_write_restore()) +
+         background;
+}
+
+double AnalyticModel::pf(const AlgorithmCounts& counts) const {
+  counts.validate();
+  return (static_cast<double>(counts.reads) * pr() +
+          static_cast<double>(counts.writes) * pw()) /
+         static_cast<double>(counts.operations);
+}
+
+double AnalyticModel::plpt_paper(const AlgorithmCounts& counts) const {
+  counts.validate();
+  const double saving =
+      static_cast<double>(cols_ - 2 * word_width_) * p_a() -
+      (static_cast<double>(counts.elements) /
+       static_cast<double>(counts.operations)) *
+          p_b();
+  return pf(counts) - saving;
+}
+
+double AnalyticModel::row_transition_period_cycles(int ops_per_element) const {
+  SRAMLP_REQUIRE(ops_per_element > 0, "element needs operations");
+  return static_cast<double>(ops_per_element) *
+         static_cast<double>(cols_ / word_width_);
+}
+
+double AnalyticModel::row_transition_rate(
+    const AlgorithmCounts& counts) const {
+  counts.validate();
+  // Per element e: rows transitions over rows * (cols/w) * ops_e cycles.
+  // Aggregated over the test: #elm / ((cols/w) * #ops).
+  return static_cast<double>(counts.elements) /
+         (static_cast<double>(cols_ / word_width_) *
+          static_cast<double>(counts.operations));
+}
+
+double AnalyticModel::plpt(const AlgorithmCounts& counts) const {
+  counts.validate();
+  const double rate = row_transition_rate(counts);
+  const double w = static_cast<double>(word_width_);
+  const double elm_per_op = static_cast<double>(counts.elements) /
+                            static_cast<double>(counts.operations);
+
+  // Removed: background RES on all but the selected and follower groups.
+  const double removed =
+      static_cast<double>(cols_ - 2 * word_width_) * p_a();
+
+  // Added back, per cycle:
+  //  * row-transition restore — one near-full bit-line recharge per column,
+  //    once per transition: rate * cols * P_B = (#elm/#ops) * w * P_B,
+  const double row_restore = rate * static_cast<double>(cols_) * p_b();
+  //  * the follower group's pre-charge recharging its decayed bit-lines,
+  //    once per address advance (advances happen at the same aggregate rate
+  //    #elm/#ops as the paper's transition bookkeeping),
+  const double follower_recharge = elm_per_op * w * p_b();
+  //  * one LPtest line charge+discharge per transition,
+  const double lptest = rate * tech_.e_lptest_driver(cols_);
+  //  * background RES during the single functional restore cycle,
+  const double restore_cycle_res =
+      rate * static_cast<double>(cols_ - word_width_) * p_a();
+  //  * one control element switching per column-group advance.
+  const double ctrl = w * tech_.e_control_element_switch();
+
+  return pf(counts) - removed + row_restore + follower_recharge + lptest +
+         restore_cycle_res + ctrl;
+}
+
+double AnalyticModel::prr_paper(const AlgorithmCounts& counts) const {
+  const double f = pf(counts);
+  return f > 0.0 ? 1.0 - plpt_paper(counts) / f : 0.0;
+}
+
+double AnalyticModel::prr(const AlgorithmCounts& counts) const {
+  const double f = pf(counts);
+  return f > 0.0 ? 1.0 - plpt(counts) / f : 0.0;
+}
+
+}  // namespace sramlp::power

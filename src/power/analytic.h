@@ -1,0 +1,102 @@
+// The paper's §5 closed-form power model.
+//
+// Implements, symbol for symbol:
+//
+//   PF   = (#read * Pr + #write * Pw) / #operations
+//   PLPT = PF - [ (#col - 2) * P_A  -  (#elm / #operations) * P_B ]
+//   PRR  = 1 - PLPT / PF
+//   F(row transition) = 1 / (#March-element-operations * #memory-columns)
+//
+// plus a refined variant that also carries the second-order terms the paper
+// argues are negligible (LPtest line driver, the full-array RES during the
+// one functional restore cycle, control-element switching), so the benches
+// can show that they are indeed negligible.  The same per-event energies
+// feed the cycle-accurate simulator, and an integration test checks that
+// the two agree.
+//
+// The model is generalised over the word width w (paper §6 future work,
+// word-oriented memories): a word access activates w columns, the LP mode
+// pre-charges 2w columns, and the saving becomes (#col - 2w) * P_A.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "power/technology.h"
+
+namespace sramlp::power {
+
+/// March-algorithm statistics consumed by the model (the columns of the
+/// paper's Table 1).  reads + writes must equal operations.
+struct AlgorithmCounts {
+  std::string name;
+  int elements = 0;    ///< #elm  — March elements
+  int operations = 0;  ///< #oper — total operations over all elements
+  int reads = 0;       ///< #read
+  int writes = 0;      ///< #write
+
+  void validate() const;
+};
+
+/// Closed-form evaluation of PF / PLPT / PRR for one array organisation.
+class AnalyticModel {
+ public:
+  /// @param word_width columns activated per access (1 = bit-oriented).
+  AnalyticModel(const TechnologyParams& tech, std::size_t rows,
+                std::size_t cols, std::size_t word_width = 1);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t word_width() const { return word_width_; }
+  const TechnologyParams& tech() const { return tech_; }
+
+  /// Paper P_A: supply energy of one pre-charge circuit feeding one RES for
+  /// one cycle [J/cycle].
+  double p_a() const { return tech_.e_res_fight_per_cycle(); }
+
+  /// Paper P_B: energy of one column restoration at a row transition [J].
+  /// One of the two bit-lines of each column has been driven to ~0 by the
+  /// indirectly-selected cells ("half of all the bit lines in the array"),
+  /// so restoring a column costs one full-rail recharge: C_BL * VDD^2.
+  /// With the transition rate #elm/(#ops * #cols), the amortised per-cycle
+  /// cost is exactly the paper's (#elm/#ops) * P_B term.
+  double p_b() const { return tech_.e_write_restore(); }
+
+  /// Periphery active every cycle regardless of operation type [J/cycle].
+  double peripheral_per_cycle() const;
+
+  /// Energy of one read / write cycle in functional test mode, including
+  /// the (cols - w) background RES columns [J].
+  double pr() const;
+  double pw() const;
+
+  /// Average functional-test-mode energy per cycle for an algorithm [J].
+  double pf(const AlgorithmCounts& counts) const;
+
+  /// PLPT using the paper's formula verbatim.
+  double plpt_paper(const AlgorithmCounts& counts) const;
+
+  /// PLPT including the second-order terms (LPtest driver, restore-cycle
+  /// background RES, control-element switching).
+  double plpt(const AlgorithmCounts& counts) const;
+
+  /// Power Reduction Ratio 1 - PLPT/PF for each variant.
+  double prr_paper(const AlgorithmCounts& counts) const;
+  double prr(const AlgorithmCounts& counts) const;
+
+  /// Mean cycles between row transitions: #operations * (#cols / w) /
+  /// #elements-weighted — the paper's examples: 512 cycles for a one-op
+  /// element, 2048 for a four-op element (512 columns, w = 1).
+  double row_transition_period_cycles(int ops_per_element) const;
+
+  /// Row-transition rate for a whole algorithm [transitions/cycle].
+  double row_transition_rate(const AlgorithmCounts& counts) const;
+
+ private:
+  TechnologyParams tech_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t word_width_;
+};
+
+}  // namespace sramlp::power

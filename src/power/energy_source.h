@@ -1,0 +1,88 @@
+// Taxonomy of energy sinks tracked by the cycle-accurate simulator.
+//
+// The paper's §5 identifies five test-mode power sources:
+//   1. pre-charge circuits (RES fight on unselected columns)   -> kPrechargeResFight
+//   2. array row transition (restore at VDD)                   -> kRowTransitionRestore
+//   3. driver of signal LPtest                                 -> kLpTestDriver
+//   4. Read Equivalent Stress consumption in the cells         -> kCellRes (+ kBitlineDecayStress)
+//   5. modified pre-charge control logic                       -> kControlLogic
+// plus the per-operation energies that make up Pr and Pw.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace sramlp::power {
+
+/// Every distinct sink the EnergyMeter can attribute energy to.
+enum class EnergySource : std::size_t {
+  // --- pre-charge related (the activity the paper reduces) ---
+  kPrechargeResFight,      ///< supply current through pre-charge keepers
+                           ///< feeding RES on unselected columns (paper P_A)
+  kPrechargeRestoreRead,   ///< selected-column bit-line restore after a read
+  kPrechargeRestoreWrite,  ///< selected-column bit-line restore after a write
+  kPrechargeNextColumn,    ///< recharge of the follower column's decayed
+                           ///< bit-lines by its one-cycle pre-charge (LP mode)
+  kRowTransitionRestore,   ///< all-column restore cycle at row hand-over
+                           ///< (paper P_B, LP mode only)
+  // --- cell-side stress bookkeeping ---
+  kCellRes,                ///< dynamic energy of cell internal nodes under RES
+                           ///< (paper: ~3 orders below the pre-charge share)
+  kBitlineDecayStress,     ///< stress dissipated in cells while a floating
+                           ///< bit-line discharges (LP mode). NOT drawn from
+                           ///< the supply: it spends charge already stored on
+                           ///< the bit-line capacitance.
+  // --- mode-control overhead (LP mode only) ---
+  kLpTestDriver,           ///< LPtest signal line (word-line-equivalent load)
+  kControlLogic,           ///< modified pre-charge control element switching
+  // --- per-operation periphery (present in both modes) ---
+  kWordline,               ///< word-line swing
+  kDecoder,                ///< row/column decoders
+  kAddressBus,             ///< address buffers and bus
+  kClockTree,              ///< clock distribution
+  kMemoryControl,          ///< the memory's normal control FSM
+  kSenseAmp,               ///< read sensing
+  kWriteDriver,            ///< write drivers
+  kDataIo,                 ///< data multiplexers and I/O
+  kCount                   ///< number of sources (not a source)
+};
+
+inline constexpr std::size_t kEnergySourceCount =
+    static_cast<std::size_t>(EnergySource::kCount);
+
+/// Static properties of a source, used for reporting.
+struct EnergySourceInfo {
+  const char* name;
+  bool supply_drawn;       ///< counts toward supply energy (test power)
+  bool precharge_related;  ///< part of the activity the paper targets
+};
+
+/// Lookup table indexed by EnergySource.
+constexpr std::array<EnergySourceInfo, kEnergySourceCount>
+    kEnergySourceInfo{{
+        {"precharge RES fight (P_A)", true, true},
+        {"precharge restore after read", true, true},
+        {"precharge restore after write", true, true},
+        {"next-column precharge recharge", true, true},
+        {"row-transition restore (P_B)", true, true},
+        {"cell RES dynamic", true, false},
+        {"bit-line decay stress (stored charge)", false, false},
+        {"LPtest line driver", true, false},
+        {"modified pre-charge control logic", true, false},
+        {"word-line swing", true, false},
+        {"decoders", true, false},
+        {"address bus", true, false},
+        {"clock tree", true, false},
+        {"memory control FSM", true, false},
+        {"sense amplifiers", true, false},
+        {"write drivers", true, false},
+        {"data I/O", true, false},
+    }};
+
+constexpr const EnergySourceInfo& info(EnergySource s) {
+  return kEnergySourceInfo[static_cast<std::size_t>(s)];
+}
+
+constexpr const char* to_string(EnergySource s) { return info(s).name; }
+
+}  // namespace sramlp::power

@@ -1,0 +1,57 @@
+#include "power/meter.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sramlp::power {
+
+void EnergyMeter::add(EnergySource source, double joules) {
+  SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
+  SRAMLP_REQUIRE(joules >= 0.0, "energy contributions must be non-negative");
+  totals_[static_cast<std::size_t>(source)] += joules;
+}
+
+double EnergyMeter::supply_total() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kEnergySourceCount; ++i)
+    if (kEnergySourceInfo[i].supply_drawn) total += totals_[i];
+  return total;
+}
+
+double EnergyMeter::precharge_total() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kEnergySourceCount; ++i)
+    if (kEnergySourceInfo[i].supply_drawn &&
+        kEnergySourceInfo[i].precharge_related)
+      total += totals_[i];
+  return total;
+}
+
+double EnergyMeter::supply_per_cycle() const {
+  return cycles_ == 0 ? 0.0
+                      : supply_total() / static_cast<double>(cycles_);
+}
+
+std::vector<BreakdownEntry> EnergyMeter::breakdown() const {
+  const double supply = supply_total();
+  std::vector<BreakdownEntry> entries;
+  for (std::size_t i = 0; i < kEnergySourceCount; ++i) {
+    if (totals_[i] <= 0.0) continue;
+    const bool drawn = kEnergySourceInfo[i].supply_drawn;
+    entries.push_back({static_cast<EnergySource>(i), totals_[i],
+                       (drawn && supply > 0.0) ? totals_[i] / supply : 0.0});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BreakdownEntry& a, const BreakdownEntry& b) {
+              return a.energy_j > b.energy_j;
+            });
+  return entries;
+}
+
+void EnergyMeter::reset() {
+  totals_.fill(0.0);
+  cycles_ = 0;
+}
+
+}  // namespace sramlp::power

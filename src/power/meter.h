@@ -1,0 +1,62 @@
+// Per-source energy accounting for the cycle simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/energy_source.h"
+
+namespace sramlp::power {
+
+/// One line of a breakdown report.
+struct BreakdownEntry {
+  EnergySource source;
+  double energy_j;
+  double share;  ///< fraction of supply energy (0 for non-supply sinks)
+};
+
+/// Accumulates energy per source and counts clock cycles.
+///
+/// "Supply energy" is what the paper's PF / PLPT measure: everything drawn
+/// from VDD.  Bit-line decay stress is tracked too (for the α analysis and
+/// Fig. 6b) but spends charge that the supply already paid for at pre-charge
+/// time, so it is excluded from supply totals.
+class EnergyMeter {
+ public:
+  /// Attribute @p joules to @p source. Negative amounts are rejected.
+  void add(EnergySource source, double joules);
+
+  /// Advance the cycle counter (call once per simulated clock cycle).
+  void tick_cycle() { ++cycles_; }
+
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Total energy attributed to one source.
+  double total(EnergySource source) const {
+    return totals_[static_cast<std::size_t>(source)];
+  }
+
+  /// Total energy drawn from the supply (all supply_drawn sources).
+  double supply_total() const;
+
+  /// Supply energy attributed to pre-charge-related sources only.
+  double precharge_total() const;
+
+  /// Average supply energy per clock cycle; 0 when no cycle elapsed.
+  double supply_per_cycle() const;
+
+  /// Per-source report, largest supply share first; zero-energy sources
+  /// are omitted.
+  std::vector<BreakdownEntry> breakdown() const;
+
+  /// Reset all totals and the cycle count.
+  void reset();
+
+ private:
+  std::array<double, kEnergySourceCount> totals_{};
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace sramlp::power

@@ -1,0 +1,56 @@
+#include "power/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sramlp::power {
+
+namespace {
+
+double per_cycle(const EnergyMeter& meter, double energy) {
+  return meter.cycles() == 0
+             ? 0.0
+             : energy / static_cast<double>(meter.cycles());
+}
+
+}  // namespace
+
+std::string to_csv(const EnergyMeter& meter) {
+  std::ostringstream out;
+  out << "source,energy_j,energy_per_cycle_j,share,supply_drawn\n";
+  out.precision(9);
+  for (const auto& entry : meter.breakdown()) {
+    const auto& meta = info(entry.source);
+    out << '"' << meta.name << "\"," << std::scientific << entry.energy_j
+        << ',' << per_cycle(meter, entry.energy_j) << ',' << std::fixed
+        << entry.share << ',' << (meta.supply_drawn ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+std::string to_markdown(const EnergyMeter& meter) {
+  std::string out = "| source | pJ/cycle | share |\n|---|---|---|\n";
+  char buf[160];
+  for (const auto& entry : meter.breakdown()) {
+    const auto& meta = info(entry.source);
+    std::snprintf(buf, sizeof buf, "| %s | %.4f | %.1f %% |\n", meta.name,
+                  per_cycle(meter, entry.energy_j) * 1e12,
+                  meta.supply_drawn ? entry.share * 100.0 : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string summary_line(const EnergyMeter& meter) {
+  char buf[160];
+  const double supply = meter.supply_total();
+  const double share =
+      supply > 0.0 ? meter.precharge_total() / supply * 100.0 : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "%.2f pJ/cycle over %llu cycles (%.1f %% pre-charge-related)",
+                meter.supply_per_cycle() * 1e12,
+                static_cast<unsigned long long>(meter.cycles()), share);
+  return buf;
+}
+
+}  // namespace sramlp::power

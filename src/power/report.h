@@ -1,0 +1,22 @@
+// Export helpers for energy measurements: CSV and markdown renderings of
+// an EnergyMeter's per-source breakdown, used by benches and by downstream
+// tooling that wants machine-readable results.
+#pragma once
+
+#include <string>
+
+#include "power/meter.h"
+
+namespace sramlp::power {
+
+/// "source,energy_j,energy_per_cycle_j,share,supply_drawn" rows, one per
+/// non-zero source, ordered by energy (largest first).
+std::string to_csv(const EnergyMeter& meter);
+
+/// GitHub-flavoured markdown table of the breakdown, energies in pJ/cycle.
+std::string to_markdown(const EnergyMeter& meter);
+
+/// One-line summary: "NN.NN pJ/cycle over C cycles (P% pre-charge-related)".
+std::string summary_line(const EnergyMeter& meter);
+
+}  // namespace sramlp::power

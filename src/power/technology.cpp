@@ -1,0 +1,31 @@
+#include "power/technology.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sramlp::power {
+
+double TechnologyParams::decayed_voltage(double v0, double cycles) const {
+  SRAMLP_REQUIRE(cycles >= 0.0, "cannot decay backwards in time");
+  return v0 * std::exp(-cycles / decay_tau_cycles);
+}
+
+double TechnologyParams::cycles_to_discharge() const {
+  return -decay_tau_cycles * std::log(discharged_threshold);
+}
+
+void TechnologyParams::validate() const {
+  SRAMLP_REQUIRE(vdd > 0.0, "vdd must be positive");
+  SRAMLP_REQUIRE(clock_period > 0.0, "clock period must be positive");
+  SRAMLP_REQUIRE(c_bitline > 0.0 && c_cellnode > 0.0,
+                 "capacitances must be positive");
+  SRAMLP_REQUIRE(read_swing > 0.0 && read_swing < vdd,
+                 "read swing must lie inside the rail");
+  SRAMLP_REQUIRE(res_fight_current > 0.0, "fight current must be positive");
+  SRAMLP_REQUIRE(decay_tau_cycles > 0.0, "decay constant must be positive");
+  SRAMLP_REQUIRE(discharged_threshold > 0.0 && discharged_threshold < 1.0,
+                 "threshold must be a fraction of VDD");
+}
+
+}  // namespace sramlp::power

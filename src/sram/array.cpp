@@ -1,0 +1,448 @@
+#include "sram/array.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sramlp::sram {
+
+using power::EnergySource;
+
+double ArrayStats::alpha_post_op() const {
+  if (cycles == 0) return 0.0;
+  return (static_cast<double>(full_res_column_cycles) +
+          decay_stress_equiv_post_op) /
+         static_cast<double>(cycles);
+}
+
+double ArrayStats::alpha_total() const {
+  if (cycles == 0) return 0.0;
+  return alpha_post_op() +
+         decay_stress_equiv_pre_op / static_cast<double>(cycles);
+}
+
+SramArray::SramArray(const SramConfig& config)
+    : config_(config), cells_(config.geometry) {
+  config_.geometry.validate();
+  config_.tech.validate();
+  SRAMLP_REQUIRE(config_.wordline_duty > 0.0 && config_.wordline_duty <= 1.0,
+                 "word-line duty must be in (0, 1]");
+  SRAMLP_REQUIRE(config_.swap_threshold_frac > 0.0 &&
+                     config_.swap_threshold_frac < 1.0,
+                 "swap threshold must be a fraction of VDD");
+  const double vdd = config_.tech.vdd;
+  columns_.assign(config_.geometry.cols, ColumnState{vdd, vdd, 0, false,
+                                                     false});
+  precharge_active_.assign(config_.geometry.cols,
+                           config_.mode == Mode::kFunctional);
+  sensitive_by_row_.assign(config_.geometry.rows, {});
+}
+
+void SramArray::set_mode(Mode mode) {
+  config_.mode = mode;
+  const double vdd = config_.tech.vdd;
+  for (auto& s : columns_) s = ColumnState{vdd, vdd, cycle_, false, false};
+  precharge_active_.assign(config_.geometry.cols, mode == Mode::kFunctional);
+  active_row_.reset();
+  last_col_group_.reset();
+  restored_last_cycle_ = false;
+}
+
+void SramArray::attach_fault_model(CellFaultModel* model) {
+  faults_ = model;
+  sensitive_by_row_.assign(config_.geometry.rows, {});
+  if (faults_ == nullptr) return;
+  faults_->on_attach(*this);
+  for (const CellCoord& cell : faults_->res_sensitive_cells()) {
+    SRAMLP_REQUIRE(cell.row < config_.geometry.rows &&
+                       cell.col < config_.geometry.cols,
+                   "RES-sensitive cell outside the array");
+    sensitive_by_row_[cell.row].push_back(cell.col);
+  }
+}
+
+void SramArray::reset_measurements() {
+  meter_.reset();
+  stats_ = ArrayStats{};
+}
+
+double SramArray::decayed(double v, std::uint64_t from_cycle) const {
+  if (from_cycle >= cycle_) return v;  // decay starts at `from_cycle`
+  const double elapsed =
+      static_cast<double>(cycle_ - from_cycle) * config_.wordline_duty;
+  return v * std::exp(-elapsed / config_.tech.decay_tau_cycles);
+}
+
+void SramArray::evaluate(const ColumnState& s, std::size_t col, double* v_bl,
+                         double* v_blb) const {
+  *v_bl = s.v_bl;
+  *v_blb = s.v_blb;
+  if (!s.connected || !active_row_) return;
+  // The cell of the active row drives its '0'-side node's bit-line low.
+  // Paper Fig. 5 convention: storing '1' means node S (on BL) is at 0 V,
+  // so a '1' cell discharges BL and a '0' cell discharges BLB.
+  const bool value = cells_.get(*active_row_, col);
+  if (value)
+    *v_bl = decayed(s.v_bl, s.since);
+  else
+    *v_blb = decayed(s.v_blb, s.since);
+}
+
+void SramArray::settle(std::size_t col) {
+  ColumnState& s = columns_[col];
+  double v_bl = s.v_bl;
+  double v_blb = s.v_blb;
+  evaluate(s, col, &v_bl, &v_blb);
+  if (s.connected) {
+    // Energy the cell dissipated draining the bit-line: comes from the
+    // charge stored on C_BL, not from the supply.
+    const double c = config_.tech.c_bitline;
+    const double stress_j = 0.5 * c *
+                            ((s.v_bl * s.v_bl - v_bl * v_bl) +
+                             (s.v_blb * s.v_blb - v_blb * v_blb));
+    if (stress_j > 0.0) meter_.add(EnergySource::kBitlineDecayStress, stress_j);
+    // Stress expressed in full-RES column-cycle equivalents:
+    // integral of v/VDD over connected cycles = (tau/duty) * dv / VDD.
+    const double dv = (s.v_bl - v_bl) + (s.v_blb - v_blb);
+    const double equiv = (config_.tech.decay_tau_cycles /
+                          config_.wordline_duty) *
+                         dv / config_.tech.vdd;
+    if (s.pre_op_phase)
+      stats_.decay_stress_equiv_pre_op += equiv;
+    else
+      stats_.decay_stress_equiv_post_op += equiv;
+    // Deliver decaying-stress notifications to sensitive cells of the
+    // active row in this column.
+    if (faults_ != nullptr && active_row_) {
+      for (std::size_t sensitive_col : sensitive_by_row_[*active_row_]) {
+        if (sensitive_col != col) continue;
+        const double low0 = std::min(s.v_bl, s.v_blb);
+        const std::uint64_t elapsed =
+            cycle_ > s.since ? cycle_ - s.since : 0;
+        for (std::uint64_t step = 0; step < elapsed; ++step) {
+          // Stress at `step` connected cycles after the capture point;
+          // decays monotonically, so stop once it drops below 1 %.
+          const double frac = decayed(low0, cycle_ - step) / config_.tech.vdd;
+          if (frac <= 0.01) break;
+          faults_->on_res(*this, {*active_row_, col}, frac);
+        }
+      }
+    }
+  }
+  s.v_bl = v_bl;
+  s.v_blb = v_blb;
+  // A decay scheduled to start in the future keeps its start stamp.
+  if (s.since < cycle_) s.since = cycle_;
+}
+
+void SramArray::recharge(std::size_t col, EnergySource source) {
+  settle(col);
+  ColumnState& s = columns_[col];
+  const double vdd = config_.tech.vdd;
+  const double dv = (vdd - s.v_bl) + (vdd - s.v_blb);
+  if (dv > 0.0) meter_.add(source, config_.tech.c_bitline * vdd * dv);
+  s.v_bl = vdd;
+  s.v_blb = vdd;
+  s.connected = false;
+  s.pre_op_phase = false;
+  s.since = cycle_;
+}
+
+void SramArray::begin_decay(std::size_t col, bool pre_op) {
+  ColumnState& s = columns_[col];
+  const double vdd = config_.tech.vdd;
+  s.v_bl = vdd;
+  s.v_blb = vdd;
+  s.connected = true;
+  s.pre_op_phase = pre_op;
+  // Post-operation decay only starts once the restore phase has returned
+  // the bit-lines to VDD, i.e. from the next cycle onward.
+  s.since = pre_op ? cycle_ : cycle_ + 1;
+}
+
+std::uint32_t SramArray::enter_row(std::size_t row) {
+  std::uint32_t swaps = 0;
+  const bool had_row = active_row_.has_value();
+  const bool lp = config_.mode == Mode::kLowPowerTest;
+  if (lp) {
+    const double vdd = config_.tech.vdd;
+    const double threshold = config_.swap_threshold_frac * vdd;
+    for (std::size_t col = 0; col < config_.geometry.cols; ++col) {
+      // Settle under the OLD row first: the decay so far was driven by the
+      // previous row's cell.
+      settle(col);
+      ColumnState& s = columns_[col];
+      if (s.connected && !restored_last_cycle_) {
+        // The bit-line pair may overpower the newly connected cell
+        // (C_BL >> C_cellnode): a discharged line forces its side to 0.
+        const bool bl_low = s.v_bl <= threshold;
+        const bool blb_low = s.v_blb <= threshold;
+        if (bl_low != blb_low) {
+          // BL low  => implied stored value '1' (Fig. 5 convention);
+          // BLB low => implied stored value '0'.
+          const bool implied = bl_low;
+          const bool stored = cells_.get(row, col);
+          if (stored != implied) {
+            cells_.set(row, col, implied);
+            ++swaps;
+          }
+        }
+      }
+    }
+  }
+  active_row_ = row;
+  if (lp) {
+    // Every column of the new row is connected (common word line) with its
+    // pre-charge off until selected: fresh pre-operation decay phase.
+    for (std::size_t col = 0; col < config_.geometry.cols; ++col) {
+      ColumnState& s = columns_[col];
+      if (!s.connected) {
+        // Pre-charged columns start a fresh decay from VDD.
+        begin_decay(col, /*pre_op=*/true);
+      } else {
+        // Already-decayed columns keep their voltages, now driven by the
+        // new row's cell (settled above); re-stamp the phase.
+        s.pre_op_phase = true;
+        s.since = cycle_;
+      }
+    }
+  }
+  if (had_row) ++stats_.row_transitions;
+  return swaps;
+}
+
+void SramArray::apply_full_res(std::size_t row, std::size_t col) {
+  meter_.add(EnergySource::kPrechargeResFight,
+             config_.tech.e_res_fight_per_cycle());
+  meter_.add(EnergySource::kCellRes, config_.tech.e_cell_res_dynamic());
+  ++stats_.full_res_column_cycles;
+  if (faults_ != nullptr) {
+    for (std::size_t sensitive_col : sensitive_by_row_[row]) {
+      if (sensitive_col == col) faults_->on_res(*this, {row, col}, 1.0);
+    }
+  }
+}
+
+void SramArray::charge_peripheral(const CycleCommand& command) {
+  (void)command;
+  const auto& t = config_.tech;
+  const auto bits = static_cast<double>(config_.geometry.address_bits());
+  meter_.add(EnergySource::kWordline, t.e_wordline(config_.geometry.cols));
+  meter_.add(EnergySource::kDecoder, bits * t.e_decoder_per_address_bit);
+  meter_.add(EnergySource::kAddressBus, bits * t.e_addressbus_per_bit);
+  meter_.add(EnergySource::kClockTree, t.e_clock_tree);
+  meter_.add(EnergySource::kMemoryControl, t.e_control_base);
+}
+
+CycleResult SramArray::execute_op(const CycleCommand& command) {
+  CycleResult result;
+  const auto& t = config_.tech;
+  const std::size_t w = config_.geometry.word_width;
+  const std::size_t first_col = command.col_group * w;
+
+  for (std::size_t b = 0; b < w; ++b) {
+    const std::size_t col = first_col + b;
+    // The selected column was pre-charged by the follower mechanism (or is
+    // permanently pre-charged in functional mode); fold in any residual
+    // decay before the operation drives the bit-lines.  Back-to-back
+    // operations on the same column (multi-op March elements) are exempt:
+    // the intervening bit-line movement is the operation's own swing,
+    // already paid for by the read/write restore energy.
+    ColumnState& s = columns_[col];
+    if (s.connected && cycle_ - s.since <= 1 &&
+        s.v_bl >= t.vdd - 1e-3 && s.v_blb >= t.vdd - 1e-3) {
+      s.v_bl = t.vdd;
+      s.v_blb = t.vdd;
+      s.connected = false;
+      s.pre_op_phase = false;
+      s.since = cycle_;
+    } else {
+      recharge(col, EnergySource::kPrechargeNextColumn);
+    }
+
+    const CellCoord cell{command.row, col};
+    const bool stored = cells_.get(cell.row, cell.col);
+    // The command carries the *logical* March data bit; the data
+    // background maps it to the physical cell value.
+    const bool physical =
+        command.background.physical(command.value, cell.row, cell.col);
+    if (command.is_read) {
+      bool stored_after = stored;
+      bool sensed = stored;
+      if (faults_ != nullptr)
+        sensed = faults_->read_result(cell, stored, &stored_after);
+      if (stored_after != stored) cells_.set(cell.row, cell.col, stored_after);
+      result.read_value = sensed;
+      if (sensed != physical) result.mismatch = true;
+      meter_.add(EnergySource::kSenseAmp, t.e_sense_amp_per_bit);
+      meter_.add(EnergySource::kDataIo, t.e_data_io_per_bit);
+      meter_.add(EnergySource::kPrechargeRestoreRead, t.e_read_restore());
+      meter_.add(EnergySource::kCellRes, t.e_cell_res_dynamic());
+    } else {
+      bool effective = physical;
+      if (faults_ != nullptr)
+        effective = faults_->write_result(cell, stored, physical);
+      cells_.set(cell.row, cell.col, effective);
+      if (faults_ != nullptr)
+        faults_->after_write(*this, cell, stored, effective);
+      meter_.add(EnergySource::kWriteDriver, t.e_write_driver_per_bit);
+      meter_.add(EnergySource::kDataIo, t.e_data_io_per_bit);
+      meter_.add(EnergySource::kPrechargeRestoreWrite, t.e_write_restore());
+    }
+  }
+  if (command.is_read)
+    ++stats_.reads;
+  else
+    ++stats_.writes;
+  if (result.mismatch) ++stats_.read_mismatches;
+  return result;
+}
+
+CycleResult SramArray::cycle(const CycleCommand& command) {
+  const Geometry& g = config_.geometry;
+  SRAMLP_REQUIRE(command.row < g.rows, "row out of range");
+  SRAMLP_REQUIRE(command.col_group < g.col_groups(), "column out of range");
+
+  CycleResult result;
+  const bool lp = config_.mode == Mode::kLowPowerTest;
+  const std::size_t w = g.word_width;
+  const std::size_t first_col = command.col_group * w;
+
+  // Row hand-over bookkeeping (swap hazard in LP mode without restore).
+  if (!active_row_ || *active_row_ != command.row)
+    result.faulty_swaps = enter_row(command.row);
+  stats_.faulty_swaps += result.faulty_swaps;
+
+  charge_peripheral(command);
+
+  // The operation itself (selected columns).
+  const CycleResult op = execute_op(command);
+  result.read_value = op.read_value;
+  result.mismatch = op.mismatch;
+
+  // Pre-charge activity snapshot for diagnostics (Fig. 4).
+  std::fill(precharge_active_.begin(), precharge_active_.end(), !lp);
+  for (std::size_t b = 0; b < w; ++b)
+    precharge_active_[first_col + b] = true;
+
+  if (!lp) {
+    // Functional mode: every unselected column of the active row fights a
+    // full RES against its live pre-charge circuit, every cycle.
+    const auto others = static_cast<double>(g.cols - w);
+    meter_.add(EnergySource::kPrechargeResFight,
+               others * config_.tech.e_res_fight_per_cycle());
+    meter_.add(EnergySource::kCellRes,
+               others * config_.tech.e_cell_res_dynamic());
+    stats_.full_res_column_cycles += g.cols - w;
+    if (faults_ != nullptr) {
+      for (std::size_t col : sensitive_by_row_[command.row]) {
+        if (col < first_col || col >= first_col + w)
+          faults_->on_res(*this, {command.row, col}, 1.0);
+      }
+    }
+  } else if (command.restore_row_transition) {
+    // One functional cycle: all pre-charge circuits on, restoring every
+    // bit-line to VDD for the next row (paper Fig. 7) and re-exposing all
+    // unselected columns to one full RES.
+    for (std::size_t col = 0; col < g.cols; ++col) {
+      if (col >= first_col && col < first_col + w) continue;
+      recharge(col, EnergySource::kRowTransitionRestore);
+      apply_full_res(command.row, col);
+      precharge_active_[col] = true;
+    }
+    meter_.add(EnergySource::kLpTestDriver,
+               config_.tech.e_lptest_driver(g.cols));
+    ++stats_.restore_cycles;
+  } else {
+    // Steady LP cycle: only the follower group's pre-charge is on (driven
+    // by the previous column's selection signal, Fig. 8).  The last group
+    // of the scan has no follower (its CS line is not wrapped around).
+    const bool ascending = command.scan == Scan::kAscending;
+    const std::size_t groups = g.col_groups();
+    std::optional<std::size_t> follower;
+    if (ascending && command.col_group + 1 < groups)
+      follower = command.col_group + 1;
+    else if (!ascending && command.col_group > 0)
+      follower = command.col_group - 1;
+    if (follower) {
+      for (std::size_t b = 0; b < w; ++b) {
+        const std::size_t col = *follower * w + b;
+        recharge(col, EnergySource::kPrechargeNextColumn);
+        apply_full_res(command.row, col);
+        precharge_active_[col] = true;
+      }
+    }
+    // One control element switches per column-group advance (paper §5.5).
+    if (!last_col_group_ || *last_col_group_ != command.col_group)
+      meter_.add(EnergySource::kControlLogic,
+                 static_cast<double>(w) *
+                     config_.tech.e_control_element_switch());
+  }
+
+  // After the restore phase the selected columns sit at VDD; from the next
+  // cycle on they decay again (WL still strobes this row every cycle).
+  for (std::size_t b = 0; b < w; ++b) {
+    const std::size_t col = first_col + b;
+    if (lp && !command.restore_row_transition)
+      begin_decay(col, /*pre_op=*/false);
+    else {
+      columns_[col].v_bl = config_.tech.vdd;
+      columns_[col].v_blb = config_.tech.vdd;
+      columns_[col].connected = false;
+      columns_[col].since = cycle_;
+    }
+  }
+  if (lp && command.restore_row_transition) {
+    // All columns were restored; they stay pre-charged until the next row
+    // entry re-connects them.
+    for (std::size_t col = 0; col < g.cols; ++col) {
+      columns_[col].connected = false;
+      columns_[col].v_bl = config_.tech.vdd;
+      columns_[col].v_blb = config_.tech.vdd;
+      columns_[col].since = cycle_;
+    }
+  }
+
+  restored_last_cycle_ = lp && command.restore_row_transition;
+  last_col_group_ = command.col_group;
+  ++cycle_;
+  meter_.tick_cycle();
+  ++stats_.cycles;
+  return result;
+}
+
+void SramArray::idle(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  const auto& t = config_.tech;
+  const double n = static_cast<double>(cycles);
+  meter_.add(EnergySource::kClockTree, n * t.e_clock_tree);
+  meter_.add(EnergySource::kMemoryControl, n * t.e_control_base);
+  // Word lines are low during the idle window: connected bit-lines stop
+  // discharging.  Fold the decay accrued so far into the capture points
+  // (clearing the active row below disables further lazy decay until the
+  // next row entry re-stamps the state).
+  for (std::size_t col = 0; col < columns_.size(); ++col)
+    if (columns_[col].connected) settle(col);
+  cycle_ += cycles;
+  for (std::uint64_t i = 0; i < cycles; ++i) meter_.tick_cycle();
+  stats_.cycles += cycles;
+  // No row is active while idling; the next access re-enters its row.
+  active_row_.reset();
+  restored_last_cycle_ = false;
+  if (faults_ != nullptr) faults_->on_idle(*this, cycles);
+}
+
+double SramArray::bitline_low_side_voltage(std::size_t col) const {
+  SRAMLP_REQUIRE(col < config_.geometry.cols, "column out of range");
+  double v_bl = 0.0;
+  double v_blb = 0.0;
+  evaluate(columns_[col], col, &v_bl, &v_blb);
+  return std::min(v_bl, v_blb);
+}
+
+bool SramArray::precharge_was_active(std::size_t col) const {
+  SRAMLP_REQUIRE(col < config_.geometry.cols, "column out of range");
+  return precharge_active_[col];
+}
+
+}  // namespace sramlp::sram

@@ -1,0 +1,215 @@
+// Cycle-accurate SRAM array simulator with per-event energy accounting.
+//
+// The simulator models the paper's two-phase clock cycle (Fig. 2):
+//   * operate phase — word line high; the selected column group's pre-charge
+//     is off and the read/write executes; other columns behave per mode;
+//   * restore phase — word line low; the selected columns' pre-charge
+//     restores their bit-lines to VDD.
+//
+// Functional mode: every column's pre-charge circuit is always on, so all
+// cells sharing the active word line except the selected group suffer a full
+// Read Equivalent Stress each cycle (energy P_A per column per cycle drawn
+// through the pre-charge keepers).
+//
+// Low-power test mode (the paper's contribution): only the selected column
+// group and the group that immediately follows in scan order are pre-charged.
+// Every other bit-line floats and is discharged by the cell it stays
+// connected to (exponential decay, Fig. 6a); the energy dissipated that way
+// comes from charge already stored on the bit-line, not from the supply.
+// The follower group's pre-charge must recharge its decayed bit-lines (the
+// cost of which the simulator meters explicitly) and sustains the single
+// remaining full RES.  On the last operation before a row change the caller
+// raises restore_row_transition, which re-enables every pre-charge circuit
+// for that one cycle (Fig. 7) — omitting it reproduces the faulty-swap
+// mechanism, which the simulator models faithfully.
+//
+// Bit-line voltages are tracked lazily (closed-form exponential decay from
+// the last capture point), so a cycle costs O(word_width) amortised work
+// and full 512x512 March runs complete in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "power/meter.h"
+#include "power/technology.h"
+#include "sram/background.h"
+#include "sram/cell_array.h"
+#include "sram/fault_hooks.h"
+#include "sram/geometry.h"
+
+namespace sramlp::sram {
+
+/// Operating mode (paper §4).
+enum class Mode {
+  kFunctional,    ///< all pre-charge circuits always on
+  kLowPowerTest,  ///< pre-charge restricted to selected + following column
+};
+
+/// Scan direction within a row (which neighbour the controller pre-charges).
+enum class Scan { kAscending, kDescending };
+
+/// Static configuration of one simulated array.
+struct SramConfig {
+  Geometry geometry;
+  power::TechnologyParams tech = power::TechnologyParams::tech_0p13um();
+  Mode mode = Mode::kFunctional;
+  /// Apply the one-cycle functional restore at row transitions (Fig. 7 fix).
+  /// The TestSession honours this; disabling it reproduces faulty swaps.
+  bool row_transition_restore = true;
+  /// Fraction of the cycle the word line stays high (decay advances only
+  /// while cells are connected to their bit-lines).
+  double wordline_duty = 0.5;
+  /// A floating bit-line below this fraction of VDD overpowers an opposing
+  /// cell at row entry (bit-line capacitance >> cell node capacitance).
+  double swap_threshold_frac = 0.5;
+};
+
+/// One clock cycle of work, as issued by the test controller.
+struct CycleCommand {
+  std::size_t row = 0;
+  std::size_t col_group = 0;
+  bool is_read = true;
+  bool value = false;  ///< logical data bit (write data / read expectation)
+  /// Data background mapping logical bits to physical cell values
+  /// (physical = value XOR background(row, col)); defaults to solid 0,
+  /// under which logical and physical coincide.
+  DataBackground background;
+  Scan scan = Scan::kAscending;
+  /// Force functional pre-charge for this cycle (row-transition restore).
+  bool restore_row_transition = false;
+};
+
+/// Outcome of one cycle.
+struct CycleResult {
+  bool read_value = false;   ///< sensed value (reads; last bit for words)
+  bool mismatch = false;     ///< any read bit differed from the expectation
+  std::uint32_t faulty_swaps = 0;  ///< cells flipped by bit-line overpowering
+};
+
+/// Counters accumulated over a run.
+struct ArrayStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_mismatches = 0;
+  std::uint64_t faulty_swaps = 0;
+  std::uint64_t row_transitions = 0;
+  std::uint64_t restore_cycles = 0;
+  /// Column-cycles of full RES (pre-charge fighting a connected cell).
+  std::uint64_t full_res_column_cycles = 0;
+  /// Integrated decaying stress in "full-RES column-cycle" equivalents,
+  /// split by decay phase (the paper's α analysis covers the post-op tail).
+  double decay_stress_equiv_post_op = 0.0;
+  double decay_stress_equiv_pre_op = 0.0;
+
+  /// Average stressed cells per cycle counting the post-operation tail plus
+  /// the follower column — the paper's α (expected inside (2, 10)).
+  double alpha_post_op() const;
+  /// Same including the pre-operation decay the paper's analysis omits.
+  double alpha_total() const;
+};
+
+/// The simulated memory.
+class SramArray {
+ public:
+  explicit SramArray(const SramConfig& config);
+
+  const SramConfig& config() const { return config_; }
+  const Geometry& geometry() const { return config_.geometry; }
+  Mode mode() const { return config_.mode; }
+
+  /// Switch operating mode between runs; resets bit-line state to
+  /// pre-charged (a functional settling period is assumed) but keeps data.
+  void set_mode(Mode mode);
+
+  /// Execute one clock cycle. In low-power test mode the caller must issue
+  /// addresses word-line-after-word-line (the TestSession enforces this).
+  CycleResult cycle(const CycleCommand& command);
+
+  /// Idle for @p cycles clock cycles (March "Del" elements): no access,
+  /// word lines low.  Only the clock tree and the control FSM burn energy;
+  /// floating bit-lines hold their charge (no discharge path with the
+  /// access transistors off).  Retention faults receive on_idle().
+  void idle(std::uint64_t cycles);
+
+  /// Attach (or clear) the behavioural fault model. Non-owning.
+  void attach_fault_model(CellFaultModel* model);
+
+  // --- direct data access (no energy, no hooks, no clocking) -------------
+  bool peek(std::size_t row, std::size_t col) const {
+    return cells_.get(row, col);
+  }
+  void poke(std::size_t row, std::size_t col, bool value) {
+    cells_.set(row, col, value);
+  }
+  /// Fault-model backdoor used by coupling faults to strike victims.
+  void force(CellCoord cell, bool value) {
+    cells_.set(cell.row, cell.col, value);
+  }
+  CellArray& cells() { return cells_; }
+  const CellArray& cells() const { return cells_; }
+
+  const power::EnergyMeter& meter() const { return meter_; }
+  power::EnergyMeter& meter() { return meter_; }
+  const ArrayStats& stats() const { return stats_; }
+
+  /// Average supply energy per cycle so far [J].
+  double energy_per_cycle() const { return meter_.supply_per_cycle(); }
+
+  /// Reset meters and statistics (keeps data and bit-line state).
+  void reset_measurements();
+
+  /// Current voltage of a column's cell-driven bit-line [V] (diagnostics;
+  /// evaluates the lazy decay at the present cycle).
+  double bitline_low_side_voltage(std::size_t col) const;
+
+  /// True if the column's pre-charge circuit is on this cycle (diagnostic
+  /// snapshot of the last executed cycle; Fig. 4 activity map).
+  bool precharge_was_active(std::size_t col) const;
+
+ private:
+  /// Per-column bit-line pair, captured at cycle `since`.
+  struct ColumnState {
+    double v_bl = 0.0;
+    double v_blb = 0.0;
+    std::uint64_t since = 0;
+    bool connected = false;      ///< decaying (WL high, pre-charge off)
+    bool pre_op_phase = false;   ///< decay began at row entry (not post-op)
+  };
+
+  double decayed(double v, std::uint64_t from_cycle) const;
+  /// Current (v_bl, v_blb) of a column, without mutating state.
+  void evaluate(const ColumnState& s, std::size_t col, double* v_bl,
+                double* v_blb) const;
+  /// Fold elapsed decay into the capture point and meter the stress.
+  void settle(std::size_t col);
+  /// Settle, meter the recharge to VDD into @p source, mark pre-charged.
+  void recharge(std::size_t col, power::EnergySource source);
+  /// Mark a column as decaying from VDD starting now.
+  void begin_decay(std::size_t col, bool pre_op);
+  /// Row-entry bookkeeping: swap checks (when unrestored) + fresh decay.
+  std::uint32_t enter_row(std::size_t row);
+  /// Full RES on one column for one cycle (fight energy + hooks).
+  void apply_full_res(std::size_t row, std::size_t col);
+  void charge_peripheral(const CycleCommand& command);
+  CycleResult execute_op(const CycleCommand& command);
+
+  SramConfig config_;
+  CellArray cells_;
+  power::EnergyMeter meter_;
+  ArrayStats stats_;
+  CellFaultModel* faults_ = nullptr;
+  /// Sensitive cells grouped by row (from the fault model).
+  std::vector<std::vector<std::size_t>> sensitive_by_row_;
+
+  std::vector<ColumnState> columns_;
+  std::vector<bool> precharge_active_;  ///< last cycle's activity snapshot
+  std::uint64_t cycle_ = 0;
+  std::optional<std::size_t> active_row_;
+  std::optional<std::size_t> last_col_group_;
+  bool restored_last_cycle_ = false;
+};
+
+}  // namespace sramlp::sram

@@ -1,0 +1,100 @@
+// Data backgrounds — the March degree of freedom over cell data patterns.
+//
+// A March operation's data bit is *logical*: "w0" writes the background
+// value of the cell, "w1" its complement (equivalently, the physical value
+// is the logical bit XOR the background).  The solid-0 background makes
+// logical and physical values coincide (the classic reading of March
+// notation).  Checkerboard and stripe backgrounds are what word-oriented
+// and coupling-sensitive test flows actually ship.
+//
+// The paper's Fig. 7 restore "preserves the data background independency,
+// which means that any value can be stored in the cells" — the property
+// the background sweep bench (E14) verifies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/error.h"
+
+namespace sramlp::sram {
+
+/// Built-in background patterns.
+enum class BackgroundKind {
+  kSolid0,        ///< all cells 0 (the default; classic March semantics)
+  kSolid1,        ///< all cells 1
+  kCheckerboard,  ///< (row + col) parity
+  kRowStripes,    ///< row parity
+  kColumnStripes, ///< column parity
+};
+
+/// Value-semantic background pattern.
+class DataBackground {
+ public:
+  /// Default: solid 0 (March notation reads literally).
+  constexpr DataBackground() = default;
+  constexpr explicit DataBackground(BackgroundKind kind) : kind_(kind) {}
+
+  static constexpr DataBackground solid0() {
+    return DataBackground(BackgroundKind::kSolid0);
+  }
+  static constexpr DataBackground solid1() {
+    return DataBackground(BackgroundKind::kSolid1);
+  }
+  static constexpr DataBackground checkerboard() {
+    return DataBackground(BackgroundKind::kCheckerboard);
+  }
+  static constexpr DataBackground row_stripes() {
+    return DataBackground(BackgroundKind::kRowStripes);
+  }
+  static constexpr DataBackground column_stripes() {
+    return DataBackground(BackgroundKind::kColumnStripes);
+  }
+
+  BackgroundKind kind() const { return kind_; }
+
+  /// Background bit of cell (row, col).
+  constexpr bool at(std::size_t row, std::size_t col) const {
+    switch (kind_) {
+      case BackgroundKind::kSolid0: return false;
+      case BackgroundKind::kSolid1: return true;
+      case BackgroundKind::kCheckerboard: return ((row + col) & 1) != 0;
+      case BackgroundKind::kRowStripes: return (row & 1) != 0;
+      case BackgroundKind::kColumnStripes: return (col & 1) != 0;
+    }
+    return false;
+  }
+
+  /// Physical cell value for a logical March data bit at (row, col).
+  constexpr bool physical(bool logical, std::size_t row,
+                          std::size_t col) const {
+    return logical != at(row, col);
+  }
+
+  std::string name() const {
+    switch (kind_) {
+      case BackgroundKind::kSolid0: return "solid 0";
+      case BackgroundKind::kSolid1: return "solid 1";
+      case BackgroundKind::kCheckerboard: return "checkerboard";
+      case BackgroundKind::kRowStripes: return "row stripes";
+      case BackgroundKind::kColumnStripes: return "column stripes";
+    }
+    throw Error("invalid BackgroundKind");
+  }
+
+  /// All built-in backgrounds (for sweeps and parameterised tests).
+  static constexpr std::array<BackgroundKind, 5> kinds() {
+    return {BackgroundKind::kSolid0, BackgroundKind::kSolid1,
+            BackgroundKind::kCheckerboard, BackgroundKind::kRowStripes,
+            BackgroundKind::kColumnStripes};
+  }
+
+  friend constexpr bool operator==(const DataBackground&,
+                                   const DataBackground&) = default;
+
+ private:
+  BackgroundKind kind_ = BackgroundKind::kSolid0;
+};
+
+}  // namespace sramlp::sram

@@ -1,0 +1,36 @@
+#include "sram/cell_array.h"
+
+#include <bit>
+
+namespace sramlp::sram {
+
+CellArray::CellArray(const Geometry& geometry, bool fill_value)
+    : geometry_(geometry) {
+  geometry_.validate();
+  words_.assign((geometry_.cells() + 63) / 64, 0);
+  if (fill_value) fill(true);
+}
+
+void CellArray::fill(bool value) {
+  const std::uint64_t pattern = value ? ~std::uint64_t{0} : 0;
+  for (auto& w : words_) w = pattern;
+  if (value) {
+    // Clear the bits beyond the last cell so popcount stays exact.
+    const std::size_t used = geometry_.cells() & 63;
+    if (used != 0) words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+std::size_t CellArray::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_)
+    total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool CellArray::uniform(bool value) const {
+  const std::size_t ones = popcount();
+  return value ? ones == geometry_.cells() : ones == 0;
+}
+
+}  // namespace sramlp::sram

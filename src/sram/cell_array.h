@@ -1,0 +1,52 @@
+// Packed bit storage for the cell matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/geometry.h"
+
+namespace sramlp::sram {
+
+/// rows x cols bit matrix with 64-cell packing.
+class CellArray {
+ public:
+  explicit CellArray(const Geometry& geometry, bool fill = false);
+
+  const Geometry& geometry() const { return geometry_; }
+
+  bool get(std::size_t row, std::size_t col) const {
+    check(row, col);
+    const std::size_t flat = row * geometry_.cols + col;
+    return (words_[flat >> 6] >> (flat & 63)) & 1u;
+  }
+
+  void set(std::size_t row, std::size_t col, bool value) {
+    check(row, col);
+    const std::size_t flat = row * geometry_.cols + col;
+    const std::uint64_t mask = std::uint64_t{1} << (flat & 63);
+    if (value)
+      words_[flat >> 6] |= mask;
+    else
+      words_[flat >> 6] &= ~mask;
+  }
+
+  void fill(bool value);
+
+  /// Number of cells currently holding 1.
+  std::size_t popcount() const;
+
+  /// True when every cell equals @p value.
+  bool uniform(bool value) const;
+
+ private:
+  void check(std::size_t row, std::size_t col) const {
+    SRAMLP_REQUIRE(row < geometry_.rows && col < geometry_.cols,
+                   "cell coordinate outside the array");
+  }
+
+  Geometry geometry_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sramlp::sram

@@ -1,0 +1,81 @@
+// Hook interface through which behavioural fault models disturb the array.
+//
+// The simulator calls these hooks on every architectural event touching a
+// cell.  The default implementation is fault-free.  faults/ builds the
+// concrete models (stuck-at, transition, coupling, read-destructive,
+// RES-sensitive) on top of this interface; sram/ stays independent of them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sramlp::sram {
+
+class SramArray;
+
+/// Cell coordinate (always in cell columns, not column groups).
+struct CellCoord {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const CellCoord&, const CellCoord&) = default;
+};
+
+/// Behavioural fault interface; one instance serves the whole array.
+class CellFaultModel {
+ public:
+  virtual ~CellFaultModel() = default;
+
+  /// Called when the model is attached to an array; lets stateful models
+  /// (e.g. state-coupling faults sampling a live aggressor) keep a handle.
+  virtual void on_attach(const SramArray& array) { (void)array; }
+
+  /// Value actually latched when writing @p intended into a cell currently
+  /// holding @p stored (stuck-at / transition faults hook here).
+  virtual bool write_result(CellCoord cell, bool stored, bool intended) {
+    (void)cell;
+    (void)stored;
+    return intended;
+  }
+
+  /// Value sensed when reading a cell holding @p stored.  @p stored_after
+  /// allows read-destructive behaviour; it arrives preloaded with @p stored.
+  virtual bool read_result(CellCoord cell, bool stored, bool* stored_after) {
+    (void)cell;
+    (void)stored_after;
+    return stored;
+  }
+
+  /// Called after a write event committed @p new_value; coupling faults use
+  /// this to strike victim cells through SramArray::force().
+  virtual void after_write(SramArray& array, CellCoord cell, bool old_value,
+                           bool new_value) {
+    (void)array;
+    (void)cell;
+    (void)old_value;
+    (void)new_value;
+  }
+
+  /// Cells that want Read-Equivalent-Stress event notifications
+  /// (RES-sensitive faults).  Queried once when the model is attached.
+  virtual std::vector<CellCoord> res_sensitive_cells() const { return {}; }
+
+  /// One cycle of (full or decaying) RES hit @p cell.  Only delivered to
+  /// cells returned by res_sensitive_cells().  @p stress is 1.0 for a full
+  /// RES and the remaining bit-line voltage fraction while decaying.
+  virtual void on_res(SramArray& array, CellCoord cell, double stress) {
+    (void)array;
+    (void)cell;
+    (void)stress;
+  }
+
+  /// The memory sat idle (no access, word lines low) for @p cycles clock
+  /// cycles — March "Del" elements.  Data-retention faults hook here.
+  virtual void on_idle(SramArray& array, std::uint64_t cycles) {
+    (void)array;
+    (void)cycles;
+  }
+};
+
+}  // namespace sramlp::sram

@@ -1,0 +1,49 @@
+// Array organisation.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace sramlp::sram {
+
+/// Physical organisation of the cell array.
+///
+/// Bit-oriented memories (the paper's scope) have word_width = 1: one
+/// address selects one cell.  Word-oriented memories (paper §6 future work)
+/// activate word_width adjacent columns per access; addresses then select
+/// (row, column-group) pairs.
+struct Geometry {
+  std::size_t rows = 512;
+  std::size_t cols = 512;
+  std::size_t word_width = 1;
+
+  std::size_t col_groups() const { return cols / word_width; }
+  std::size_t cells() const { return rows * cols; }
+  std::size_t words() const { return rows * col_groups(); }
+
+  /// Address bits needed to select one word.
+  std::size_t address_bits() const {
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < words()) ++bits;
+    return bits == 0 ? 1 : bits;
+  }
+
+  void validate() const {
+    SRAMLP_REQUIRE(rows >= 1 && cols >= 1, "empty array");
+    SRAMLP_REQUIRE(word_width >= 1, "word width must be at least 1");
+    SRAMLP_REQUIRE(cols % word_width == 0,
+                   "columns must divide evenly into words");
+    SRAMLP_REQUIRE(col_groups() >= 2,
+                   "need at least two word groups per row (LP test mode "
+                   "pre-charges the selected and the following group)");
+  }
+
+  /// The paper's experimental organisation: 8k x 32 SRAM arranged as a
+  /// 512 x 512 bit-oriented array.
+  static Geometry paper_512x512() { return {512, 512, 1}; }
+
+  friend bool operator==(const Geometry&, const Geometry&) = default;
+};
+
+}  // namespace sramlp::sram

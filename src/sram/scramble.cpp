@@ -1,0 +1,105 @@
+#include "sram/scramble.h"
+
+#include "util/error.h"
+
+namespace sramlp::sram {
+
+void AddressScramble::validate_permutation(
+    const std::vector<std::size_t>& map) {
+  SRAMLP_REQUIRE(!map.empty(), "empty scramble map");
+  std::vector<bool> seen(map.size(), false);
+  for (std::size_t v : map) {
+    SRAMLP_REQUIRE(v < map.size(), "scramble target out of range");
+    SRAMLP_REQUIRE(!seen[v], "scramble map is not a permutation");
+    seen[v] = true;
+  }
+}
+
+std::vector<std::size_t> AddressScramble::invert(
+    const std::vector<std::size_t>& map) {
+  std::vector<std::size_t> inv(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) inv[map[i]] = i;
+  return inv;
+}
+
+AddressScramble::AddressScramble(std::vector<std::size_t> row_map,
+                                 std::vector<std::size_t> col_map)
+    : row_map_(std::move(row_map)), col_map_(std::move(col_map)) {
+  validate_permutation(row_map_);
+  validate_permutation(col_map_);
+  row_inverse_ = invert(row_map_);
+  col_inverse_ = invert(col_map_);
+}
+
+AddressScramble AddressScramble::identity(std::size_t rows,
+                                          std::size_t col_groups) {
+  std::vector<std::size_t> r(rows), c(col_groups);
+  for (std::size_t i = 0; i < rows; ++i) r[i] = i;
+  for (std::size_t i = 0; i < col_groups; ++i) c[i] = i;
+  return AddressScramble(std::move(r), std::move(c));
+}
+
+AddressScramble AddressScramble::xor_fold(std::size_t rows,
+                                          std::size_t col_groups,
+                                          std::size_t row_mask,
+                                          std::size_t col_mask) {
+  std::vector<std::size_t> r(rows), c(col_groups);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t v = i ^ row_mask;
+    SRAMLP_REQUIRE(v < rows, "row XOR mask leaves the address space");
+    r[i] = v;
+  }
+  for (std::size_t i = 0; i < col_groups; ++i) {
+    const std::size_t v = i ^ col_mask;
+    SRAMLP_REQUIRE(v < col_groups, "column XOR mask leaves the address space");
+    c[i] = v;
+  }
+  return AddressScramble(std::move(r), std::move(c));
+}
+
+AddressScramble AddressScramble::row_bit_reversal(std::size_t rows,
+                                                  std::size_t col_groups) {
+  SRAMLP_REQUIRE(rows != 0 && (rows & (rows - 1)) == 0,
+                 "bit reversal needs a power-of-two row count");
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < rows) ++bits;
+  std::vector<std::size_t> r(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t v = 0;
+    for (std::size_t b = 0; b < bits; ++b)
+      if (i & (std::size_t{1} << b)) v |= std::size_t{1} << (bits - 1 - b);
+    r[i] = v;
+  }
+  std::vector<std::size_t> c(col_groups);
+  for (std::size_t i = 0; i < col_groups; ++i) c[i] = i;
+  return AddressScramble(std::move(r), std::move(c));
+}
+
+AddressScramble AddressScramble::custom(std::vector<std::size_t> row_map,
+                                        std::vector<std::size_t> col_map) {
+  return AddressScramble(std::move(row_map), std::move(col_map));
+}
+
+PhysicalAddress AddressScramble::to_physical(std::size_t logical_row,
+                                             std::size_t logical_col) const {
+  SRAMLP_REQUIRE(logical_row < rows() && logical_col < col_groups(),
+                 "logical address out of range");
+  return {row_map_[logical_row], col_map_[logical_col]};
+}
+
+PhysicalAddress AddressScramble::to_logical(std::size_t physical_row,
+                                            std::size_t physical_col) const {
+  SRAMLP_REQUIRE(physical_row < rows() && physical_col < col_groups(),
+                 "physical address out of range");
+  return {row_inverse_[physical_row], col_inverse_[physical_col]};
+}
+
+bool AddressScramble::is_identity() const {
+  for (std::size_t i = 0; i < row_map_.size(); ++i)
+    if (row_map_[i] != i) return false;
+  for (std::size_t i = 0; i < col_map_.size(); ++i)
+    if (col_map_[i] != i) return false;
+  return true;
+}
+
+}  // namespace sramlp::sram

@@ -1,0 +1,82 @@
+// Address scrambling — the logical-to-physical address mapping of real
+// memories.
+//
+// Production SRAMs scramble addresses (row-decoder folding, column
+// twisting, redundancy remapping), so the *logical* address order a tester
+// issues is not the *physical* order cells are touched in.  The paper's
+// low-power test mode constrains the PHYSICAL order (word-line-after-
+// word-line); a BIST on a scrambled memory must therefore issue the
+// descrambled logical sequence.  March DOF-1 makes that legal: any logical
+// permutation is a valid "up" sequence.
+//
+// This module models row/column scrambling as independent permutations;
+// march::wlawl_logical_order() (march/scramble_order.h) builds the logical
+// sequence whose physical image is word-line-after-word-line.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sram/geometry.h"
+
+namespace sramlp::sram {
+
+/// A physical (row, column-group) location.
+struct PhysicalAddress {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const PhysicalAddress&,
+                         const PhysicalAddress&) = default;
+};
+
+/// Bijective logical<->physical mapping, separable into a row permutation
+/// and a column-group permutation (the form decoder scrambling takes).
+class AddressScramble {
+ public:
+  /// No scrambling: physical == logical.
+  static AddressScramble identity(std::size_t rows, std::size_t col_groups);
+
+  /// XOR-fold: physical index = logical index XOR mask (masks must keep
+  /// the result in range; a mask below the next power of two of a
+  /// power-of-two dimension always does).
+  static AddressScramble xor_fold(std::size_t rows, std::size_t col_groups,
+                                  std::size_t row_mask,
+                                  std::size_t col_mask);
+
+  /// Bit-reversal of the row index (classic decoder folding); dimensions
+  /// must be powers of two.
+  static AddressScramble row_bit_reversal(std::size_t rows,
+                                          std::size_t col_groups);
+
+  /// Arbitrary permutations (validated).
+  static AddressScramble custom(std::vector<std::size_t> row_map,
+                                std::vector<std::size_t> col_map);
+
+  std::size_t rows() const { return row_map_.size(); }
+  std::size_t col_groups() const { return col_map_.size(); }
+
+  /// Physical location of a logical (row, column-group) address.
+  PhysicalAddress to_physical(std::size_t logical_row,
+                              std::size_t logical_col) const;
+
+  /// Logical address mapping to a physical location (inverse).
+  PhysicalAddress to_logical(std::size_t physical_row,
+                             std::size_t physical_col) const;
+
+  bool is_identity() const;
+
+ private:
+  AddressScramble(std::vector<std::size_t> row_map,
+                  std::vector<std::size_t> col_map);
+
+  static void validate_permutation(const std::vector<std::size_t>& map);
+  static std::vector<std::size_t> invert(const std::vector<std::size_t>& map);
+
+  std::vector<std::size_t> row_map_;      ///< logical -> physical row
+  std::vector<std::size_t> col_map_;      ///< logical -> physical column
+  std::vector<std::size_t> row_inverse_;  ///< physical -> logical row
+  std::vector<std::size_t> col_inverse_;
+};
+
+}  // namespace sramlp::sram

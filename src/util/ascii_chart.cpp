@@ -1,0 +1,118 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace sramlp::util {
+
+namespace {
+
+struct Bounds {
+  double x_min = std::numeric_limits<double>::max();
+  double x_max = std::numeric_limits<double>::lowest();
+  double y_min = std::numeric_limits<double>::max();
+  double y_max = std::numeric_limits<double>::lowest();
+};
+
+Bounds find_bounds(const std::vector<Series>& series) {
+  Bounds b;
+  for (const auto& s : series) {
+    for (double v : s.x) {
+      b.x_min = std::min(b.x_min, v);
+      b.x_max = std::max(b.x_max, v);
+    }
+    for (double v : s.y) {
+      b.y_min = std::min(b.y_min, v);
+      b.y_max = std::max(b.y_max, v);
+    }
+  }
+  if (b.x_max <= b.x_min) b.x_max = b.x_min + 1.0;
+  if (b.y_max <= b.y_min) b.y_max = b.y_min + 1.0;
+  return b;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+  SRAMLP_REQUIRE(!series.empty(), "chart needs at least one series");
+  SRAMLP_REQUIRE(options.width >= 8 && options.height >= 4,
+                 "chart area too small");
+  for (const auto& s : series)
+    SRAMLP_REQUIRE(s.x.size() == s.y.size(),
+                   "series x/y sample counts must match");
+
+  Bounds b = find_bounds(series);
+  if (!options.autoscale_y) {
+    b.y_min = options.y_min;
+    b.y_max = options.y_max;
+    if (b.y_max <= b.y_min) b.y_max = b.y_min + 1.0;
+  }
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - b.x_min) / (b.x_max - b.x_min);
+      const double fy = (s.y[i] - b.y_min) / (b.y_max - b.y_min);
+      if (fy < 0.0 || fy > 1.0) continue;  // clipped by fixed y bounds
+      int cx = static_cast<int>(std::lround(fx * (w - 1)));
+      int cy = static_cast<int>(std::lround((1.0 - fy) * (h - 1)));
+      cx = std::clamp(cx, 0, w - 1);
+      cy = std::clamp(cy, 0, h - 1);
+      grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] =
+          s.glyph;
+    }
+  }
+
+  // Y-axis labels on the top, middle and bottom rows.
+  std::string out;
+  if (!options.y_label.empty()) out += options.y_label + '\n';
+  const int label_width = 10;
+  for (int row = 0; row < h; ++row) {
+    std::string label(static_cast<std::size_t>(label_width), ' ');
+    const bool labelled = row == 0 || row == h - 1 || row == h / 2;
+    if (labelled) {
+      const double frac = 1.0 - static_cast<double>(row) / (h - 1);
+      std::string v = fmt(b.y_min + frac * (b.y_max - b.y_min), 2);
+      if (v.size() < static_cast<std::size_t>(label_width) - 1)
+        label = std::string(label_width - 1 - v.size(), ' ') + v + ' ';
+    }
+    out += label + '|' + grid[static_cast<std::size_t>(row)] + '\n';
+  }
+  out += std::string(static_cast<std::size_t>(label_width), ' ') + '+' +
+         std::string(static_cast<std::size_t>(w), '-') + '\n';
+  std::string x_line(static_cast<std::size_t>(label_width) + 1, ' ');
+  x_line += fmt(b.x_min, 2);
+  std::string x_hi = fmt(b.x_max, 2);
+  const std::size_t total =
+      static_cast<std::size_t>(label_width) + 1 + static_cast<std::size_t>(w);
+  if (x_line.size() + x_hi.size() < total)
+    x_line += std::string(total - x_line.size() - x_hi.size(), ' ');
+  x_line += x_hi;
+  out += x_line + '\n';
+  if (!options.x_label.empty())
+    out += std::string(static_cast<std::size_t>(label_width) + 1, ' ') +
+           options.x_label + '\n';
+
+  // Legend when more than one series is drawn.
+  if (series.size() > 1) {
+    out += "  legend:";
+    for (const auto& s : series) {
+      out += "  ";
+      out += s.glyph;
+      out += " = " + s.name;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sramlp::util

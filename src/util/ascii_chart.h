@@ -1,0 +1,44 @@
+// ASCII line charts for waveform output in benches/examples.
+//
+// The paper's Figure 6 shows Spice waveforms (bit-line discharge, cell node
+// voltages, RES power decay).  The benches redraw them in the terminal:
+//
+//   1.60 |**.
+//        |   ***
+//   0.80 |      ****
+//        |          *****
+//   0.00 |               ***********
+//        +--------------------------
+//        0 ns                  30 ns
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sramlp::util {
+
+/// Render options for an ASCII chart.
+struct ChartOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 16;       ///< plot area height in characters
+  std::string x_label;   ///< label under the x axis
+  std::string y_label;   ///< label before the y axis values
+  double y_min = 0.0;    ///< lower y bound (used when autoscale_y is false)
+  double y_max = 0.0;    ///< upper y bound (used when autoscale_y is false)
+  bool autoscale_y = true;
+};
+
+/// A single series: x/y sample pairs plus the glyph used to draw it.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Draw one or more series into a character grid and return it as a string.
+/// Series are drawn in order, later series overdraw earlier ones.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options);
+
+}  // namespace sramlp::util

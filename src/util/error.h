@@ -1,0 +1,36 @@
+// Error handling used across the library.
+//
+// Library code validates its preconditions with SRAMLP_REQUIRE and throws
+// `sramlp::Error` (an std::runtime_error) on violation.  This keeps the
+// public API honest about contract violations without aborting the host
+// process, which matters for a library that test harnesses embed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sramlp {
+
+/// Exception thrown on any contract or configuration violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::string full = std::string(file) + ":" + std::to_string(line) +
+                     ": requirement failed: " + cond;
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace sramlp
+
+/// Validate a precondition; throws sramlp::Error with location info on failure.
+#define SRAMLP_REQUIRE(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) ::sramlp::detail::raise(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Used for pseudo-random March address orders (DOF-1 exercises), random data
+// backgrounds and property-test inputs.  Deterministic seeding keeps every
+// test and bench reproducible; <random> engines are avoided because their
+// streams are implementation-defined across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace sramlp::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from @p seed via splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) by rejection sampling; bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection keeps the draw exactly uniform without 128-bit arithmetic;
+    // the expected number of retries is below 2 for any bound.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t x = next_u64();
+    while (x >= limit) x = next_u64();
+    return x % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fair coin flip.
+  constexpr bool next_bool() { return (next_u64() & 1ull) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Fisher–Yates shuffle of a random-access container using Rng.
+template <typename Container>
+void shuffle(Container& items, Rng& rng) {
+  const auto n = items.size();
+  if (n < 2) return;
+  for (auto i = n - 1; i > 0; --i) {
+    const auto j = static_cast<decltype(i)>(rng.next_below(i + 1));
+    using std::swap;
+    swap(items[i], items[j]);
+  }
+}
+
+}  // namespace sramlp::util

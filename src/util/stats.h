@@ -1,0 +1,54 @@
+// Streaming descriptive statistics (Welford's algorithm).
+//
+// Benches summarise per-cycle energies and waveform samples; this avoids
+// keeping full sample vectors when only mean/min/max/stddev are reported.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace sramlp::util {
+
+/// Single-pass accumulator for count/mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Population variance (0 for fewer than two samples).
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+/// Relative closeness check used by tests and calibration code:
+/// |a-b| <= tol * max(|a|,|b|, tiny).
+inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  const double scale =
+      std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace sramlp::util

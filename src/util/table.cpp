@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace sramlp::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SRAMLP_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SRAMLP_REQUIRE(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::string horizontal_rule(const std::vector<std::size_t>& widths) {
+  std::string line = "+";
+  for (std::size_t w : widths) {
+    line.append(w + 2, '-');
+    line += '+';
+  }
+  line += '\n';
+  return line;
+}
+
+void append_row(std::string& out, const std::vector<std::string>& cells,
+                const std::vector<std::size_t>& widths) {
+  out += '|';
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += ' ';
+    out += cells[i];
+    out.append(widths[i] - cells[i].size() + 1, ' ');
+    out += '|';
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string Table::str(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::string out;
+  if (!title.empty()) out += title + '\n';
+  const std::string rule = horizontal_rule(widths);
+  out += rule;
+  append_row(out, headers_, widths);
+  out += rule;
+  for (const auto& row : rows_) append_row(out, row, widths);
+  out += rule;
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int decimals) {
+  return fmt(ratio * 100.0, decimals) + " %";
+}
+
+std::string fmt_count(long long value) { return std::to_string(value); }
+
+}  // namespace sramlp::util

@@ -1,0 +1,49 @@
+// Plain-text table formatting for benches and examples.
+//
+// The benches reproduce the paper's tables; this renders them with aligned
+// columns and an optional title, e.g.
+//
+//   Table 1 - PRR for different March algorithms
+//   +-----------+------+-------+--------+---------+--------+
+//   | Algorithm | #elm | #oper | #read  | #write  | PRR    |
+//   +-----------+------+-------+--------+---------+--------+
+//   | March C-  |    6 |    10 |      5 |       5 | 47.3 % |
+//   ...
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sramlp::util {
+
+/// Column-aligned ASCII table builder.
+class Table {
+ public:
+  /// @param headers column headings, fixes the column count.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with +---+ borders. @param title optional caption line above.
+  std::string str(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with @p decimals digits after the point (locale-free).
+std::string fmt(double value, int decimals = 2);
+
+/// Format as a percentage with one decimal, e.g. 0.473 -> "47.3 %".
+std::string fmt_percent(double ratio, int decimals = 1);
+
+/// Format an integral count with no decorations.
+std::string fmt_count(long long value);
+
+}  // namespace sramlp::util

@@ -1,0 +1,52 @@
+// Unit helpers for the electrical quantities used throughout the library.
+//
+// All physical values are carried as plain `double` in base SI units
+// (volts, farads, seconds, amperes, joules, watts, ohms).  The constexpr
+// factors below make call sites self-documenting:
+//
+//     double c_bl = 500 * units::fF;     // 500 femtofarads
+//     double t_ck = 3 * units::ns;       // 3 nanoseconds
+//
+// and the `as_*` helpers convert back for reporting:
+//
+//     table.cell(units::as_fJ(energy)); // joules -> femtojoules
+#pragma once
+
+namespace sramlp::units {
+
+// --- multipliers: value * factor -> base SI unit -------------------------
+inline constexpr double fF = 1e-15;  ///< femtofarad -> farad
+inline constexpr double pF = 1e-12;  ///< picofarad  -> farad
+inline constexpr double nF = 1e-9;   ///< nanofarad  -> farad
+
+inline constexpr double ps = 1e-12;  ///< picosecond -> second
+inline constexpr double ns = 1e-9;   ///< nanosecond -> second
+inline constexpr double us = 1e-6;   ///< microsecond-> second
+
+inline constexpr double mV = 1e-3;   ///< millivolt  -> volt
+
+inline constexpr double uA = 1e-6;   ///< microampere-> ampere
+inline constexpr double mA = 1e-3;   ///< milliampere-> ampere
+
+inline constexpr double fJ = 1e-15;  ///< femtojoule -> joule
+inline constexpr double pJ = 1e-12;  ///< picojoule  -> joule
+inline constexpr double nJ = 1e-9;   ///< nanojoule  -> joule
+
+inline constexpr double uW = 1e-6;   ///< microwatt  -> watt
+inline constexpr double mW = 1e-3;   ///< milliwatt  -> watt
+
+inline constexpr double kOhm = 1e3;  ///< kiloohm    -> ohm
+
+// --- converters: base SI unit -> display unit ----------------------------
+constexpr double as_fF(double farads) { return farads / fF; }
+constexpr double as_pF(double farads) { return farads / pF; }
+constexpr double as_ps(double seconds) { return seconds / ps; }
+constexpr double as_ns(double seconds) { return seconds / ns; }
+constexpr double as_mV(double volts) { return volts / mV; }
+constexpr double as_uA(double amperes) { return amperes / uA; }
+constexpr double as_fJ(double joules) { return joules / fJ; }
+constexpr double as_pJ(double joules) { return joules / pJ; }
+constexpr double as_uW(double watts) { return watts / uW; }
+constexpr double as_mW(double watts) { return watts / mW; }
+
+}  // namespace sramlp::units

@@ -1,0 +1,193 @@
+// Data-background tests: pattern definitions, logical/physical mapping,
+// and the paper's background-independence claims, parameterised over every
+// built-in background x both operating modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/fault_campaign.h"
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "march/parser.h"
+#include "power/report.h"
+#include "sram/background.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+using sram::BackgroundKind;
+using sram::DataBackground;
+using sram::Mode;
+
+// --- pattern definitions ------------------------------------------------------
+
+TEST(DataBackground, PatternsMatchTheirDefinitions) {
+  const DataBackground cb = DataBackground::checkerboard();
+  EXPECT_FALSE(cb.at(0, 0));
+  EXPECT_TRUE(cb.at(0, 1));
+  EXPECT_TRUE(cb.at(1, 0));
+  EXPECT_FALSE(cb.at(1, 1));
+
+  const DataBackground rows = DataBackground::row_stripes();
+  EXPECT_FALSE(rows.at(0, 5));
+  EXPECT_TRUE(rows.at(1, 5));
+
+  const DataBackground cols = DataBackground::column_stripes();
+  EXPECT_FALSE(cols.at(5, 0));
+  EXPECT_TRUE(cols.at(5, 1));
+
+  EXPECT_FALSE(DataBackground::solid0().at(3, 3));
+  EXPECT_TRUE(DataBackground::solid1().at(3, 3));
+}
+
+TEST(DataBackground, PhysicalIsLogicalXorBackground) {
+  const DataBackground cb = DataBackground::checkerboard();
+  EXPECT_FALSE(cb.physical(false, 0, 0));
+  EXPECT_TRUE(cb.physical(false, 0, 1));   // background 1, logical 0
+  EXPECT_FALSE(cb.physical(true, 0, 1));   // background 1, logical 1
+  EXPECT_TRUE(cb.physical(true, 0, 0));
+}
+
+TEST(DataBackground, DefaultIsSolid0) {
+  EXPECT_EQ(DataBackground(), DataBackground::solid0());
+  EXPECT_EQ(DataBackground().kind(), BackgroundKind::kSolid0);
+}
+
+TEST(DataBackground, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto kind : DataBackground::kinds())
+    names.insert(DataBackground(kind).name());
+  EXPECT_EQ(names.size(), DataBackground::kinds().size());
+}
+
+// --- behaviour under March runs, swept over background x mode ----------------
+
+using SweepParam = std::tuple<BackgroundKind, Mode>;
+
+class BackgroundSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// A fault-free March run passes under every background in every mode —
+// the paper's "any value can be stored in the cells".
+TEST_P(BackgroundSweep, FaultFreeMarchPasses) {
+  const auto [kind, mode] = GetParam();
+  SessionConfig cfg;
+  cfg.geometry = {8, 16, 1};
+  cfg.mode = mode;
+  cfg.background = DataBackground(kind);
+  TestSession session(cfg);
+  const auto result = session.run(march::algorithms::march_c_minus());
+  EXPECT_EQ(result.mismatches, 0u);
+  EXPECT_EQ(result.stats.faulty_swaps, 0u);
+}
+
+// The background changes cell data but not the energy picture.
+TEST_P(BackgroundSweep, EnergyIndependentOfBackground) {
+  const auto [kind, mode] = GetParam();
+  SessionConfig base;
+  base.geometry = {8, 16, 1};
+  base.mode = mode;
+  TestSession reference(base);
+  const auto ref = reference.run(march::algorithms::mats_plus());
+
+  SessionConfig cfg = base;
+  cfg.background = DataBackground(kind);
+  TestSession session(cfg);
+  const auto result = session.run(march::algorithms::mats_plus());
+  EXPECT_NEAR(result.supply_energy_j, ref.supply_energy_j,
+              1e-9 * ref.supply_energy_j);
+}
+
+// After the init element writes logical 0 everywhere, the physical image
+// equals the background pattern.
+TEST_P(BackgroundSweep, ArrayHoldsThePatternAfterInit) {
+  const auto [kind, mode] = GetParam();
+  SessionConfig cfg;
+  cfg.geometry = {8, 16, 1};
+  cfg.mode = mode;
+  cfg.background = DataBackground(kind);
+  TestSession session(cfg);
+  session.run(march::parse_march("init", "{ B(w0) }"));
+  const DataBackground bg(kind);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      EXPECT_EQ(session.array().peek(r, c), bg.at(r, c))
+          << bg.name() << " cell (" << r << "," << c << ")";
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& param) {
+  const auto [kind, mode] = param.param;
+  std::string name = DataBackground(kind).name();
+  for (auto& ch : name)
+    if (ch == ' ') ch = '_';
+  return name + (mode == Mode::kFunctional ? "_fn" : "_lp");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, BackgroundSweep,
+    ::testing::Combine(::testing::ValuesIn(DataBackground::kinds()),
+                       ::testing::Values(Mode::kFunctional,
+                                         Mode::kLowPowerTest)),
+    sweep_name);
+
+// Detection verdicts are background-independent for March C- (it reads
+// both data polarities at every address).
+TEST(BackgroundDetection, StuckAtVerdictsIndependentOfBackground) {
+  const faults::FaultSpec sa0{.kind = faults::FaultKind::kStuckAt0,
+                              .victim = {3, 7}};
+  const faults::FaultSpec sa1{.kind = faults::FaultKind::kStuckAt1,
+                              .victim = {5, 2}};
+  for (const auto kind : DataBackground::kinds()) {
+    SessionConfig cfg;
+    cfg.geometry = {8, 16, 1};
+    cfg.background = DataBackground(kind);
+    for (const auto& spec : {sa0, sa1}) {
+      EXPECT_TRUE(core::detects_fault(cfg, march::algorithms::march_c_minus(),
+                                      spec))
+          << DataBackground(kind).name();
+    }
+  }
+}
+
+// --- report helpers (power::to_csv / to_markdown / summary_line) --------------
+
+TEST(PowerReport, CsvHasHeaderAndRows) {
+  SessionConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  TestSession session(cfg);
+  const auto result = session.run(march::algorithms::mats());
+  const std::string csv = power::to_csv(result.meter);
+  EXPECT_NE(csv.find("source,energy_j"), std::string::npos);
+  EXPECT_NE(csv.find("precharge RES fight"), std::string::npos);
+  // One line per non-zero source plus the header.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            result.meter.breakdown().size() + 1);
+}
+
+TEST(PowerReport, MarkdownIsATable) {
+  SessionConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  TestSession session(cfg);
+  const auto result = session.run(march::algorithms::mats());
+  const std::string md = power::to_markdown(result.meter);
+  EXPECT_NE(md.find("| source | pJ/cycle | share |"), std::string::npos);
+  EXPECT_NE(md.find("| word-line swing |"), std::string::npos);
+}
+
+TEST(PowerReport, SummaryLineMentionsCyclesAndShare) {
+  SessionConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  TestSession session(cfg);
+  const auto result = session.run(march::algorithms::mats());
+  const std::string line = power::summary_line(result.meter);
+  EXPECT_NE(line.find("pJ/cycle"), std::string::npos);
+  EXPECT_NE(line.find("128 cycles"), std::string::npos);  // 4 ops x 32
+  EXPECT_NE(line.find("pre-charge-related"), std::string::npos);
+}
+
+}  // namespace

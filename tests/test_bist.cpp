@@ -1,0 +1,202 @@
+// Tests of the BIST controller: program compilation, FSM sequencing
+// equivalence with TestSession, comparator behaviour, restore pulses, and
+// lock-step cross-validation of the behavioural array's pre-charge
+// activity against the gate-level Fig. 8 controller.
+#include <gtest/gtest.h>
+
+#include "core/bist.h"
+#include "core/session.h"
+#include "ctrl/precharge_control.h"
+#include "faults/models.h"
+#include "march/algorithms.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using core::BistController;
+using core::BistProgram;
+using sram::Mode;
+
+sram::SramConfig array_config(Mode mode, std::size_t rows = 8,
+                              std::size_t cols = 8) {
+  sram::SramConfig cfg;
+  cfg.geometry = {rows, cols, 1};
+  cfg.mode = mode;
+  return cfg;
+}
+
+// --- program compilation ----------------------------------------------------
+
+TEST(BistProgram, CompilesRomAndElementRecords) {
+  const auto p = BistProgram::compile(march::algorithms::march_c_minus());
+  EXPECT_EQ(p.name(), "March C-");
+  EXPECT_EQ(p.rom().size(), 10u);       // total operations
+  EXPECT_EQ(p.elements().size(), 6u);   // elements
+  EXPECT_FALSE(p.elements()[0].descending);  // B -> ascending
+  EXPECT_FALSE(p.elements()[1].descending);  // U
+  EXPECT_TRUE(p.elements()[3].descending);   // D
+  // First op of element 1 is r0.
+  const auto& op = p.rom()[p.elements()[1].first_op];
+  EXPECT_TRUE(op.is_read);
+  EXPECT_FALSE(op.value);
+}
+
+TEST(BistProgram, CycleCountFormula) {
+  const auto p = BistProgram::compile(march::algorithms::mats_plus());
+  EXPECT_EQ(p.cycle_count(512, 512), 5ull * 512 * 512);
+  EXPECT_EQ(p.cycle_count(8, 8), 5ull * 64);
+}
+
+// --- FSM equivalence with TestSession ----------------------------------------
+
+// The FSM must produce byte-identical results to the software sequencer:
+// same cycle count, same energy, same final array contents.
+TEST(BistController, MatchesTestSessionExactly) {
+  for (const auto& test :
+       {march::algorithms::mats_plus(), march::algorithms::march_c_minus(),
+        march::algorithms::march_sr()}) {
+    for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+      // Reference: TestSession.
+      core::SessionConfig scfg;
+      scfg.geometry = {8, 8, 1};
+      scfg.mode = mode;
+      core::TestSession session(scfg);
+      const auto reference = session.run(test);
+
+      // Device under test: the BIST FSM.
+      sram::SramArray array(array_config(mode));
+      BistController::Options opt;
+      opt.mode = mode;
+      BistController bist(BistProgram::compile(test), array.geometry(), opt);
+      const auto outcome = bist.run(array);
+
+      EXPECT_EQ(outcome.cycles, reference.cycles) << test.name();
+      EXPECT_EQ(outcome.fails, reference.mismatches) << test.name();
+      EXPECT_EQ(outcome.restore_pulses, reference.stats.restore_cycles)
+          << test.name();
+      EXPECT_NEAR(array.meter().supply_total(),
+                  reference.supply_energy_j,
+                  1e-9 * reference.supply_energy_j)
+          << test.name();
+      for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+          EXPECT_EQ(array.peek(r, c), session.array().peek(r, c))
+              << test.name();
+    }
+  }
+}
+
+TEST(BistController, ComparatorLatchesFails) {
+  sram::SramArray array(array_config(Mode::kFunctional));
+  faults::FaultSet set({faults::FaultSpec{
+      .kind = faults::FaultKind::kStuckAt1, .victim = {3, 3}}});
+  array.attach_fault_model(&set);
+
+  BistController bist(BistProgram::compile(march::algorithms::march_c_minus()),
+                      array.geometry(), {});
+  const auto outcome = bist.run(array);
+  EXPECT_TRUE(outcome.fail_latch);
+  EXPECT_GT(outcome.fails, 0u);
+}
+
+TEST(BistController, StepBeyondDoneThrows) {
+  sram::SramArray array(array_config(Mode::kFunctional, 2, 2));
+  BistController bist(BistProgram::compile(march::algorithms::mats()),
+                      array.geometry(), {});
+  bist.run(array);
+  EXPECT_TRUE(bist.done());
+  EXPECT_FALSE(bist.peek().has_value());
+  EXPECT_THROW(bist.step(array), Error);
+}
+
+TEST(BistController, GeometryMismatchRejected) {
+  sram::SramArray array(array_config(Mode::kFunctional, 4, 4));
+  BistController bist(BistProgram::compile(march::algorithms::mats()),
+                      {8, 8, 1}, {});
+  EXPECT_THROW(bist.step(array), Error);
+}
+
+// --- restore pulses and the LPtest line ---------------------------------------
+
+TEST(BistController, RestorePulsesOncePerRowHandOver) {
+  const std::size_t rows = 4;
+  sram::SramArray array(array_config(Mode::kLowPowerTest, rows, 8));
+  BistController::Options opt;
+  opt.mode = Mode::kLowPowerTest;
+  BistController bist(BistProgram::compile(march::algorithms::mats_plus()),
+                      array.geometry(), opt);
+  const auto outcome = bist.run(array);
+  // MATS+ = 3 elements; each element crosses rows-1 boundaries, plus the
+  // element hand-overs whose first row differs (B->U stays at row 0; U
+  // ends at row 3, D starts at row 3 -> no transition).
+  EXPECT_EQ(outcome.restore_pulses, array.stats().row_transitions);
+  EXPECT_EQ(array.stats().faulty_swaps, 0u);
+}
+
+TEST(BistController, LptestLineDropsDuringRestoreCycle) {
+  sram::SramArray array(array_config(Mode::kLowPowerTest, 2, 4));
+  BistController::Options opt;
+  opt.mode = Mode::kLowPowerTest;
+  BistController bist(BistProgram::compile(march::algorithms::mats()),
+                      array.geometry(), opt);
+  std::size_t drops = 0;
+  while (!bist.done()) {
+    const auto cmd = bist.peek();
+    const bool level = bist.lptest_level();
+    EXPECT_EQ(level, !cmd->restore_row_transition);
+    if (!level) ++drops;
+    bist.step(array);
+  }
+  EXPECT_EQ(drops, array.stats().restore_cycles);
+}
+
+TEST(BistController, FunctionalModeKeepsLptestLow) {
+  sram::SramArray array(array_config(Mode::kFunctional, 2, 4));
+  BistController bist(BistProgram::compile(march::algorithms::mats()),
+                      array.geometry(), {});
+  while (!bist.done()) {
+    EXPECT_FALSE(bist.lptest_level());
+    bist.step(array);
+  }
+}
+
+// --- cross-layer validation: behavioural array vs gate-level netlist ----------
+
+// Drive the Fig. 8 gate-level controller in lock-step with the FSM and
+// require its restore-phase pre-charge pattern to match the behavioural
+// array's activity snapshot on every cycle of a full March test.
+TEST(BistController, GateLevelControllerAgreesWithArrayActivity) {
+  const std::size_t cols = 8;
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    sram::SramArray array(array_config(mode, 4, cols));
+    BistController::Options opt;
+    opt.mode = mode;
+    BistController bist(
+        BistProgram::compile(march::algorithms::march_c_minus()),
+        array.geometry(), opt);
+    ctrl::PrechargeController gates(cols);
+
+    while (!bist.done()) {
+      const auto cmd = bist.peek();
+      ctrl::PrechargeController::CycleInputs in;
+      in.lptest = mode == Mode::kLowPowerTest;
+      in.selected = cmd->col_group;
+      in.ascending = cmd->scan == sram::Scan::kAscending;
+      in.force_functional = cmd->restore_row_transition;
+      // The array's activity snapshot is "was the pre-charge on at any
+      // point of the cycle", which corresponds to the restore phase
+      // (every circuit that is on during operate is also on during
+      // restore, plus the selected column joins in).
+      in.phase = ctrl::Phase::kRestore;
+      const auto& npr = gates.evaluate(in);
+
+      bist.step(array);
+      for (std::size_t j = 0; j < cols; ++j)
+        EXPECT_EQ(!npr[j], array.precharge_was_active(j))
+            << "mode " << static_cast<int>(mode) << " col " << j;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Unit tests for the switch-level transient simulator: device model,
+// schedules, waveform analysis, integration accuracy, energy accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mos.h"
+#include "circuit/netlist.h"
+#include "circuit/subcircuits.h"
+#include "circuit/transient.h"
+#include "circuit/waveform.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sramlp;
+using namespace sramlp::circuit;
+
+// --- MOS model -----------------------------------------------------------
+
+TEST(MosModel, CutoffBelowThreshold) {
+  MosParams p{0.35, 100e-6};
+  EXPECT_EQ(nmos_current(0.3, 1.0, 0.0, p), 0.0);
+  EXPECT_EQ(nmos_current(0.0, 1.6, 0.0, p), 0.0);
+}
+
+TEST(MosModel, SaturationCurrent) {
+  MosParams p{0.35, 100e-6};
+  // vgs = 1.6, vov = 1.25, vds = 1.6 > vov -> saturation.
+  const double i = nmos_current(1.6, 1.6, 0.0, p);
+  EXPECT_NEAR(i, 0.5 * 100e-6 * 1.25 * 1.25, 1e-9);
+}
+
+TEST(MosModel, TriodeCurrent) {
+  MosParams p{0.35, 100e-6};
+  // vds = 0.1 << vov -> triode.
+  const double i = nmos_current(1.6, 0.1, 0.0, p);
+  EXPECT_NEAR(i, 100e-6 * (1.25 * 0.1 - 0.5 * 0.01), 1e-12);
+}
+
+TEST(MosModel, SourceDrainSymmetry) {
+  MosParams p{0.35, 100e-6};
+  const double fwd = nmos_current(1.6, 1.0, 0.2, p);
+  const double rev = nmos_current(1.6, 0.2, 1.0, p);
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_NEAR(fwd, -rev, 1e-15);
+}
+
+TEST(MosModel, PmosMirrorsNmos) {
+  MosParams p{0.35, 100e-6};
+  // PMOS with source at VDD, gate low, drain mid-rail: conducts from
+  // source into drain, i.e. drain->source current is negative.
+  const double i = pmos_current(0.0, 0.8, 1.6, p);
+  EXPECT_LT(i, 0.0);
+  // Gate at VDD: off.
+  EXPECT_EQ(pmos_current(1.6, 0.8, 1.6, p), 0.0);
+}
+
+// --- schedules -----------------------------------------------------------
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+  PiecewiseLinear pl;
+  pl.add(1e-9, 0.0);
+  pl.add(2e-9, 1.6);
+  EXPECT_DOUBLE_EQ(pl.at(0.0), 0.0);     // clamp before
+  EXPECT_DOUBLE_EQ(pl.at(1.5e-9), 0.8);  // midpoint
+  EXPECT_DOUBLE_EQ(pl.at(5e-9), 1.6);    // clamp after
+}
+
+TEST(PiecewiseLinear, RejectsUnorderedBreakpoints) {
+  PiecewiseLinear pl;
+  pl.add(2e-9, 1.0);
+  EXPECT_THROW(pl.add(1e-9, 0.0), Error);
+}
+
+TEST(SquareWave, TogglesAtEdges) {
+  const auto wave = make_square_wave(0.0, 1.6, {1e-9, 2e-9}, 50e-12);
+  EXPECT_DOUBLE_EQ(wave.at(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(wave.at(1.5e-9), 1.6);
+  EXPECT_DOUBLE_EQ(wave.at(2.5e-9), 0.0);
+}
+
+// --- waveform analysis ---------------------------------------------------
+
+TEST(Waveform, CrossingDetection) {
+  Waveform w("v");
+  for (int i = 0; i <= 10; ++i) w.append(i * 1e-9, 10.0 - i);
+  const auto t = w.time_of_crossing(5.0, /*rising=*/false);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 5e-9, 1e-12);
+  EXPECT_FALSE(w.time_of_crossing(5.0, /*rising=*/true).has_value());
+}
+
+TEST(Waveform, InterpolatedSampling) {
+  Waveform w("v");
+  w.append(0.0, 0.0);
+  w.append(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(3.0), 4.0);
+}
+
+TEST(Waveform, TrapezoidalIntegral) {
+  Waveform w("p");
+  w.append(0.0, 1.0);
+  w.append(1.0, 3.0);
+  w.append(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(w.integral(), 2.0 + 3.0);
+}
+
+TEST(Waveform, CsvExportsAllColumns) {
+  Waveform a("a");
+  Waveform b("b");
+  a.append(0.0, 1.0);
+  a.append(1.0, 2.0);
+  b.append(0.0, 5.0);
+  b.append(1.0, 6.0);
+  const std::string csv = to_csv({&a, &b});
+  EXPECT_NE(csv.find("time,a,b"), std::string::npos);
+  EXPECT_NE(csv.find(",5"), std::string::npos);
+}
+
+// --- transient integration ----------------------------------------------
+
+// RC discharge through a resistor must match the analytic exponential.
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  Circuit c;
+  const NodeId gnd = c.add_rail("gnd", 0.0);
+  const NodeId n = c.add_node("cap", 100e-15, 1.6);
+  c.add_resistor("r", n, gnd, 10e3);  // tau = 1 ns
+
+  TransientOptions opt;
+  opt.t_end = 3e-9;
+  opt.dt = 0.1e-12;
+  opt.sample_every = 10e-12;
+  const auto result = simulate(c, {n}, opt);
+
+  const auto& v = result.wave("cap");
+  for (double t : {0.5e-9, 1e-9, 2e-9}) {
+    const double expected = 1.6 * std::exp(-t / 1e-9);
+    EXPECT_NEAR(v.at(t), expected, 0.01);
+  }
+}
+
+// Charging a capacitor through a resistor draws C*V^2 from the supply and
+// stores C*V^2/2; the other half dissipates in the resistor.
+TEST(Transient, SupplyEnergyAccounting) {
+  Circuit c;
+  const NodeId vdd = c.add_rail("vdd", 1.6);
+  const NodeId n = c.add_node("cap", 200e-15, 0.0);
+  c.add_resistor("r", vdd, n, 5e3);  // tau = 1 ns
+
+  TransientOptions opt;
+  opt.t_end = 12e-9;  // 12 tau: fully charged
+  opt.dt = 0.1e-12;
+  const auto result = simulate(c, {n}, opt);
+
+  const double cv2 = 200e-15 * 1.6 * 1.6;
+  EXPECT_NEAR(result.total_supplied(), cv2, 0.02 * cv2);
+  EXPECT_NEAR(result.energy().branch_dissipation[0], 0.5 * cv2,
+              0.02 * cv2);
+  EXPECT_NEAR(result.wave("cap").back_value(), 1.6, 0.01);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Circuit c;
+  c.add_rail("gnd", 0.0);
+  TransientOptions opt;
+  opt.dt = 0.0;
+  EXPECT_THROW(simulate(c, {}, opt), Error);
+}
+
+TEST(Circuit, NodeLookupByName) {
+  Circuit c;
+  c.add_rail("vdd", 1.6);
+  const NodeId n = c.add_node("x", 1e-15);
+  EXPECT_EQ(c.node("x"), n);
+  EXPECT_THROW(c.node("missing"), Error);
+}
+
+TEST(Circuit, RejectsNonPositiveElements) {
+  Circuit c;
+  const NodeId a = c.add_rail("a", 0.0);
+  EXPECT_THROW(c.add_node("bad", 0.0), Error);
+  EXPECT_THROW(c.add_resistor("r", a, a, 0.0), Error);
+}
+
+// --- pass-device fixtures ------------------------------------------------
+
+TEST(PassFixture, TransmissionGatePassesBothRails) {
+  for (bool rising : {true, false}) {
+    auto f = build_pass_fixture(PassDevice::kTransmissionGate, rising);
+    TransientOptions opt;
+    opt.t_end = f.t_end;
+    opt.dt = 0.05e-12;
+    const auto r = simulate(f.circuit, {f.out}, opt);
+    const double target = rising ? 1.6 : 0.0;
+    EXPECT_NEAR(r.wave("out").back_value(), target, 0.05)
+        << "edge rising=" << rising;
+  }
+}
+
+TEST(PassFixture, NmosPassDegradesRisingEdge) {
+  auto f = build_pass_fixture(PassDevice::kNmosPassTransistor, true);
+  TransientOptions opt;
+  opt.t_end = f.t_end;
+  opt.dt = 0.05e-12;
+  const auto r = simulate(f.circuit, {f.out}, opt);
+  // The NMOS stops conducting at VDD - Vth: the output never reaches the
+  // rail — the paper's reason for using a transmission gate.
+  EXPECT_LT(r.wave("out").back_value(), 1.6 - 0.3);
+  EXPECT_GT(r.wave("out").back_value(), 0.9);
+}
+
+TEST(PassFixture, NmosPassStillPassesFallingEdge) {
+  auto f = build_pass_fixture(PassDevice::kNmosPassTransistor, false);
+  TransientOptions opt;
+  opt.t_end = f.t_end;
+  opt.dt = 0.05e-12;
+  const auto r = simulate(f.circuit, {f.out}, opt);
+  EXPECT_NEAR(r.wave("out").back_value(), 0.0, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Tests of the modified pre-charge control logic (paper Fig. 8): the
+// element's truth table (exhaustive), whole-row controller semantics per
+// phase, boundary handling, switching activity, transistor budget, and the
+// transmission-gate vs pass-transistor timing claim (§4).
+#include <gtest/gtest.h>
+
+#include "ctrl/delay.h"
+#include "ctrl/precharge_control.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using ctrl::ElementInputs;
+using ctrl::Phase;
+using ctrl::PrechargeController;
+
+// --- the per-column element -----------------------------------------------
+
+// Exhaustive truth table: NPr_j = (LPtest AND NOT CS_j) ? NOT CS_prev : Pr_j.
+TEST(ControlElement, ExhaustiveTruthTable) {
+  for (int mask = 0; mask < 16; ++mask) {
+    ElementInputs in;
+    in.lptest = (mask & 1) != 0;
+    in.cs_j = (mask & 2) != 0;
+    in.cs_prev = (mask & 4) != 0;
+    in.pr_j = (mask & 8) != 0;
+    const bool expected =
+        (in.lptest && !in.cs_j) ? !in.cs_prev : in.pr_j;
+    EXPECT_EQ(ctrl::element_npr(in), expected) << "mask=" << mask;
+  }
+}
+
+// The paper's described behaviours, spelled out:
+TEST(ControlElement, FunctionalModeRoutesFormerPrechargeSignal) {
+  for (bool pr : {false, true}) {
+    ElementInputs in;
+    in.lptest = false;
+    in.pr_j = pr;
+    in.cs_prev = true;  // must be ignored
+    EXPECT_EQ(ctrl::element_npr(in), pr);
+  }
+}
+
+TEST(ControlElement, SelectedColumnForcedFunctionalInLpMode) {
+  // "The NAND gate forces the functional mode for the column when it is
+  //  selected for a read/write operation."
+  ElementInputs in;
+  in.lptest = true;
+  in.cs_j = true;
+  in.pr_j = true;   // operate phase: pre-charge off
+  in.cs_prev = true;
+  EXPECT_TRUE(ctrl::element_npr(in));
+  in.pr_j = false;  // restore phase: pre-charge on
+  EXPECT_FALSE(ctrl::element_npr(in));
+}
+
+TEST(ControlElement, NeighbourSelectionPrechargesFollower) {
+  // "When LPtest is ON, the signal CS of a column j drives the pre-charge
+  //  of the next column j+1" (active low).
+  ElementInputs in;
+  in.lptest = true;
+  in.cs_j = false;
+  in.cs_prev = true;  // neighbour selected
+  EXPECT_FALSE(ctrl::element_npr(in));  // pre-charge ON
+  in.cs_prev = false;
+  EXPECT_TRUE(ctrl::element_npr(in));   // pre-charge OFF
+}
+
+// --- transistor budget -------------------------------------------------------
+
+TEST(ControlElement, TenTransistorsPerColumn) {
+  EXPECT_EQ(ctrl::kTransistorsPerElement, 10);
+  PrechargeController c(512);
+  EXPECT_EQ(c.added_transistors(), 5120);
+  EXPECT_EQ(c.added_transistors(/*bidirectional=*/true), 512 * 16);
+}
+
+// --- whole-row controller ------------------------------------------------------
+
+TEST(Controller, FunctionalModeKeepsEveryPrechargeOn) {
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = false;
+  in.selected = 3;
+  in.phase = Phase::kRestore;
+  c.evaluate(in);
+  EXPECT_EQ(c.active_precharge_count(), 8u);
+  // Operate phase: only the selected column's pre-charge pauses.
+  in.phase = Phase::kOperate;
+  const auto& npr = c.evaluate(in);
+  EXPECT_EQ(c.active_precharge_count(), 7u);
+  EXPECT_TRUE(npr[3]);
+}
+
+TEST(Controller, LpOperatePhaseOnlyFollowerOn) {
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.selected = 3;
+  in.phase = Phase::kOperate;
+  const auto& npr = c.evaluate(in);
+  // Selected column: pre-charge off (operation in flight); follower (4): on.
+  EXPECT_TRUE(npr[3]);
+  EXPECT_FALSE(npr[4]);
+  EXPECT_EQ(c.active_precharge_count(), 1u);
+}
+
+TEST(Controller, LpRestorePhaseSelectedAndFollowerOn) {
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.selected = 3;
+  in.phase = Phase::kRestore;
+  const auto& npr = c.evaluate(in);
+  EXPECT_FALSE(npr[3]);  // restoring its bit-lines
+  EXPECT_FALSE(npr[4]);  // follower held ready
+  EXPECT_EQ(c.active_precharge_count(), 2u);
+}
+
+TEST(Controller, DescendingScanMirrorsFollower) {
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.selected = 3;
+  in.ascending = false;
+  in.phase = Phase::kOperate;
+  const auto& npr = c.evaluate(in);
+  EXPECT_FALSE(npr[2]);  // follower is now column 2
+  EXPECT_TRUE(npr[4]);
+}
+
+TEST(Controller, LastColumnSelectionFeedsNothing) {
+  // "The CS signal of the last column is not connected to the first
+  //  column pre-charge control."
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.selected = 7;
+  in.phase = Phase::kOperate;
+  const auto& npr = c.evaluate(in);
+  EXPECT_TRUE(npr[0]);  // column 0 not pre-charged by wrap-around
+  EXPECT_EQ(c.active_precharge_count(), 0u);  // 7 off (operating), rest off
+}
+
+TEST(Controller, ForceFunctionalRestoresEveryColumn) {
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.selected = 7;
+  in.phase = Phase::kRestore;
+  in.force_functional = true;
+  c.evaluate(in);
+  EXPECT_EQ(c.active_precharge_count(), 8u);
+}
+
+TEST(Controller, IdleLpRowHasNoPrechargeActivity) {
+  PrechargeController c(8);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.selected.reset();
+  in.phase = Phase::kOperate;
+  c.evaluate(in);
+  EXPECT_EQ(c.active_precharge_count(), 0u);
+}
+
+// Paper §5 source 5: "only one control element switching for each column
+// changing" — at cycle granularity the advance toggles O(1) outputs, not
+// O(columns).
+TEST(Controller, ColumnAdvanceTogglesFewOutputs) {
+  PrechargeController c(64);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.phase = Phase::kOperate;
+  in.selected = 10;
+  c.evaluate(in);
+  const std::uint64_t before = c.switching_events();
+  in.selected = 11;
+  c.evaluate(in);
+  const std::uint64_t toggles = c.switching_events() - before;
+  EXPECT_GE(toggles, 1u);
+  EXPECT_LE(toggles, 3u);
+}
+
+TEST(Controller, SteadySelectionTogglesNothing) {
+  PrechargeController c(16);
+  PrechargeController::CycleInputs in;
+  in.lptest = true;
+  in.phase = Phase::kOperate;
+  in.selected = 5;
+  c.evaluate(in);
+  const std::uint64_t before = c.switching_events();
+  c.evaluate(in);
+  EXPECT_EQ(c.switching_events(), before);
+}
+
+TEST(Controller, RejectsBadInputs) {
+  EXPECT_THROW(PrechargeController(1), Error);
+  PrechargeController c(4);
+  PrechargeController::CycleInputs in;
+  in.selected = 9;
+  EXPECT_THROW(c.evaluate(in), Error);
+}
+
+// --- §4 design choice: transmission gate vs single pass transistor -----------
+
+TEST(PassDeviceTiming, TransmissionGateFullRailBothEdges) {
+  const auto rising =
+      ctrl::measure_pass_edge(circuit::PassDevice::kTransmissionGate, true);
+  const auto falling =
+      ctrl::measure_pass_edge(circuit::PassDevice::kTransmissionGate, false);
+  EXPECT_TRUE(rising.reaches_full_rail);
+  EXPECT_TRUE(falling.reaches_full_rail);
+  EXPECT_LT(rising.delay_s, 200e-12);
+  EXPECT_LT(falling.delay_s, 200e-12);
+}
+
+TEST(PassDeviceTiming, NmosPassLosesTheRisingRail) {
+  const auto rising = ctrl::measure_pass_edge(
+      circuit::PassDevice::kNmosPassTransistor, true);
+  EXPECT_FALSE(rising.reaches_full_rail);
+  EXPECT_LT(rising.v_final, 1.6 - 0.25);  // roughly a threshold below VDD
+  const auto falling = ctrl::measure_pass_edge(
+      circuit::PassDevice::kNmosPassTransistor, false);
+  EXPECT_TRUE(falling.reaches_full_rail);
+}
+
+}  // namespace

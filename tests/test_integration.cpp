@@ -1,0 +1,108 @@
+// Full-stack integration tests at the paper's 512x512 scale: Table 1
+// regression for one algorithm (the others run in the bench), the
+// pre-charge power share bound, alpha, and row-transition bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/paper_reference.h"
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "march/parser.h"
+#include "power/analytic.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+using sram::Mode;
+
+SessionConfig paper_config() {
+  SessionConfig cfg;
+  cfg.geometry = sram::Geometry::paper_512x512();
+  return cfg;
+}
+
+// Table 1 regression at full size for the cheapest algorithm (MATS+,
+// 5N operations); the bench reproduces all five rows.
+TEST(Integration, Table1MatsPlusPrrAtFullSize) {
+  const auto cmp = TestSession::compare_modes(
+      paper_config(), march::algorithms::mats_plus());
+  double paper = 0.0;
+  for (const auto& row : core::kTable1)
+    if (std::string(row.algorithm) == "MATS+") paper = row.prr;
+  EXPECT_NEAR(cmp.prr, paper, 0.025);
+  EXPECT_GT(cmp.prr, 0.45);
+  EXPECT_LT(cmp.prr, 0.55);
+
+  // The simulator and the closed-form §5 model agree.
+  const power::AnalyticModel model(power::TechnologyParams::tech_0p13um(),
+                                   512, 512);
+  const auto counts = march::algorithms::mats_plus().counts();
+  EXPECT_NEAR(cmp.functional.energy_per_cycle_j, model.pf(counts),
+              1e-3 * model.pf(counts));
+  EXPECT_NEAR(cmp.low_power.energy_per_cycle_j, model.plpt(counts),
+              2e-2 * model.plpt(counts));
+}
+
+// Pre-charge-related activity dominates functional-mode test power but
+// stays under the 70-80 % total share the paper cites from [8].
+TEST(Integration, FunctionalPrechargeShareWithinCitedBound) {
+  SessionConfig cfg = paper_config();
+  cfg.mode = Mode::kFunctional;
+  TestSession s(cfg);
+  const auto r = s.run(march::algorithms::mats_plus());
+  const double share = r.meter.precharge_total() / r.meter.supply_total();
+  EXPECT_GT(share, 0.40);
+  EXPECT_LT(share, core::paper_claims::kPrechargeShareUpper);
+}
+
+// In LP mode the remaining pre-charge activity collapses to a few percent.
+TEST(Integration, LpPrechargeShareCollapses) {
+  SessionConfig cfg = paper_config();
+  cfg.mode = Mode::kLowPowerTest;
+  TestSession s(cfg);
+  const auto r = s.run(march::algorithms::mats_plus());
+  const double share = r.meter.precharge_total() / r.meter.supply_total();
+  EXPECT_LT(share, 0.20);
+}
+
+// Paper §5 source 4 at full scale: alpha in (2, 10).
+TEST(Integration, AlphaWithinBoundsAtFullSize) {
+  SessionConfig cfg = paper_config();
+  cfg.mode = Mode::kLowPowerTest;
+  TestSession s(cfg);
+  const auto r = s.run(march::algorithms::mats_plus());
+  EXPECT_GT(r.stats.alpha_post_op(), core::paper_claims::kAlphaLow);
+  EXPECT_LT(r.stats.alpha_post_op(), core::paper_claims::kAlphaHigh);
+}
+
+// Paper §5 source 2: a one-operation element sees a row transition every
+// #cols cycles; a four-operation element every 4 * #cols.
+TEST(Integration, RowTransitionFrequencyMatchesFormula) {
+  for (const auto& [notation, ops] :
+       {std::pair{"{ B(w0) }", 1}, std::pair{"{ B(w0,w1,w0,w1) }", 4}}) {
+    SessionConfig cfg = paper_config();
+    cfg.mode = Mode::kLowPowerTest;
+    TestSession s(cfg);
+    const auto r = s.run(march::parse_march("probe", notation));
+    ASSERT_GT(r.stats.row_transitions, 0u);
+    const double period = static_cast<double>(r.cycles) /
+                          static_cast<double>(r.stats.row_transitions + 1);
+    EXPECT_NEAR(period, 512.0 * ops, 1.0) << notation;
+  }
+}
+
+// The LPtest driver and control logic are negligible at full scale
+// (paper §5 sources 3 and 5).
+TEST(Integration, SecondOrderSourcesAreNegligible) {
+  SessionConfig cfg = paper_config();
+  cfg.mode = Mode::kLowPowerTest;
+  TestSession s(cfg);
+  const auto r = s.run(march::algorithms::mats_plus());
+  const double total = r.meter.supply_total();
+  EXPECT_LT(r.meter.total(power::EnergySource::kLpTestDriver), 1e-3 * total);
+  EXPECT_LT(r.meter.total(power::EnergySource::kControlLogic), 1e-3 * total);
+  EXPECT_LT(r.meter.total(power::EnergySource::kCellRes), 5e-3 * total);
+}
+
+}  // namespace

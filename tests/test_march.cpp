@@ -1,0 +1,182 @@
+// Unit tests for the March DSL: operations, elements, parser, the
+// algorithm library (validated against the paper's Table 1 counts), and
+// data-background complementation.
+#include <gtest/gtest.h>
+
+#include "core/paper_reference.h"
+#include "march/algorithms.h"
+#include "march/parser.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using march::Direction;
+using march::Operation;
+
+// --- operations -----------------------------------------------------------
+
+TEST(Operation, Classification) {
+  EXPECT_TRUE(march::is_read(Operation::kR0));
+  EXPECT_TRUE(march::is_read(Operation::kR1));
+  EXPECT_TRUE(march::is_write(Operation::kW0));
+  EXPECT_TRUE(march::is_write(Operation::kW1));
+  EXPECT_FALSE(march::value_of(Operation::kR0));
+  EXPECT_TRUE(march::value_of(Operation::kW1));
+}
+
+TEST(Operation, ComplementFlipsDataOnly) {
+  EXPECT_EQ(march::complement(Operation::kR0), Operation::kR1);
+  EXPECT_EQ(march::complement(Operation::kW1), Operation::kW0);
+  EXPECT_EQ(march::complement(march::complement(Operation::kR1)),
+            Operation::kR1);
+}
+
+TEST(Operation, Names) {
+  EXPECT_EQ(march::to_string(Operation::kR0), "r0");
+  EXPECT_EQ(march::to_string(Operation::kW1), "w1");
+}
+
+// --- parser ----------------------------------------------------------------
+
+TEST(Parser, ParsesMarchCMinus) {
+  const auto t = march::parse_march(
+      "c-", "{ B(w0); U(r0,w1); U(r1,w0); D(r0,w1); D(r1,w0); B(r0) }");
+  ASSERT_EQ(t.elements().size(), 6u);
+  EXPECT_EQ(t.elements()[0].direction, Direction::kEither);
+  EXPECT_EQ(t.elements()[1].direction, Direction::kUp);
+  EXPECT_EQ(t.elements()[3].direction, Direction::kDown);
+  EXPECT_EQ(t.elements()[1].ops,
+            (std::vector<Operation>{Operation::kR0, Operation::kW1}));
+}
+
+TEST(Parser, AcceptsAlternativeDirectionGlyphs) {
+  const auto t = march::parse_march("alt", "{ ~(w0); ^(r0); v(r0) }");
+  EXPECT_EQ(t.elements()[0].direction, Direction::kEither);
+  EXPECT_EQ(t.elements()[1].direction, Direction::kUp);
+  EXPECT_EQ(t.elements()[2].direction, Direction::kDown);
+}
+
+TEST(Parser, IsCaseInsensitiveForOps) {
+  const auto t = march::parse_march("case", "{ U(R0,W1) }");
+  EXPECT_EQ(t.elements()[0].ops,
+            (std::vector<Operation>{Operation::kR0, Operation::kW1}));
+}
+
+TEST(Parser, RoundTripsThroughNotation) {
+  const auto original = march::algorithms::march_ss();
+  const auto reparsed = march::parse_march("copy", original.str());
+  ASSERT_EQ(reparsed.elements().size(), original.elements().size());
+  for (std::size_t i = 0; i < original.elements().size(); ++i) {
+    EXPECT_EQ(reparsed.elements()[i].direction,
+              original.elements()[i].direction);
+    EXPECT_EQ(reparsed.elements()[i].ops, original.elements()[i].ops);
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(march::parse_march("x", "U(r0)"), Error);       // no braces
+  EXPECT_THROW(march::parse_march("x", "{ U() }"), Error);     // empty ops
+  EXPECT_THROW(march::parse_march("x", "{ Q(r0) }"), Error);   // bad dir
+  EXPECT_THROW(march::parse_march("x", "{ U(r2) }"), Error);   // bad value
+  EXPECT_THROW(march::parse_march("x", "{ U(x0) }"), Error);   // bad op
+  EXPECT_THROW(march::parse_march("x", "{ U(r0) } junk"), Error);
+  EXPECT_THROW(march::parse_march("x", "{ U(r0 w1) }"), Error);
+}
+
+TEST(Parser, ErrorMessagesCarryOffset) {
+  try {
+    march::parse_march("x", "{ U(r0); Q(r1) }");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+// --- stats vs the paper's Table 1 -------------------------------------------
+
+TEST(Algorithms, Table1CountsMatchThePaper) {
+  const auto tests = march::algorithms::table1();
+  ASSERT_EQ(tests.size(), core::kTable1.size());
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    const auto& row = core::kTable1[i];
+    const march::MarchStats s = tests[i].stats();
+    EXPECT_EQ(tests[i].name(), row.algorithm);
+    EXPECT_EQ(s.elements, row.elements) << row.algorithm;
+    EXPECT_EQ(s.operations, row.operations) << row.algorithm;
+    EXPECT_EQ(s.reads, row.reads) << row.algorithm;
+    EXPECT_EQ(s.writes, row.writes) << row.algorithm;
+  }
+}
+
+TEST(Algorithms, ClassicCountsFromTheLiterature) {
+  // van de Goor's op counts (complexity in N).
+  EXPECT_EQ(march::algorithms::mats().stats().operations, 4);
+  EXPECT_EQ(march::algorithms::mats_pp().stats().operations, 6);
+  EXPECT_EQ(march::algorithms::march_x().stats().operations, 6);
+  EXPECT_EQ(march::algorithms::march_y().stats().operations, 8);
+  EXPECT_EQ(march::algorithms::march_a().stats().operations, 15);
+  EXPECT_EQ(march::algorithms::march_b().stats().operations, 17);
+  EXPECT_EQ(march::algorithms::march_lr().stats().operations, 14);
+}
+
+TEST(Algorithms, AllAreWellFormed) {
+  for (const auto& t : march::algorithms::all()) {
+    EXPECT_FALSE(t.name().empty());
+    EXPECT_GE(t.elements().size(), 1u);
+    const auto s = t.stats();
+    EXPECT_EQ(s.reads + s.writes, s.operations) << t.name();
+    // Every March test starts by initialising the array with writes.
+    EXPECT_TRUE(march::is_write(t.elements()[0].ops[0])) << t.name();
+  }
+}
+
+TEST(Algorithms, CountsConvertToPowerModelInput) {
+  const auto c = march::algorithms::march_g().counts();
+  EXPECT_EQ(c.name, "March G");
+  EXPECT_EQ(c.elements, 7);
+  EXPECT_EQ(c.operations, 23);
+  EXPECT_NO_THROW(c.validate());
+}
+
+// --- complementation ---------------------------------------------------------
+
+TEST(MarchTest, ComplementedFlipsEveryOperation) {
+  const auto t = march::algorithms::mats_plus();
+  const auto inv = t.complemented();
+  ASSERT_EQ(inv.elements().size(), t.elements().size());
+  for (std::size_t e = 0; e < t.elements().size(); ++e)
+    for (std::size_t o = 0; o < t.elements()[e].ops.size(); ++o)
+      EXPECT_EQ(inv.elements()[e].ops[o],
+                march::complement(t.elements()[e].ops[o]));
+  // Stats are invariant under complementation except read/write polarity.
+  EXPECT_EQ(inv.stats().operations, t.stats().operations);
+  EXPECT_EQ(inv.stats().reads, t.stats().reads);
+}
+
+TEST(MarchTest, NotationPrintsAllElements) {
+  const auto t = march::algorithms::mats_plus();
+  EXPECT_EQ(t.str(), "{ B(w0); U(r0,w1); D(r1,w0) }");
+}
+
+TEST(MarchTest, RejectsEmptyConstruction) {
+  EXPECT_THROW(march::MarchTest("empty", {}), Error);
+  march::MarchElement e;
+  EXPECT_THROW(march::MarchTest("no-ops", {e}), Error);
+}
+
+
+TEST(Algorithms, MarchIcMinusSharesCMinusOperations) {
+  // March iC- keeps March C-'s element structure; it differs only in
+  // requiring the fast-column (word-line-after-word-line) order to
+  // sensitise ADOFs, which is an addressing property, not an op change.
+  const auto ic = march::algorithms::march_ic_minus();
+  const auto c = march::algorithms::march_c_minus();
+  ASSERT_EQ(ic.elements().size(), c.elements().size());
+  for (std::size_t i = 0; i < c.elements().size(); ++i) {
+    EXPECT_EQ(ic.elements()[i].direction, c.elements()[i].direction);
+    EXPECT_EQ(ic.elements()[i].ops, c.elements()[i].ops);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// Unit tests for the power module: energy-source taxonomy, meter,
+// technology parameters, and the paper's §5 analytic model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_reference.h"
+#include "power/analytic.h"
+#include "power/energy_source.h"
+#include "power/meter.h"
+#include "power/technology.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sramlp;
+using power::EnergySource;
+
+// --- energy source taxonomy ----------------------------------------------
+
+TEST(EnergySource, EveryEntryHasInfo) {
+  for (std::size_t i = 0; i < power::kEnergySourceCount; ++i) {
+    const auto s = static_cast<EnergySource>(i);
+    EXPECT_NE(power::to_string(s), nullptr);
+    EXPECT_GT(std::string(power::to_string(s)).size(), 0u);
+  }
+}
+
+TEST(EnergySource, DecayStressIsNotSupplyDrawn) {
+  EXPECT_FALSE(power::info(EnergySource::kBitlineDecayStress).supply_drawn);
+  EXPECT_TRUE(power::info(EnergySource::kPrechargeResFight).supply_drawn);
+}
+
+TEST(EnergySource, PrechargeRelatedSetMatchesPaperTargets) {
+  // The activity the paper reduces: RES fight, restores, follower recharge.
+  for (EnergySource s :
+       {EnergySource::kPrechargeResFight, EnergySource::kPrechargeRestoreRead,
+        EnergySource::kPrechargeRestoreWrite,
+        EnergySource::kPrechargeNextColumn,
+        EnergySource::kRowTransitionRestore})
+    EXPECT_TRUE(power::info(s).precharge_related) << power::to_string(s);
+  for (EnergySource s :
+       {EnergySource::kWordline, EnergySource::kDecoder,
+        EnergySource::kSenseAmp, EnergySource::kLpTestDriver})
+    EXPECT_FALSE(power::info(s).precharge_related) << power::to_string(s);
+}
+
+// --- meter ----------------------------------------------------------------
+
+TEST(EnergyMeter, AccumulatesPerSource) {
+  power::EnergyMeter m;
+  m.add(EnergySource::kSenseAmp, 1e-12);
+  m.add(EnergySource::kSenseAmp, 2e-12);
+  m.add(EnergySource::kDecoder, 5e-12);
+  EXPECT_DOUBLE_EQ(m.total(EnergySource::kSenseAmp), 3e-12);
+  EXPECT_DOUBLE_EQ(m.total(EnergySource::kDecoder), 5e-12);
+  EXPECT_DOUBLE_EQ(m.supply_total(), 8e-12);
+}
+
+TEST(EnergyMeter, SupplyExcludesStoredChargeStress) {
+  power::EnergyMeter m;
+  m.add(EnergySource::kBitlineDecayStress, 7e-12);
+  m.add(EnergySource::kWordline, 1e-12);
+  EXPECT_DOUBLE_EQ(m.supply_total(), 1e-12);
+  EXPECT_DOUBLE_EQ(m.total(EnergySource::kBitlineDecayStress), 7e-12);
+}
+
+TEST(EnergyMeter, PrechargeTotalSelectsRelatedSources) {
+  power::EnergyMeter m;
+  m.add(EnergySource::kPrechargeResFight, 3e-12);
+  m.add(EnergySource::kClockTree, 10e-12);
+  EXPECT_DOUBLE_EQ(m.precharge_total(), 3e-12);
+}
+
+TEST(EnergyMeter, PerCycleAveraging) {
+  power::EnergyMeter m;
+  m.add(EnergySource::kClockTree, 6e-12);
+  EXPECT_EQ(m.supply_per_cycle(), 0.0);  // no cycles yet
+  m.tick_cycle();
+  m.tick_cycle();
+  EXPECT_DOUBLE_EQ(m.supply_per_cycle(), 3e-12);
+  EXPECT_EQ(m.cycles(), 2u);
+}
+
+TEST(EnergyMeter, BreakdownSortedAndShared) {
+  power::EnergyMeter m;
+  m.add(EnergySource::kClockTree, 1e-12);
+  m.add(EnergySource::kPrechargeResFight, 3e-12);
+  const auto b = m.breakdown();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].source, EnergySource::kPrechargeResFight);
+  EXPECT_DOUBLE_EQ(b[0].share, 0.75);
+  EXPECT_DOUBLE_EQ(b[1].share, 0.25);
+}
+
+TEST(EnergyMeter, RejectsNegativeEnergy) {
+  power::EnergyMeter m;
+  EXPECT_THROW(m.add(EnergySource::kDecoder, -1.0), Error);
+  EXPECT_THROW(m.add(EnergySource::kCount, 1.0), Error);
+}
+
+TEST(EnergyMeter, ResetClearsEverything) {
+  power::EnergyMeter m;
+  m.add(EnergySource::kDecoder, 1e-12);
+  m.tick_cycle();
+  m.reset();
+  EXPECT_EQ(m.supply_total(), 0.0);
+  EXPECT_EQ(m.cycles(), 0u);
+}
+
+// --- technology ------------------------------------------------------------
+
+TEST(Technology, DerivedEnergiesMatchClosedForms) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  EXPECT_DOUBLE_EQ(t.e_res_fight_per_cycle(),
+                   t.vdd * t.res_fight_current * 0.5 * t.clock_period);
+  EXPECT_DOUBLE_EQ(t.e_read_restore(), t.c_bitline * t.vdd * t.read_swing);
+  EXPECT_DOUBLE_EQ(t.e_write_restore(), t.c_bitline * t.vdd * t.vdd);
+  EXPECT_DOUBLE_EQ(t.e_wordline(512),
+                   512.0 * t.c_wordline_per_column * t.vdd * t.vdd);
+  EXPECT_DOUBLE_EQ(t.e_lptest_driver(512), t.e_wordline(512));
+  EXPECT_DOUBLE_EQ(t.e_bitline_restore_from(t.vdd), 0.0);
+  EXPECT_GT(t.e_bitline_restore_from(0.0), 0.0);
+}
+
+// Paper Fig. 6: the floating bit-line reaches logic 0 in ~9 cycles; with
+// tau = 3 cycles and a 5 % threshold the closed form gives 3 ln 20 = 8.99.
+TEST(Technology, DischargeTimeIsNearlyNineCycles) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  EXPECT_NEAR(t.cycles_to_discharge(), core::paper_claims::kDischargeCycles,
+              0.5);
+}
+
+TEST(Technology, DecayIsExponential) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const double v3 = t.decayed_voltage(1.6, 3.0);
+  EXPECT_NEAR(v3, 1.6 * std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(t.decayed_voltage(1.6, 0.0), 1.6);
+  EXPECT_THROW(t.decayed_voltage(1.6, -1.0), Error);
+}
+
+// Paper §5 source 4: cell dissipation during RES is ~3 orders of magnitude
+// below the pre-charge circuit's.
+TEST(Technology, CellResThreeOrdersBelowPrecharge) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const double ratio = t.e_cell_res_dynamic() / t.e_res_fight_per_cycle();
+  EXPECT_LT(ratio, 5e-3);
+  EXPECT_GT(ratio, 1e-5);
+}
+
+// Paper §5 source 5: the control element load is ~3 orders below a bit-line.
+TEST(Technology, ControlElementThreeOrdersBelowBitline) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  EXPECT_LT(t.c_control_element, 2e-3 * t.c_bitline);
+}
+
+TEST(Technology, ValidateRejectsBadParameters) {
+  auto t = power::TechnologyParams::tech_0p13um();
+  t.vdd = 0.0;
+  EXPECT_THROW(t.validate(), Error);
+  t = power::TechnologyParams::tech_0p13um();
+  t.read_swing = 2.0;  // beyond the rail
+  EXPECT_THROW(t.validate(), Error);
+  t = power::TechnologyParams::tech_0p13um();
+  t.discharged_threshold = 1.5;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+// --- analytic model ---------------------------------------------------------
+
+power::AlgorithmCounts march_c_minus_counts() {
+  return {"March C-", 6, 10, 5, 5};
+}
+
+TEST(AnalyticModel, CountsValidation) {
+  power::AlgorithmCounts bad{"x", 1, 3, 1, 1};  // 1+1 != 3
+  EXPECT_THROW(bad.validate(), Error);
+  EXPECT_NO_THROW(march_c_minus_counts().validate());
+}
+
+TEST(AnalyticModel, PfIsReadWriteWeightedAverage) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const power::AnalyticModel m(t, 512, 512);
+  const auto c = march_c_minus_counts();
+  EXPECT_NEAR(m.pf(c), 0.5 * (m.pr() + m.pw()), 1e-18);
+  EXPECT_GT(m.pw(), m.pr());  // paper: writes cost more than reads
+}
+
+// The paper's two worked examples for F(row transition): one-op elements
+// see a transition every 512 cycles, four-op elements every 2048.
+TEST(AnalyticModel, RowTransitionPeriodsMatchPaperExamples) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const power::AnalyticModel m(t, 512, 512);
+  EXPECT_DOUBLE_EQ(m.row_transition_period_cycles(1),
+                   core::paper_claims::kRowTransitionPeriod1op);
+  EXPECT_DOUBLE_EQ(m.row_transition_period_cycles(4),
+                   core::paper_claims::kRowTransitionPeriod4op);
+}
+
+TEST(AnalyticModel, PaperFormulaMatchesVerbatim) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const power::AnalyticModel m(t, 512, 512);
+  const auto c = march_c_minus_counts();
+  const double expected =
+      m.pf(c) - (510.0 * m.p_a() - (6.0 / 10.0) * m.p_b());
+  EXPECT_NEAR(m.plpt_paper(c), expected, 1e-18);
+}
+
+TEST(AnalyticModel, RefinedAndPaperFormulasAgreeClosely) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const power::AnalyticModel m(t, 512, 512);
+  for (const auto& row : core::kTable1) {
+    const power::AlgorithmCounts c{row.algorithm, row.elements,
+                                   row.operations, row.reads, row.writes};
+    // The second-order terms the paper neglects shift PRR by a few percent
+    // at most.
+    EXPECT_NEAR(m.prr(c), m.prr_paper(c), 0.06) << row.algorithm;
+  }
+}
+
+// Regression against the paper's Table 1: every algorithm lands in the
+// published 47-51 % band within ±2.5 points of its published value.
+TEST(AnalyticModel, PrrMatchesTable1Band) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const power::AnalyticModel m(t, 512, 512);
+  for (const auto& row : core::kTable1) {
+    const power::AlgorithmCounts c{row.algorithm, row.elements,
+                                   row.operations, row.reads, row.writes};
+    EXPECT_NEAR(m.prr(c), row.prr, 0.025) << row.algorithm;
+    EXPECT_GT(m.prr(c), 0.45) << row.algorithm;
+    EXPECT_LT(m.prr(c), 0.55) << row.algorithm;
+  }
+}
+
+// Paper §5: "the power dissipation reduction depends on the memory array
+// organisation" — wider arrays save more.
+TEST(AnalyticModel, SavingGrowsWithColumnCount) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const auto c = march_c_minus_counts();
+  double last = 0.0;
+  for (std::size_t cols : {64u, 128u, 256u, 512u, 1024u}) {
+    const power::AnalyticModel m(t, 512, cols);
+    const double prr = m.prr(c);
+    EXPECT_GT(prr, last) << cols;
+    last = prr;
+  }
+}
+
+// Word-oriented generalisation (paper §6): wider words keep more pre-charge
+// circuits busy, so the saving shrinks with word width.
+TEST(AnalyticModel, PrrShrinksWithWordWidth) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  const auto c = march_c_minus_counts();
+  double last = 1.0;
+  for (std::size_t w : {1u, 2u, 4u, 8u, 16u}) {
+    const power::AnalyticModel m(t, 512, 512, w);
+    const double prr = m.prr(c);
+    EXPECT_LT(prr, last) << w;
+    last = prr;
+  }
+}
+
+TEST(AnalyticModel, RejectsBadGeometry) {
+  const auto t = power::TechnologyParams::tech_0p13um();
+  EXPECT_THROW(power::AnalyticModel(t, 0, 512), Error);
+  EXPECT_THROW(power::AnalyticModel(t, 512, 512, 3), Error);   // 512 % 3 != 0
+  EXPECT_THROW(power::AnalyticModel(t, 512, 4, 4), Error);     // < 2 groups
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// March delay ("Del") elements and data-retention faults: parsing, idle
+// semantics (energy, bit-line hold), and the detection separation between
+// March G with and without its pauses.
+#include <gtest/gtest.h>
+
+#include "core/bist.h"
+#include "core/fault_campaign.h"
+#include "core/session.h"
+#include "faults/models.h"
+#include "march/algorithms.h"
+#include "march/parser.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+using faults::FaultKind;
+using faults::FaultSpec;
+using sram::Mode;
+
+// --- parsing and structure ---------------------------------------------------
+
+TEST(PauseElements, ParserAcceptsDel) {
+  const auto t = march::parse_march("probe", "{ B(w0); Del; B(r0) }");
+  ASSERT_EQ(t.elements().size(), 3u);
+  EXPECT_FALSE(t.elements()[0].is_pause());
+  EXPECT_TRUE(t.elements()[1].is_pause());
+  EXPECT_EQ(t.elements()[1].pause_cycles, march::kDefaultPauseCycles);
+  EXPECT_EQ(t.elements()[1].str(), "Del");
+}
+
+TEST(PauseElements, DelDoesNotCollideWithDownDirection) {
+  const auto t = march::parse_march("probe", "{ D(r0); Del; D(w1) }");
+  EXPECT_EQ(t.elements()[0].direction, march::Direction::kDown);
+  EXPECT_TRUE(t.elements()[1].is_pause());
+  EXPECT_EQ(t.elements()[2].direction, march::Direction::kDown);
+}
+
+TEST(PauseElements, StatsSkipPauses) {
+  // The paper's Table 1 counts March G without its delays.
+  const auto with = march::algorithms::march_g_with_delays().stats();
+  const auto without = march::algorithms::march_g().stats();
+  EXPECT_EQ(with.elements, without.elements);
+  EXPECT_EQ(with.operations, without.operations);
+  EXPECT_EQ(with.reads, without.reads);
+  EXPECT_EQ(with.writes, without.writes);
+}
+
+TEST(PauseElements, NotationRoundTrips) {
+  const auto original = march::algorithms::march_g_with_delays();
+  const auto reparsed = march::parse_march("copy", original.str());
+  EXPECT_EQ(reparsed.str(), original.str());
+}
+
+TEST(PauseElements, ValidationRejectsOpsOnPause) {
+  march::MarchElement bad;
+  bad.pause_cycles = 10;
+  bad.ops.push_back(march::Operation::kR0);
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+// --- idle semantics -------------------------------------------------------------
+
+TEST(IdleCycles, OnlyClockAndControlBurn) {
+  sram::SramConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  sram::SramArray array(cfg);
+  array.idle(100);
+  EXPECT_EQ(array.meter().cycles(), 100u);
+  const double expected =
+      100.0 * (cfg.tech.e_clock_tree + cfg.tech.e_control_base);
+  EXPECT_NEAR(array.meter().supply_total(), expected, 1e-18);
+}
+
+TEST(IdleCycles, FloatingBitlinesHoldThroughIdle) {
+  sram::SramConfig cfg;
+  cfg.geometry = {2, 8, 1};
+  cfg.mode = Mode::kLowPowerTest;
+  sram::SramArray array(cfg);
+  // Operate along row 0; columns decay behind the selection.
+  for (std::size_t c = 0; c < 8; ++c) {
+    sram::CycleCommand cmd;
+    cmd.row = 0;
+    cmd.col_group = c;
+    cmd.is_read = false;
+    cmd.value = true;
+    array.cycle(cmd);
+  }
+  const double before = array.bitline_low_side_voltage(0);
+  array.idle(50);  // word lines low: no discharge path
+  EXPECT_NEAR(array.bitline_low_side_voltage(0), before, 1e-12);
+}
+
+TEST(IdleCycles, SessionRunsDelaysInBothModes) {
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    SessionConfig cfg;
+    cfg.geometry = {4, 8, 1};
+    cfg.mode = mode;
+    TestSession session(cfg);
+    const auto r = session.run(march::algorithms::march_g_with_delays());
+    EXPECT_EQ(r.mismatches, 0u) << static_cast<int>(mode);
+    EXPECT_EQ(r.stats.faulty_swaps, 0u);
+    // 23 ops x 32 addresses + 2 pauses x 1024 cycles.
+    EXPECT_EQ(r.cycles, 23u * 32u + 2u * march::kDefaultPauseCycles);
+  }
+}
+
+TEST(IdleCycles, BistRejectsDelayElements) {
+  EXPECT_THROW(
+      core::BistProgram::compile(march::algorithms::march_g_with_delays()),
+      Error);
+}
+
+// --- data-retention fault ---------------------------------------------------------
+
+TEST(DataRetention, LeaksAfterEnoughIdleOnly) {
+  FaultSpec f;
+  f.kind = FaultKind::kDataRetention;
+  f.victim = {1, 1};
+  f.forced_value = true;
+  f.retention_idle_cycles = 80;
+  faults::FaultSet set({f});
+
+  sram::SramConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  sram::SramArray array(cfg);
+  array.attach_fault_model(&set);
+  array.poke(1, 1, false);
+
+  array.idle(50);
+  EXPECT_FALSE(array.peek(1, 1));  // below the threshold
+  array.idle(50);                  // cumulative 100 >= 80
+  EXPECT_TRUE(array.peek(1, 1));
+  EXPECT_NE(f.describe().find("DRF"), std::string::npos);
+}
+
+// March G detects the retention fault only WITH its delay elements — the
+// reason the delays exist.
+TEST(DataRetention, DelaysSeparateMarchGVariants) {
+  FaultSpec f;
+  f.kind = FaultKind::kDataRetention;
+  f.victim = {2, 5};
+  f.forced_value = true;  // leaks to 1 while the array holds 0
+  f.retention_idle_cycles = 1000;
+
+  SessionConfig cfg;
+  cfg.geometry = {8, 8, 1};
+  EXPECT_FALSE(core::detects_fault(cfg, march::algorithms::march_g(), f));
+  EXPECT_TRUE(core::detects_fault(
+      cfg, march::algorithms::march_g_with_delays(), f));
+
+  // And the detection survives the low-power test mode (the pauses restore
+  // all bit-lines first, so the idle window behaves identically).
+  SessionConfig lp = cfg;
+  lp.mode = Mode::kLowPowerTest;
+  EXPECT_TRUE(core::detects_fault(
+      lp, march::algorithms::march_g_with_delays(), f));
+}
+
+TEST(DataRetention, OppositePolarityCaughtBySecondDelay) {
+  // A cell leaking to 0 is exposed by the element after the second delay
+  // (which reads r1 first).
+  FaultSpec f;
+  f.kind = FaultKind::kDataRetention;
+  f.victim = {3, 3};
+  f.forced_value = false;
+  f.retention_idle_cycles = 1500;  // fires during the SECOND pause
+  SessionConfig cfg;
+  cfg.geometry = {8, 8, 1};
+  EXPECT_TRUE(core::detects_fault(
+      cfg, march::algorithms::march_g_with_delays(), f));
+}
+
+}  // namespace

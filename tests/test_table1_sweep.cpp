@@ -1,0 +1,90 @@
+// Parameterised regression over all five Table 1 algorithms at a mid-size
+// geometry: the cycle simulator must track the §5 closed-form model for
+// both PF and PLPT, restores must match row transitions exactly, and the
+// PRR ordering trend (row-transition frequency #elm/#ops) must hold.
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "power/analytic.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::TestSession;
+using sram::Mode;
+
+constexpr std::size_t kRows = 64;
+constexpr std::size_t kCols = 256;
+
+class Table1Algorithm : public ::testing::TestWithParam<int> {
+ protected:
+  march::MarchTest test() const {
+    return march::algorithms::table1()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(Table1Algorithm, SimulatorTracksClosedForm) {
+  const auto t = test();
+  SessionConfig cfg;
+  cfg.geometry = {kRows, kCols, 1};
+  const auto cmp = TestSession::compare_modes(cfg, t);
+  const power::AnalyticModel model(power::TechnologyParams::tech_0p13um(),
+                                   kRows, kCols);
+  const auto counts = t.counts();
+  EXPECT_NEAR(cmp.functional.energy_per_cycle_j, model.pf(counts),
+              1e-3 * model.pf(counts))
+      << t.name();
+  EXPECT_NEAR(cmp.low_power.energy_per_cycle_j, model.plpt(counts),
+              2e-2 * model.plpt(counts))
+      << t.name();
+  EXPECT_NEAR(cmp.prr, model.prr(counts), 0.01) << t.name();
+}
+
+TEST_P(Table1Algorithm, RestoresEqualRowTransitions) {
+  const auto t = test();
+  SessionConfig cfg;
+  cfg.geometry = {kRows, kCols, 1};
+  cfg.mode = Mode::kLowPowerTest;
+  TestSession session(cfg);
+  const auto r = session.run(t);
+  EXPECT_EQ(r.stats.restore_cycles, r.stats.row_transitions) << t.name();
+  EXPECT_EQ(r.stats.faulty_swaps, 0u) << t.name();
+  EXPECT_EQ(r.mismatches, 0u) << t.name();
+}
+
+TEST_P(Table1Algorithm, CycleCountMatchesComplexity) {
+  const auto t = test();
+  SessionConfig cfg;
+  cfg.geometry = {kRows, kCols, 1};
+  TestSession session(cfg);
+  const auto r = session.run(t);
+  EXPECT_EQ(r.cycles, static_cast<std::uint64_t>(t.stats().operations) *
+                          kRows * kCols)
+      << t.name();
+}
+
+std::string table1_name(const ::testing::TestParamInfo<int>& param) {
+  static const char* names[] = {"MarchCminus", "MarchSS", "MATSplus",
+                                "MarchSR", "MarchG"};
+  return names[param.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, Table1Algorithm, ::testing::Range(0, 5),
+                         table1_name);
+
+// The dominant ordering driver in our model: higher #elm/#ops (more
+// frequent row transitions + follower recharges) costs PRR.
+TEST(Table1Trend, RowTransitionFrequencyOrdersPrr) {
+  SessionConfig cfg;
+  cfg.geometry = {kRows, kCols, 1};
+  const double prr_mats =
+      TestSession::compare_modes(cfg, march::algorithms::mats_plus()).prr;
+  const double prr_ss =
+      TestSession::compare_modes(cfg, march::algorithms::march_ss()).prr;
+  // MATS+ has #elm/#ops = 0.60, March SS 0.27: SS must save more.
+  EXPECT_GT(prr_ss, prr_mats);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Unit tests for the util module: tables, charts, RNG, statistics, units.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/ascii_chart.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sramlp;
+
+// --- table ---------------------------------------------------------------
+
+TEST(Table, RendersHeadersAndRows) {
+  util::Table t({"Algorithm", "PRR"});
+  t.add_row({"March C-", "47.3 %"});
+  const std::string s = t.str("Table 1");
+  EXPECT_NE(s.find("Table 1"), std::string::npos);
+  EXPECT_NE(s.find("Algorithm"), std::string::npos);
+  EXPECT_NE(s.find("March C-"), std::string::npos);
+  EXPECT_NE(s.find("47.3 %"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  util::Table t({"A"});
+  t.add_row({"wide-cell-content"});
+  const std::string s = t.str();
+  // Every rendered line between rules must share the same width.
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  ASSERT_GE(lines.size(), 4u);
+  for (const auto& l : lines) EXPECT_EQ(l.size(), lines.front().size());
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  util::Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(util::Table({}), Error);
+}
+
+TEST(Table, CountsRows) {
+  util::Table t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+// --- formatting ----------------------------------------------------------
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(util::fmt(2.0, 0), "2");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(util::fmt_percent(0.473), "47.3 %");
+  EXPECT_EQ(util::fmt_percent(0.5, 0), "50 %");
+}
+
+TEST(Format, Count) { EXPECT_EQ(util::fmt_count(512), "512"); }
+
+// --- units ---------------------------------------------------------------
+
+TEST(Units, RoundTrip) {
+  EXPECT_DOUBLE_EQ(units::as_fJ(65 * units::fJ), 65.0);
+  EXPECT_DOUBLE_EQ(units::as_pJ(1.28 * units::pJ), 1.28);
+  EXPECT_DOUBLE_EQ(units::as_ns(3 * units::ns), 3.0);
+  EXPECT_DOUBLE_EQ(units::as_mV(400 * units::mV), 400.0);
+  EXPECT_DOUBLE_EQ(units::as_uA(28 * units::uA), 28.0);
+}
+
+// --- rng -----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  util::Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 512ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  util::Rng rng(11);
+  util::shuffle(v, rng);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  util::Rng rng(13);
+  util::shuffle(v, rng);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i)
+    if (v[static_cast<std::size_t>(i)] != i) ++moved;
+  EXPECT_GT(moved, 80);
+}
+
+// --- stats ---------------------------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+  util::RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  util::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(ApproxEqual, RelativeTolerance) {
+  EXPECT_TRUE(util::approx_equal(100.0, 100.0 + 1e-8, 1e-9));
+  EXPECT_FALSE(util::approx_equal(100.0, 101.0, 1e-9));
+  EXPECT_TRUE(util::approx_equal(100.0, 101.0, 0.02));
+  EXPECT_TRUE(util::approx_equal(0.0, 0.0));
+}
+
+// --- ascii chart ---------------------------------------------------------
+
+TEST(AsciiChart, DrawsSeriesGlyphs) {
+  util::Series s;
+  s.name = "v";
+  s.glyph = '*';
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  util::ChartOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  const std::string chart = util::render_chart({s}, opt);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("100.00"), std::string::npos);  // y max label
+}
+
+TEST(AsciiChart, LegendListsAllSeries) {
+  util::Series a{"alpha", 'a', {0, 1}, {0, 1}};
+  util::Series b{"beta", 'b', {0, 1}, {1, 0}};
+  const std::string chart = util::render_chart({a, b}, {});
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find("beta"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsBadInput) {
+  EXPECT_THROW(util::render_chart({}, {}), Error);
+  util::Series s{"x", '*', {0.0}, {}};
+  EXPECT_THROW(util::render_chart({s}, {}), Error);
+}
+
+TEST(AsciiChart, FixedYBoundsClipOutliers) {
+  util::Series s{"v", '*', {0, 1, 2}, {0.5, 5.0, 0.5}};
+  util::ChartOptions opt;
+  opt.autoscale_y = false;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  const std::string chart = util::render_chart({s}, opt);
+  // The outlier at y=5 is clipped, so the top label is the fixed bound.
+  EXPECT_NE(chart.find("1.00"), std::string::npos);
+  EXPECT_EQ(chart.find("5.00"), std::string::npos);
+}
+
+}  // namespace
