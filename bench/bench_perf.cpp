@@ -7,6 +7,7 @@
 #include "circuit/transient.h"
 #include "core/session.h"
 #include "ctrl/precharge_control.h"
+#include "engine/analytic_backend.h"
 #include "march/algorithms.h"
 
 namespace {
@@ -74,6 +75,36 @@ void BM_MarchRun(benchmark::State& state) {
                                            : "low-power (cycles/s)");
 }
 BENCHMARK(BM_MarchRun)->Arg(0)->Arg(1);
+
+// Backend face-off at the paper's full 512x512 scale: one fault-free March
+// C- sweep point (both modes, PRR) through the cycle-accurate array vs the
+// closed-form analytic backend.  The analytic backend must be >= 10x
+// faster (in practice it is orders of magnitude faster: O(1) vs 2.6M
+// simulated cycles per mode).
+void BM_SweepPoint512_CycleAccurate(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = sram::Geometry::paper_512x512();
+  const auto test = march::algorithms::march_c_minus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TestSession::compare_modes(cfg, test));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("512x512 March C- PRR points/s (cycle-accurate)");
+}
+BENCHMARK(BM_SweepPoint512_CycleAccurate)->Unit(benchmark::kMillisecond);
+
+void BM_SweepPoint512_Analytic(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = sram::Geometry::paper_512x512();
+  const auto test = march::algorithms::march_c_minus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::TestSession::compare_modes_analytic(cfg, test));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("512x512 March C- PRR points/s (analytic backend)");
+}
+BENCHMARK(BM_SweepPoint512_Analytic)->Unit(benchmark::kMillisecond);
 
 void BM_TransientStep(benchmark::State& state) {
   circuit::ColumnConfig cfg;

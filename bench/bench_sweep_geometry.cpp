@@ -19,10 +19,8 @@ using core::TestSession;
 
 void sweep_columns() {
   util::Table t({"organisation", "PF [pJ/cyc]", "PLPT [pJ/cyc]",
-                 "PRR (sim)", "PRR (model)"});
+                 "PRR (sim)", "PRR (analytic)"});
   const auto test = march::algorithms::march_c_minus();
-  const auto counts = test.counts();
-  const auto tech = power::TechnologyParams::tech_0p13um();
 
   for (const std::size_t cols : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
     SessionConfig cfg;
@@ -30,12 +28,14 @@ void sweep_columns() {
     const std::size_t rows = std::max<std::size_t>(1, 65536 / cols);
     cfg.geometry = {rows, cols, 1};
     const auto cmp = TestSession::compare_modes(cfg, test);
-    const power::AnalyticModel model(tech, rows, cols);
+    // Same sweep point through the engine's closed-form backend — the
+    // fast path for wide geometry scans.
+    const auto fast = TestSession::compare_modes_analytic(cfg, test);
     t.add_row({std::to_string(rows) + "x" + std::to_string(cols),
                util::fmt(units::as_pJ(cmp.functional.energy_per_cycle_j)),
                util::fmt(units::as_pJ(cmp.low_power.energy_per_cycle_j)),
                util::fmt_percent(cmp.prr),
-               util::fmt_percent(model.prr(counts))});
+               util::fmt_percent(fast.prr)});
   }
   std::fputs(t.str("PRR vs #columns (March C-, ~64k cells)").c_str(),
              stdout);

@@ -47,6 +47,13 @@ int main() {
                 "active)\n",
                 static_cast<unsigned long long>(
                     cmp.low_power.stats.faulty_swaps));
+
+    // 5. The same measurement through the engine's closed-form analytic
+    //    backend — no per-cell simulation, for fast sweeps.
+    const core::PrrComparison fast =
+        core::TestSession::compare_modes_analytic(config, test);
+    std::printf("analytic backend PRR:        %.1f %%  (closed form, O(1))\n",
+                100.0 * fast.prr);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "quickstart failed: %s\n", e.what());
     return 1;

@@ -6,6 +6,30 @@
 
 namespace sramlp::core {
 
+namespace {
+
+march::Operation to_operation(const BistMicroOp& micro) {
+  if (micro.is_read)
+    return micro.value ? march::Operation::kR1 : march::Operation::kR0;
+  return micro.value ? march::Operation::kW1 : march::Operation::kW0;
+}
+
+march::AddressOrder make_order(const sram::Geometry& geometry) {
+  geometry.validate();
+  return march::AddressOrder::word_line_after_word_line(
+      geometry.rows, geometry.col_groups());
+}
+
+engine::StreamOptions stream_options(const BistController::Options& options) {
+  engine::StreamOptions so;
+  so.low_power = options.mode == sram::Mode::kLowPowerTest;
+  so.row_transition_restore = options.row_transition_restore;
+  so.background = options.background;
+  return so;
+}
+
+}  // namespace
+
 BistProgram BistProgram::compile(const march::MarchTest& test) {
   BistProgram p;
   p.name_ = test.name();
@@ -24,6 +48,22 @@ BistProgram BistProgram::compile(const march::MarchTest& test) {
   return p;
 }
 
+march::MarchTest BistProgram::reassemble() const {
+  SRAMLP_REQUIRE(!elements_.empty(), "empty BIST program");
+  std::vector<march::MarchElement> elements;
+  elements.reserve(elements_.size());
+  for (const BistElementRecord& record : elements_) {
+    march::MarchElement element;
+    element.direction = record.descending ? march::Direction::kDown
+                                          : march::Direction::kUp;
+    element.ops.reserve(record.op_count);
+    for (std::uint32_t i = 0; i < record.op_count; ++i)
+      element.ops.push_back(to_operation(rom_[record.first_op + i]));
+    elements.push_back(std::move(element));
+  }
+  return march::MarchTest(name_, std::move(elements));
+}
+
 std::uint64_t BistProgram::cycle_count(std::size_t rows,
                                        std::size_t col_groups) const {
   return static_cast<std::uint64_t>(rom_.size()) *
@@ -34,63 +74,16 @@ std::uint64_t BistProgram::cycle_count(std::size_t rows,
 BistController::BistController(BistProgram program,
                                const sram::Geometry& geometry,
                                const Options& options)
-    : program_(std::move(program)), geometry_(geometry), options_(options) {
-  geometry_.validate();
-  SRAMLP_REQUIRE(!program_.elements().empty(), "empty BIST program");
-  done_ = false;
-}
-
-std::uint64_t BistController::current_index() const {
-  const auto& record = program_.elements()[element_];
-  const std::uint64_t words = geometry_.words();
-  return record.descending ? words - 1 - address_ : address_;
-}
-
-std::size_t BistController::row_of(std::size_t index) const {
-  // Word-line-after-word-line: the linear counter's high part is the row.
-  return index / geometry_.col_groups();
-}
-
-std::size_t BistController::col_of(std::size_t index) const {
-  return index % geometry_.col_groups();
-}
-
-std::optional<std::size_t> BistController::next_row() const {
-  const auto& record = program_.elements()[element_];
-  const std::uint64_t words = geometry_.words();
-  if (op_ + 1 < record.op_count) return row_of(current_index());
-  if (address_ + 1 < words) {
-    const std::uint64_t next = address_ + 1;
-    const std::uint64_t idx = record.descending ? words - 1 - next : next;
-    return row_of(idx);
-  }
-  if (element_ + 1 < program_.elements().size()) {
-    const auto& next_record = program_.elements()[element_ + 1];
-    return next_record.descending ? geometry_.rows - 1 : std::size_t{0};
-  }
-  return std::nullopt;
-}
+    : program_(std::move(program)),
+      geometry_(geometry),
+      options_(options),
+      order_(make_order(geometry_)),
+      stream_(program_.reassemble(), order_, stream_options(options_)) {}
 
 std::optional<sram::CycleCommand> BistController::peek() const {
-  if (done_) return std::nullopt;
-  const auto& record = program_.elements()[element_];
-  const std::uint64_t idx = current_index();
-  const BistMicroOp& micro = program_.rom()[record.first_op + op_];
-
-  sram::CycleCommand cmd;
-  cmd.row = row_of(idx);
-  cmd.col_group = col_of(idx);
-  cmd.is_read = micro.is_read;
-  cmd.value = micro.value;
-  cmd.background = options_.background;
-  cmd.scan = record.descending ? sram::Scan::kDescending
-                               : sram::Scan::kAscending;
-  const auto next = next_row();
-  cmd.restore_row_transition =
-      options_.mode == sram::Mode::kLowPowerTest &&
-      options_.row_transition_restore && op_ + 1 == record.op_count &&
-      next.has_value() && *next != cmd.row;
-  return cmd;
+  const engine::StreamStep* step = stream_.peek();
+  if (step == nullptr) return std::nullopt;
+  return step->command;
 }
 
 bool BistController::lptest_level() const {
@@ -101,33 +94,23 @@ bool BistController::lptest_level() const {
 }
 
 sram::CycleResult BistController::step(sram::SramArray& array) {
-  SRAMLP_REQUIRE(!done_, "stepping a finished BIST run");
+  SRAMLP_REQUIRE(!done(), "stepping a finished BIST run");
   SRAMLP_REQUIRE(array.geometry() == geometry_,
                  "array geometry does not match the program");
-  const auto cmd = peek();
-  const sram::CycleResult result = array.cycle(*cmd);
+  const sram::CycleCommand cmd = stream_.peek()->command;
+  const sram::CycleResult result = array.cycle(cmd);
   ++outcome_.cycles;
-  if (cmd->restore_row_transition) ++outcome_.restore_pulses;
-  if (cmd->is_read && result.mismatch) {
+  if (cmd.restore_row_transition) ++outcome_.restore_pulses;
+  if (cmd.is_read && result.mismatch) {
     ++outcome_.fails;
     outcome_.fail_latch = true;
   }
-  advance();
+  stream_.pop();
   return result;
 }
 
-void BistController::advance() {
-  const auto& record = program_.elements()[element_];
-  if (++op_ < record.op_count) return;
-  op_ = 0;
-  if (++address_ < geometry_.words()) return;
-  address_ = 0;
-  if (++element_ < program_.elements().size()) return;
-  done_ = true;
-}
-
 BistOutcome BistController::run(sram::SramArray& array) {
-  while (!done_) step(array);
+  while (!done()) step(array);
   return outcome_;
 }
 

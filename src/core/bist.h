@@ -9,20 +9,25 @@
 //   * BistProgram  — a March test compiled into a flat micro-instruction
 //     ROM (one entry per March operation, loop bounds implicit in the
 //     element records);
-//   * BistController — a small FSM with row/column counters, an operation
-//     pointer, a comparator with a fail latch, and the LPtest/restore
-//     decision logic.  One step() == one memory clock cycle.
+//   * BistController — a step-per-clock-cycle controller exposing the
+//     comparator with its fail latch and the LPtest line.  Sequencing
+//     (address counters, the restore decision) is NOT re-derived here:
+//     the controller reassembles its ROM into a March test and pulls
+//     cycles from the same engine::CommandStream that drives TestSession,
+//     so the two can never disagree on scheduling.
 //
-// The FSM produces exactly the same cycle stream as core::TestSession
-// (asserted by tests/test_bist.cpp), and can optionally drive the
-// gate-level ctrl::PrechargeController in lock-step to cross-check the
-// behavioural array's pre-charge activity against the Fig. 8 netlist.
+// The controller produces exactly the same cycle stream as
+// core::TestSession (asserted by tests/test_bist.cpp), and can optionally
+// drive the gate-level ctrl::PrechargeController in lock-step to
+// cross-check the behavioural array's pre-charge activity against the
+// Fig. 8 netlist.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "engine/command_stream.h"
 #include "march/test.h"
 #include "sram/array.h"
 #include "sram/background.h"
@@ -54,6 +59,11 @@ class BistProgram {
   const std::vector<BistElementRecord>& elements() const { return elements_; }
   const std::string& name() const { return name_; }
 
+  /// Reassemble the ROM into a March test (the ROM is the single source of
+  /// truth; the controller sequences the reassembled test through the
+  /// engine's CommandStream).
+  march::MarchTest reassemble() const;
+
   /// Total cycles needed on a rows x col_groups array.
   std::uint64_t cycle_count(std::size_t rows, std::size_t col_groups) const;
 
@@ -71,8 +81,8 @@ struct BistOutcome {
   std::uint64_t restore_pulses = 0;
 };
 
-/// The FSM.  Owns counters and the program pointer; drives a caller-owned
-/// SramArray one cycle per step().
+/// The controller.  Owns its program and command stream; drives a
+/// caller-owned SramArray one cycle per step().
 class BistController {
  public:
   struct Options {
@@ -86,10 +96,11 @@ class BistController {
                  const Options& options);
 
   /// True once the program has run to completion.
-  bool done() const { return done_; }
+  bool done() const { return stream_.done(); }
 
-  /// The command the FSM will issue this cycle (visible for lock-step
-  /// checking against the gate-level controller); empty when done.
+  /// The command the controller will issue this cycle (visible for
+  /// lock-step checking against the gate-level controller); empty when
+  /// done.
   std::optional<sram::CycleCommand> peek() const;
 
   /// Execute one clock cycle against @p array; returns the cycle result.
@@ -105,22 +116,11 @@ class BistController {
   bool lptest_level() const;
 
  private:
-  void advance();
-  /// Row of the address the FSM will visit after the current cycle.
-  std::optional<std::size_t> next_row() const;
-  /// Linear word index of the current address under the element direction.
-  std::uint64_t current_index() const;
-  std::size_t col_of(std::size_t index) const;
-  std::size_t row_of(std::size_t index) const;
-
   BistProgram program_;
   sram::Geometry geometry_;
   Options options_;
-
-  std::size_t element_ = 0;  ///< element record pointer
-  std::uint64_t address_ = 0;///< linear address counter (0 .. words-1)
-  std::uint32_t op_ = 0;     ///< operation pointer within the element
-  bool done_ = false;
+  march::AddressOrder order_;  ///< word-line-after-word-line over geometry_
+  engine::CommandStream stream_;
   BistOutcome outcome_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/fault_campaign.h"
 
+#include "engine/parallel.h"
+
 namespace sramlp::core {
 
 std::size_t CampaignReport::detected_functional() const {
@@ -43,36 +45,45 @@ bool detects_fault(const SessionConfig& config, const march::MarchTest& test,
   return result.detected();
 }
 
+CampaignReport CampaignRunner::run(
+    const SessionConfig& config, const march::MarchTest& test,
+    const std::vector<faults::FaultSpec>& faults) const {
+  CampaignReport report;
+  report.algorithm = test.name();
+  report.entries.resize(faults.size());
+
+  // One fresh session pair per fault; entry i == faults[i] regardless of
+  // which worker executes it.
+  engine::parallel_for(
+      faults.size(), options_.threads, [&](std::size_t i) {
+        CampaignEntry entry;
+        entry.spec = faults[i];
+
+        for (const sram::Mode mode :
+             {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
+          SessionConfig cfg = config;
+          cfg.mode = mode;
+          faults::FaultSet set({faults[i]});
+          TestSession session(cfg);
+          session.attach_fault_model(&set);
+          const SessionResult result = session.run(test);
+          if (mode == sram::Mode::kFunctional) {
+            entry.detected_functional = result.detected();
+            entry.mismatches_functional = result.mismatches;
+          } else {
+            entry.detected_low_power = result.detected();
+            entry.mismatches_low_power = result.mismatches;
+          }
+        }
+        report.entries[i] = entry;
+      });
+  return report;
+}
+
 CampaignReport run_fault_campaign(
     const SessionConfig& config, const march::MarchTest& test,
     const std::vector<faults::FaultSpec>& faults) {
-  CampaignReport report;
-  report.algorithm = test.name();
-  report.entries.reserve(faults.size());
-
-  for (const faults::FaultSpec& spec : faults) {
-    CampaignEntry entry;
-    entry.spec = spec;
-
-    for (const sram::Mode mode :
-         {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
-      SessionConfig cfg = config;
-      cfg.mode = mode;
-      faults::FaultSet set({spec});
-      TestSession session(cfg);
-      session.attach_fault_model(&set);
-      const SessionResult result = session.run(test);
-      if (mode == sram::Mode::kFunctional) {
-        entry.detected_functional = result.detected();
-        entry.mismatches_functional = result.mismatches;
-      } else {
-        entry.detected_low_power = result.detected();
-        entry.mismatches_low_power = result.mismatches;
-      }
-    }
-    report.entries.push_back(entry);
-  }
-  return report;
+  return CampaignRunner().run(config, test, faults);
 }
 
 }  // namespace sramlp::core

@@ -1,6 +1,13 @@
 // Single-fault campaigns: inject each fault on a fresh array, run a March
 // test, record whether it was detected — in functional mode, in low-power
 // test mode, and optionally across address orders (DOF-1 verification).
+//
+// Campaigns are embarrassingly parallel (one independent session pair per
+// fault), so CampaignRunner fans the library out over a thread pool via
+// engine::parallel_for.  Entry i always describes faults[i] and every
+// per-fault computation is independent and deterministic, so the report is
+// bit-identical whatever the worker count — threads = 1 IS the serial
+// reference path.
 #pragma once
 
 #include <string>
@@ -34,8 +41,27 @@ struct CampaignReport {
   bool modes_agree() const;
 };
 
-/// Run @p test against each fault of @p faults, one at a time, on fresh
-/// arrays built from @p config (mode field ignored; both modes are run).
+/// Thread-pool executor for Table-1-scale fault campaigns.
+class CampaignRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = one per hardware thread, 1 = serial.
+    unsigned threads = 0;
+  };
+
+  CampaignRunner() = default;
+  explicit CampaignRunner(const Options& options) : options_(options) {}
+
+  /// Run @p test against each fault of @p faults, one at a time, on fresh
+  /// arrays built from @p config (mode field ignored; both modes are run).
+  CampaignReport run(const SessionConfig& config, const march::MarchTest& test,
+                     const std::vector<faults::FaultSpec>& faults) const;
+
+ private:
+  Options options_;
+};
+
+/// Convenience wrapper: run the campaign on all hardware threads.
 CampaignReport run_fault_campaign(const SessionConfig& config,
                                   const march::MarchTest& test,
                                   const std::vector<faults::FaultSpec>& faults);

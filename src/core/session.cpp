@@ -1,5 +1,9 @@
 #include "core/session.h"
 
+#include <string>
+
+#include "engine/analytic_backend.h"
+#include "engine/cycle_accurate_backend.h"
 #include "util/error.h"
 
 namespace sramlp::core {
@@ -19,9 +23,10 @@ sram::SramConfig make_array_config(const SessionConfig& config, bool lp_ok) {
   return ac;
 }
 
-sram::Scan to_scan(march::Direction direction) {
-  return direction == march::Direction::kDown ? sram::Scan::kDescending
-                                              : sram::Scan::kAscending;
+/// Power Reduction Ratio from a pair of per-cycle energies (Table 1).
+double prr_of(const SessionResult& functional, const SessionResult& low_power) {
+  const double pf = functional.energy_per_cycle_j;
+  return pf > 0.0 ? 1.0 - low_power.energy_per_cycle_j / pf : 0.0;
 }
 
 }  // namespace
@@ -50,83 +55,46 @@ TestSession::TestSession(const SessionConfig& config)
 }
 
 void TestSession::attach_fault_model(sram::CellFaultModel* model) {
+  faults_ = model;
   array_.attach_fault_model(model);
 }
 
-SessionResult TestSession::run(const march::MarchTest& input_test) {
-  const march::MarchTest test =
-      config_.invert_background ? input_test.complemented() : input_test;
+engine::CommandStream TestSession::make_stream(
+    const march::MarchTest& test) const {
+  engine::StreamOptions options;
+  options.low_power = array_.mode() == sram::Mode::kLowPowerTest;
+  options.row_transition_restore = config_.row_transition_restore;
+  options.invert_background = config_.invert_background;
+  options.background = config_.background;
+  return engine::CommandStream(test, *order_, options);
+}
 
-  array_.reset_measurements();
+SessionResult TestSession::run(const march::MarchTest& test) {
+  engine::CycleAccurateBackend backend(array_);
+  return run(test, backend);
+}
+
+SessionResult TestSession::run(const march::MarchTest& test,
+                               engine::ExecutionBackend& backend) {
+  SRAMLP_REQUIRE(faults_ == nullptr || backend.supports_faults(),
+                 std::string("backend '") + backend.name() +
+                     "' ignores fault models; detach the model or use a "
+                     "fault-capable backend");
+
+  engine::CommandStream stream = make_stream(test);
+  engine::ExecutionResult exec = backend.run(stream);
 
   SessionResult result;
-  result.algorithm = input_test.name();
+  result.algorithm = test.name();
   result.mode = array_.mode();
   result.fell_back_to_functional = fell_back_;
-
-  const bool lp = array_.mode() == sram::Mode::kLowPowerTest;
-  const std::size_t n = order_->size();
-  const auto& elements = test.elements();
-
-  for (std::size_t e = 0; e < elements.size(); ++e) {
-    const march::MarchElement& element = elements[e];
-    if (element.is_pause()) {
-      // Delay element: the memory idles with word lines low.
-      array_.idle(element.pause_cycles);
-      continue;
-    }
-    const march::Direction dir = element.direction;
-    const std::size_t ops = element.ops.size();
-
-    for (std::size_t step = 0; step < n; ++step) {
-      const march::Address& addr = order_->at(step, dir);
-
-      // Row of the next address in test order (for the restore decision).
-      // A following delay element forces a restore: bit-lines must not sit
-      // discharged through a long idle window.
-      std::optional<std::size_t> next_row;
-      bool restore_before_pause = false;
-      if (step + 1 < n) {
-        next_row = order_->at(step + 1, dir).row;
-      } else if (e + 1 < elements.size()) {
-        if (elements[e + 1].is_pause()) {
-          restore_before_pause = true;
-        } else {
-          const march::Direction next_dir = elements[e + 1].direction;
-          next_row = order_->at(0, next_dir).row;
-        }
-      }
-
-      for (std::size_t o = 0; o < ops; ++o) {
-        const march::Operation op = element.ops[o];
-        sram::CycleCommand cmd;
-        cmd.row = addr.row;
-        cmd.col_group = addr.col;
-        cmd.is_read = march::is_read(op);
-        cmd.value = march::value_of(op);
-        cmd.background = config_.background;
-        cmd.scan = to_scan(dir);
-        cmd.restore_row_transition =
-            lp && config_.row_transition_restore && o + 1 == ops &&
-            (restore_before_pause ||
-             (next_row.has_value() && *next_row != addr.row));
-
-        const sram::CycleResult r = array_.cycle(cmd);
-        if (cmd.is_read && r.mismatch) {
-          ++result.mismatches;
-          if (result.first_detections.size() < 16)
-            result.first_detections.push_back(
-                Detection{e, o, addr.row, addr.col});
-        }
-      }
-    }
-  }
-
-  result.cycles = array_.meter().cycles();
-  result.supply_energy_j = array_.meter().supply_total();
-  result.energy_per_cycle_j = array_.meter().supply_per_cycle();
-  result.meter = array_.meter();
-  result.stats = array_.stats();
+  result.cycles = exec.cycles;
+  result.supply_energy_j = exec.supply_energy_j;
+  result.energy_per_cycle_j = exec.energy_per_cycle_j;
+  result.meter = std::move(exec.meter);
+  result.stats = exec.stats;
+  result.mismatches = exec.mismatches;
+  result.first_detections = std::move(exec.first_detections);
   return result;
 }
 
@@ -147,8 +115,54 @@ PrrComparison TestSession::compare_modes(const SessionConfig& config,
   ls.attach_fault_model(faults);
   cmp.low_power = ls.run(test);
 
-  const double pf = cmp.functional.energy_per_cycle_j;
-  cmp.prr = pf > 0.0 ? 1.0 - cmp.low_power.energy_per_cycle_j / pf : 0.0;
+  cmp.prr = prr_of(cmp.functional, cmp.low_power);
+  return cmp;
+}
+
+PrrComparison TestSession::compare_modes_analytic(const SessionConfig& config,
+                                                  const march::MarchTest& test) {
+  // Session-free fast path: no per-cell array is ever built, and the two
+  // mode runs share one address order, so a sweep point costs O(words)
+  // for the order plus O(1) for the closed form.
+  const march::AddressOrder order =
+      config.order ? *config.order
+                   : march::AddressOrder::word_line_after_word_line(
+                         config.geometry.rows, config.geometry.col_groups());
+  SRAMLP_REQUIRE(order.rows() == config.geometry.rows &&
+                     order.col_groups() == config.geometry.col_groups(),
+                 "address order does not match the array geometry");
+  // Paper §4 fallback, as TestSession would resolve it for the LP leg.
+  const bool lp_ok = order.is_word_line_after_word_line();
+  SRAMLP_REQUIRE(lp_ok || !config.strict_lp_order,
+                 "low-power test mode requires the "
+                 "word-line-after-word-line address order (March DOF-1)");
+
+  engine::AnalyticBackend backend(config.tech, config.geometry);
+  const auto run_schedule = [&](bool low_power) {
+    engine::StreamOptions options;
+    options.low_power = low_power;
+    options.row_transition_restore = config.row_transition_restore;
+    options.invert_background = config.invert_background;
+    options.background = config.background;
+    engine::CommandStream stream(test, order, options);
+    const engine::ExecutionResult exec = backend.run(stream);
+
+    SessionResult result;
+    result.algorithm = test.name();
+    result.mode = low_power ? sram::Mode::kLowPowerTest
+                            : sram::Mode::kFunctional;
+    result.cycles = exec.cycles;
+    result.supply_energy_j = exec.supply_energy_j;
+    result.energy_per_cycle_j = exec.energy_per_cycle_j;
+    result.stats = exec.stats;
+    return result;
+  };
+
+  PrrComparison cmp;
+  cmp.functional = run_schedule(false);
+  cmp.low_power = run_schedule(lp_ok);
+  cmp.low_power.fell_back_to_functional = !lp_ok;
+  cmp.prr = prr_of(cmp.functional, cmp.low_power);
   return cmp;
 }
 

@@ -1,17 +1,18 @@
 // TestSession — the paper's low-power March testing flow, assembled.
 //
 // A session owns one simulated SRAM and runs March tests on it in either
-// operating mode.  It implements the sequencing responsibilities the paper
+// operating mode.  It implements the policy responsibilities the paper
 // assigns to the test controller:
 //
 //  * fixing the address sequence to word-line-after-word-line when the
 //    low-power test mode is selected (March DOF-1 makes this legal); any
 //    other order triggers the paper's §4 fallback to functional mode
 //    (or an error, when strict_lp_order is set);
-//  * issuing the one-cycle functional restore during the last operation on
-//    the last cell of each row (Fig. 7), unless the experiment disables it;
-//  * feeding the per-cycle scan direction so the controller pre-charges the
-//    correct follower column for descending March elements.
+//  * building the engine::CommandStream that resolves the per-cycle
+//    decisions (Fig. 7 restore scheduling, scan direction, background);
+//  * routing the stream through an engine::ExecutionBackend — the
+//    cycle-accurate array by default, or any caller-supplied backend
+//    (e.g. the closed-form analytic one for fault-free sweeps).
 //
 // compare_modes() packages the paper's headline measurement: the same
 // algorithm run in both modes on identical arrays, reduced to the Power
@@ -23,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/backend.h"
+#include "engine/command_stream.h"
 #include "march/address_order.h"
 #include "march/test.h"
 #include "power/meter.h"
@@ -51,13 +54,12 @@ struct SessionConfig {
   double swap_threshold_frac = 0.5;
 };
 
-/// Location of a detected mismatch (first few are recorded).
-struct Detection {
-  std::size_t element = 0;
-  std::size_t op = 0;
-  std::size_t row = 0;
-  std::size_t col_group = 0;
-};
+/// Location of a detected mismatch (the engine records the first
+/// engine::kMaxFirstDetections of them).
+using Detection = engine::Detection;
+
+/// Cap on SessionResult::first_detections, re-exported from the engine.
+inline constexpr std::size_t kMaxFirstDetections = engine::kMaxFirstDetections;
 
 /// Everything measured over one March run.
 struct SessionResult {
@@ -71,7 +73,7 @@ struct SessionResult {
   sram::ArrayStats stats;
   std::uint64_t mismatches = 0;
   bool detected() const { return mismatches > 0; }
-  std::vector<Detection> first_detections;  ///< capped at 16 entries
+  std::vector<Detection> first_detections;  ///< capped at kMaxFirstDetections
 };
 
 /// Functional vs low-power runs of the same algorithm plus the PRR.
@@ -93,8 +95,19 @@ class TestSession {
   /// Attach a fault model for subsequent runs (non-owning; nullptr clears).
   void attach_fault_model(sram::CellFaultModel* model);
 
-  /// Run one March test; meters are reset at the start of the run.
+  /// Build the command stream for @p test under this session's resolved
+  /// schedule (mode after fallback, restore policy, background).  The
+  /// session must outlive the stream (it owns the address order).
+  engine::CommandStream make_stream(const march::MarchTest& test) const;
+
+  /// Run one March test on the cycle-accurate backend (the session's own
+  /// array); meters are reset at the start of the run.
   SessionResult run(const march::MarchTest& test);
+
+  /// Run one March test through @p backend.  Backends that ignore fault
+  /// models are rejected while one is attached.
+  SessionResult run(const march::MarchTest& test,
+                    engine::ExecutionBackend& backend);
 
   /// Run @p test in functional and low-power mode on two identical arrays
   /// built from @p config (mode field ignored) and compute the PRR.
@@ -102,12 +115,18 @@ class TestSession {
                                      const march::MarchTest& test,
                                      sram::CellFaultModel* faults = nullptr);
 
+  /// compare_modes through the closed-form analytic backend: no per-cell
+  /// simulation, fault-free only — for geometry/algorithm sweeps.
+  static PrrComparison compare_modes_analytic(const SessionConfig& config,
+                                              const march::MarchTest& test);
+
  private:
   const march::AddressOrder& order() const { return *order_; }
 
   SessionConfig config_;
   std::optional<march::AddressOrder> order_;
   sram::SramArray array_;
+  sram::CellFaultModel* faults_ = nullptr;
   bool fell_back_ = false;
 };
 

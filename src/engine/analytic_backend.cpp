@@ -1,0 +1,53 @@
+#include "engine/analytic_backend.h"
+
+#include "power/analytic.h"
+#include "util/error.h"
+
+namespace sramlp::engine {
+
+ExecutionResult AnalyticBackend::run(CommandStream& stream) {
+  SRAMLP_REQUIRE(!stream.done(),
+                 "analytic backend needs the stream at its start");
+  SRAMLP_REQUIRE(!stream.options().low_power ||
+                     stream.options().row_transition_restore,
+                 "the closed-form PLPT assumes the Fig. 7 row-transition "
+                 "restore; run restore-disabled experiments on the "
+                 "cycle-accurate backend");
+  SRAMLP_REQUIRE(stream.order().size() == geometry_.words(),
+                 "address order does not match the backend geometry");
+
+  const power::AnalyticModel model(tech_, geometry_.rows, geometry_.cols,
+                                   geometry_.word_width);
+  const power::AlgorithmCounts counts = stream.test().counts();
+  const march::MarchStats march_stats = stream.test().stats();
+
+  const std::uint64_t op_cycles =
+      static_cast<std::uint64_t>(counts.operations) *
+      static_cast<std::uint64_t>(stream.order().size());
+  const std::uint64_t idle_cycles = march_stats.pause_cycles;
+
+  const double per_cycle = stream.options().low_power ? model.plpt(counts)
+                                                      : model.pf(counts);
+
+  ExecutionResult result;
+  result.cycles = op_cycles + idle_cycles;
+  result.supply_energy_j =
+      per_cycle * static_cast<double>(op_cycles) +
+      model.idle_energy_per_cycle() * static_cast<double>(idle_cycles);
+  result.energy_per_cycle_j =
+      result.cycles > 0
+          ? result.supply_energy_j / static_cast<double>(result.cycles)
+          : 0.0;
+  // The closed-form model has no per-source or per-cell state; only the
+  // aggregate counters are meaningful.
+  result.stats.cycles = result.cycles;
+  result.stats.reads = static_cast<std::uint64_t>(counts.reads) *
+                       static_cast<std::uint64_t>(stream.order().size());
+  result.stats.writes = static_cast<std::uint64_t>(counts.writes) *
+                        static_cast<std::uint64_t>(stream.order().size());
+
+  stream.skip_to_end();
+  return result;
+}
+
+}  // namespace sramlp::engine

@@ -1,0 +1,38 @@
+// The fast analytic backend: evaluates the paper's §5 closed-form model
+// (power::AnalyticModel) instead of simulating per-cell state.  One run
+// costs O(1) regardless of array size or algorithm length — orders of
+// magnitude faster than the cycle-accurate backend for fault-free
+// geometry / background / algorithm sweeps (Table 1 scale).
+//
+// Fault-free only: it has no cell state to disturb, so TestSession refuses
+// to route a session with an attached fault model through it.
+#pragma once
+
+#include "engine/backend.h"
+#include "power/technology.h"
+#include "sram/geometry.h"
+
+namespace sramlp::engine {
+
+class AnalyticBackend final : public ExecutionBackend {
+ public:
+  AnalyticBackend(const power::TechnologyParams& tech,
+                  const sram::Geometry& geometry)
+      : tech_(tech), geometry_(geometry) {
+    geometry_.validate();
+  }
+
+  const char* name() const override { return "analytic"; }
+  bool supports_faults() const override { return false; }
+
+  /// Evaluates the whole stream in closed form (the stream must be at its
+  /// start) and marks it exhausted.  The low-power schedule is taken from
+  /// the stream's options; PF / PLPT come from power::AnalyticModel.
+  ExecutionResult run(CommandStream& stream) override;
+
+ private:
+  power::TechnologyParams tech_;
+  sram::Geometry geometry_;
+};
+
+}  // namespace sramlp::engine

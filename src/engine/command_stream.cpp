@@ -1,0 +1,117 @@
+#include "engine/command_stream.h"
+
+#include "util/error.h"
+
+namespace sramlp::engine {
+
+namespace {
+
+sram::Scan to_scan(march::Direction direction) {
+  return direction == march::Direction::kDown ? sram::Scan::kDescending
+                                              : sram::Scan::kAscending;
+}
+
+}  // namespace
+
+CommandStream::CommandStream(const march::MarchTest& test,
+                             const march::AddressOrder& order,
+                             const StreamOptions& options)
+    : test_(options.invert_background ? test.complemented() : test),
+      order_(&order),
+      options_(options) {
+  SRAMLP_REQUIRE(order_->size() > 0, "empty address order");
+  SRAMLP_REQUIRE(!options_.low_power || order_->is_word_line_after_word_line(),
+                 "the low-power schedule requires the "
+                 "word-line-after-word-line address order (paper §4); "
+                 "resolve the fallback before building the stream");
+}
+
+void CommandStream::reset() {
+  element_ = 0;
+  step_ = 0;
+  op_ = 0;
+  done_ = false;
+  materialized_ = false;
+}
+
+void CommandStream::materialize() const {
+  if (materialized_ || done_) return;
+  const auto& elements = test_.elements();
+  const march::MarchElement& element = elements[element_];
+
+  current_ = StreamStep{};
+  current_.element = element_;
+  current_.op = op_;
+
+  if (element.is_pause()) {
+    current_.kind = StreamStep::Kind::kIdle;
+    current_.idle_cycles = element.pause_cycles;
+    materialized_ = true;
+    return;
+  }
+
+  const march::Direction dir = element.direction;
+  const std::size_t n = order_->size();
+  const std::size_t ops = element.ops.size();
+  const march::Address& addr = order_->at(step_, dir);
+
+  // Row of the next address in test order (for the restore decision).
+  // A following delay element forces a restore: bit-lines must not sit
+  // discharged through a long idle window.
+  std::optional<std::size_t> next_row;
+  bool restore_before_pause = false;
+  if (step_ + 1 < n) {
+    next_row = order_->at(step_ + 1, dir).row;
+  } else if (element_ + 1 < elements.size()) {
+    if (elements[element_ + 1].is_pause()) {
+      restore_before_pause = true;
+    } else {
+      const march::Direction next_dir = elements[element_ + 1].direction;
+      next_row = order_->at(0, next_dir).row;
+    }
+  }
+
+  const march::Operation op = element.ops[op_];
+  current_.kind = StreamStep::Kind::kCycle;
+  sram::CycleCommand& cmd = current_.command;
+  cmd.row = addr.row;
+  cmd.col_group = addr.col;
+  cmd.is_read = march::is_read(op);
+  cmd.value = march::value_of(op);
+  cmd.background = options_.background;
+  cmd.scan = to_scan(dir);
+  cmd.restore_row_transition =
+      options_.low_power && options_.row_transition_restore &&
+      op_ + 1 == ops &&
+      (restore_before_pause ||
+       (next_row.has_value() && *next_row != addr.row));
+  materialized_ = true;
+}
+
+void CommandStream::advance() {
+  materialized_ = false;
+  const auto& elements = test_.elements();
+  const march::MarchElement& element = elements[element_];
+  if (!element.is_pause()) {
+    if (++op_ < element.ops.size()) return;
+    op_ = 0;
+    if (++step_ < order_->size()) return;
+    step_ = 0;
+  }
+  if (++element_ >= elements.size()) done_ = true;
+}
+
+const StreamStep* CommandStream::peek() const {
+  materialize();
+  return done_ ? nullptr : &current_;
+}
+
+std::optional<StreamStep> CommandStream::next() {
+  materialize();
+  if (done_) return std::nullopt;
+  StreamStep out = current_;
+  advance();
+  return out;
+}
+
+}  // namespace sramlp::engine

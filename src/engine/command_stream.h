@@ -1,0 +1,121 @@
+// CommandStream — the March sequencer, extracted into a pull-based
+// generator.
+//
+// Historically three components re-derived the paper's sequencing rules
+// independently: core::TestSession's triple-nested run loop, the
+// BistController FSM, and ad-hoc loops in benches.  The stream is now the
+// single owner of those decisions:
+//
+//   * walking (march element -> address-order step -> operation), with
+//     delay ("Del") elements surfaced as idle blocks;
+//   * the Fig. 7 row-transition restore: issued on the LAST operation of
+//     the last address of a row (or before a pause, so bit-lines never sit
+//     discharged through an idle window) when the low-power schedule is
+//     active;
+//   * the per-cycle scan direction, so backends pre-charge the correct
+//     follower column for descending March elements.
+//
+// Backends (cycle-accurate array, closed-form analytic model, future
+// batched/SIMD implementations) consume the stream; none of them re-derive
+// scheduling.  The stream owns a copy of the March test but only borrows
+// the address order: the caller (TestSession, BistController, ...) must
+// keep the order alive for the stream's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "march/address_order.h"
+#include "march/test.h"
+#include "sram/background.h"
+#include "sram/command.h"
+
+namespace sramlp::engine {
+
+/// One unit of work pulled from the stream: either a single clock cycle or
+/// an idle block (a March delay element).
+struct StreamStep {
+  enum class Kind { kCycle, kIdle };
+  Kind kind = Kind::kCycle;
+  sram::CycleCommand command;     ///< valid when kind == kCycle
+  std::uint64_t idle_cycles = 0;  ///< valid when kind == kIdle
+  /// Position inside the March test (for detection reporting).
+  std::size_t element = 0;
+  std::size_t op = 0;
+};
+
+/// Scheduling knobs resolved by the caller before the stream starts.
+struct StreamOptions {
+  /// Apply the low-power schedule (restore cycles at row hand-overs).
+  /// The caller asserts the address order is compatible (word-line-after-
+  /// word-line); TestSession's §4 fallback clears this flag otherwise.
+  bool low_power = false;
+  /// Issue the one-cycle functional restore at row transitions (Fig. 7).
+  bool row_transition_restore = true;
+  /// Run the complemented test (every operation's data bit flipped).
+  bool invert_background = false;
+  /// Data background carried verbatim on every command.
+  sram::DataBackground background;
+};
+
+class CommandStream {
+ public:
+  /// @param order borrowed; must outlive the stream and match the test's
+  ///   target geometry.
+  CommandStream(const march::MarchTest& test, const march::AddressOrder& order,
+                const StreamOptions& options);
+
+  const march::MarchTest& test() const { return test_; }
+  const march::AddressOrder& order() const { return *order_; }
+  const StreamOptions& options() const { return options_; }
+
+  /// Clock cycles the whole stream spans (operations + idle blocks).
+  std::uint64_t total_cycles() const {
+    return test_.cycle_count(order_->size());
+  }
+
+  bool done() const { return done_; }
+
+  /// The step the next call to next() will return; nullptr once done.
+  const StreamStep* peek() const;
+
+  /// Pull one step; std::nullopt once the test is exhausted.
+  std::optional<StreamStep> next();
+
+  /// Discard the current step without copying it (peek()/pop() is the
+  /// copy-free consumption idiom for per-cycle hot loops).
+  void pop() {
+    if (!done_) advance();
+  }
+
+  /// Rewind to the first step (cheap; no allocation).
+  void reset();
+
+  /// Mark the stream exhausted without enumerating the remaining steps
+  /// (closed-form backends account for the whole run at once).
+  void skip_to_end() {
+    done_ = true;
+    materialized_ = false;
+  }
+
+ private:
+  void materialize() const;
+  void advance();
+
+  march::MarchTest test_;  ///< owned (already complemented when requested)
+  const march::AddressOrder* order_;
+  StreamOptions options_;
+
+  // Cursor: element -> address step -> operation.
+  std::size_t element_ = 0;
+  std::size_t step_ = 0;
+  std::size_t op_ = 0;
+  bool done_ = false;
+
+  // Lazily materialized view of the current cursor position (cache only;
+  // logically const).
+  mutable StreamStep current_;
+  mutable bool materialized_ = false;
+};
+
+}  // namespace sramlp::engine

@@ -1,0 +1,33 @@
+#include "engine/cycle_accurate_backend.h"
+
+namespace sramlp::engine {
+
+ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
+  array_->reset_measurements();
+
+  ExecutionResult result;
+  while (const StreamStep* step = stream.peek()) {
+    if (step->kind == StreamStep::Kind::kIdle) {
+      array_->idle(step->idle_cycles);
+    } else {
+      const sram::CycleResult r = array_->cycle(step->command);
+      if (step->command.is_read && r.mismatch) {
+        ++result.mismatches;
+        if (result.first_detections.size() < kMaxFirstDetections)
+          result.first_detections.push_back(
+              Detection{step->element, step->op, step->command.row,
+                        step->command.col_group});
+      }
+    }
+    stream.pop();
+  }
+
+  result.cycles = array_->meter().cycles();
+  result.supply_energy_j = array_->meter().supply_total();
+  result.energy_per_cycle_j = array_->meter().supply_per_cycle();
+  result.meter = array_->meter();
+  result.stats = array_->stats();
+  return result;
+}
+
+}  // namespace sramlp::engine

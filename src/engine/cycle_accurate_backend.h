@@ -1,0 +1,27 @@
+// The cycle-accurate backend: drives a caller-owned sram::SramArray one
+// CycleCommand at a time.  This is the reference executor — full fault
+// support, per-source energy metering, and the bit-line decay physics.
+#pragma once
+
+#include "engine/backend.h"
+
+namespace sramlp::engine {
+
+class CycleAccurateBackend final : public ExecutionBackend {
+ public:
+  /// @param array borrowed; the caller keeps ownership (and can inspect
+  ///   cell contents after the run).  Meters are reset when run() starts.
+  explicit CycleAccurateBackend(sram::SramArray& array) : array_(&array) {}
+
+  const char* name() const override { return "cycle-accurate"; }
+  bool supports_faults() const override { return true; }
+
+  ExecutionResult run(CommandStream& stream) override;
+
+  sram::SramArray& array() { return *array_; }
+
+ private:
+  sram::SramArray* array_;
+};
+
+}  // namespace sramlp::engine

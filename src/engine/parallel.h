@@ -1,0 +1,66 @@
+// Minimal fork-join parallelism for fault campaigns and sweeps.
+//
+// parallel_for(count, threads, fn) runs fn(0) .. fn(count-1) across a pool
+// of worker threads pulling indices from a shared atomic counter.  Callers
+// get deterministic *results* by writing to a preallocated slot per index
+// (scheduling order is unspecified).  The first exception thrown by any
+// job is rethrown on the calling thread after the pool joins.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sramlp::engine {
+
+/// Resolve a requested worker count: 0 means one per hardware thread;
+/// never more workers than jobs, never fewer than one.
+inline unsigned resolve_thread_count(unsigned requested, std::size_t jobs) {
+  unsigned threads = requested != 0 ? requested
+                                    : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (jobs < threads) threads = static_cast<unsigned>(jobs);
+  return threads == 0 ? 1 : threads;
+}
+
+inline void parallel_for(std::size_t count, unsigned requested_threads,
+                         const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const unsigned threads = resolve_thread_count(requested_threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sramlp::engine

@@ -24,7 +24,10 @@ MarchStats MarchTest::stats() const {
   // Table 1 counts March G without its pauses: 7 elements, 23 ops).
   MarchStats s;
   for (const auto& e : elements_) {
-    if (e.is_pause()) continue;
+    if (e.is_pause()) {
+      s.pause_cycles += e.pause_cycles;
+      continue;
+    }
     ++s.elements;
     for (Operation op : e.ops) {
       ++s.operations;
@@ -39,6 +42,13 @@ power::AlgorithmCounts MarchTest::counts() const {
   const MarchStats s = stats();
   return power::AlgorithmCounts{name_, s.elements, s.operations, s.reads,
                                 s.writes};
+}
+
+std::uint64_t MarchTest::cycle_count(std::size_t addresses) const {
+  const MarchStats s = stats();
+  return static_cast<std::uint64_t>(s.operations) *
+             static_cast<std::uint64_t>(addresses) +
+         s.pause_cycles;
 }
 
 std::string MarchTest::str() const {

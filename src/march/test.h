@@ -9,6 +9,7 @@
 // where U = ascending, D = descending, B = either direction.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -60,11 +61,13 @@ struct MarchElement {
 };
 
 /// Aggregate operation counts (the columns of the paper's Table 1).
+/// Delay elements are not operations: they contribute only pause_cycles.
 struct MarchStats {
   int elements = 0;
   int operations = 0;
   int reads = 0;
   int writes = 0;
+  std::uint64_t pause_cycles = 0;  ///< total idle cycles of "Del" elements
 };
 
 /// A complete March algorithm.
@@ -79,6 +82,10 @@ class MarchTest {
 
   /// Stats packaged for the power model.
   power::AlgorithmCounts counts() const;
+
+  /// Clock cycles one run takes over @p addresses words: one cycle per
+  /// operation per address plus the idle cycles of any delay elements.
+  std::uint64_t cycle_count(std::size_t addresses) const;
 
   /// Full notation, e.g. "{ B(w0); U(r0,w1); ... }".
   std::string str() const;

@@ -45,6 +45,10 @@ double AnalyticModel::peripheral_per_cycle() const {
          tech_.e_clock_tree + tech_.e_control_base;
 }
 
+double AnalyticModel::idle_energy_per_cycle() const {
+  return tech_.e_clock_tree + tech_.e_control_base;
+}
+
 double AnalyticModel::pr() const {
   const double w = static_cast<double>(word_width_);
   // Unselected columns of the active row: pre-charge fight plus the tiny

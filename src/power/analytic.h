@@ -65,6 +65,10 @@ class AnalyticModel {
   /// Periphery active every cycle regardless of operation type [J/cycle].
   double peripheral_per_cycle() const;
 
+  /// Energy of one idle cycle (March "Del" pauses): word lines low, only
+  /// the clock tree and the control FSM burn energy [J/cycle].
+  double idle_energy_per_cycle() const;
+
   /// Energy of one read / write cycle in functional test mode, including
   /// the (cols - w) background RES columns [J].
   double pr() const;

@@ -36,19 +36,11 @@
 #include "power/technology.h"
 #include "sram/background.h"
 #include "sram/cell_array.h"
+#include "sram/command.h"
 #include "sram/fault_hooks.h"
 #include "sram/geometry.h"
 
 namespace sramlp::sram {
-
-/// Operating mode (paper §4).
-enum class Mode {
-  kFunctional,    ///< all pre-charge circuits always on
-  kLowPowerTest,  ///< pre-charge restricted to selected + following column
-};
-
-/// Scan direction within a row (which neighbour the controller pre-charges).
-enum class Scan { kAscending, kDescending };
 
 /// Static configuration of one simulated array.
 struct SramConfig {
@@ -64,28 +56,6 @@ struct SramConfig {
   /// A floating bit-line below this fraction of VDD overpowers an opposing
   /// cell at row entry (bit-line capacitance >> cell node capacitance).
   double swap_threshold_frac = 0.5;
-};
-
-/// One clock cycle of work, as issued by the test controller.
-struct CycleCommand {
-  std::size_t row = 0;
-  std::size_t col_group = 0;
-  bool is_read = true;
-  bool value = false;  ///< logical data bit (write data / read expectation)
-  /// Data background mapping logical bits to physical cell values
-  /// (physical = value XOR background(row, col)); defaults to solid 0,
-  /// under which logical and physical coincide.
-  DataBackground background;
-  Scan scan = Scan::kAscending;
-  /// Force functional pre-charge for this cycle (row-transition restore).
-  bool restore_row_transition = false;
-};
-
-/// Outcome of one cycle.
-struct CycleResult {
-  bool read_value = false;   ///< sensed value (reads; last bit for words)
-  bool mismatch = false;     ///< any read bit differed from the expectation
-  std::uint32_t faulty_swaps = 0;  ///< cells flipped by bit-line overpowering
 };
 
 /// Counters accumulated over a run.

@@ -1,0 +1,49 @@
+// The cycle-level command vocabulary shared by every execution path.
+//
+// One CycleCommand is everything the array (or a gate-level controller, or
+// an analytic estimator) needs to know about one clock cycle: the address,
+// the operation, the scan direction (which neighbour to pre-charge in the
+// low-power test mode) and whether this cycle is the one-cycle functional
+// restore at a row hand-over (Fig. 7).  The engine::CommandStream resolves
+// all of those decisions; backends only consume them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sram/background.h"
+
+namespace sramlp::sram {
+
+/// Operating mode (paper §4).
+enum class Mode {
+  kFunctional,    ///< all pre-charge circuits always on
+  kLowPowerTest,  ///< pre-charge restricted to selected + following column
+};
+
+/// Scan direction within a row (which neighbour the controller pre-charges).
+enum class Scan { kAscending, kDescending };
+
+/// One clock cycle of work, as issued by the test controller.
+struct CycleCommand {
+  std::size_t row = 0;
+  std::size_t col_group = 0;
+  bool is_read = true;
+  bool value = false;  ///< logical data bit (write data / read expectation)
+  /// Data background mapping logical bits to physical cell values
+  /// (physical = value XOR background(row, col)); defaults to solid 0,
+  /// under which logical and physical coincide.
+  DataBackground background;
+  Scan scan = Scan::kAscending;
+  /// Force functional pre-charge for this cycle (row-transition restore).
+  bool restore_row_transition = false;
+};
+
+/// Outcome of one cycle.
+struct CycleResult {
+  bool read_value = false;   ///< sensed value (reads; last bit for words)
+  bool mismatch = false;     ///< any read bit differed from the expectation
+  std::uint32_t faulty_swaps = 0;  ///< cells flipped by bit-line overpowering
+};
+
+}  // namespace sramlp::sram

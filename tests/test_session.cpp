@@ -170,7 +170,7 @@ TEST(TestSession, DetectionLocationsRecorded) {
   ASSERT_FALSE(r.first_detections.empty());
   EXPECT_EQ(r.first_detections[0].row, 2u);
   EXPECT_EQ(r.first_detections[0].col_group, 3u);
-  EXPECT_LE(r.first_detections.size(), 16u);
+  EXPECT_LE(r.first_detections.size(), core::kMaxFirstDetections);
 }
 
 // Word-oriented runs (paper §6 future work) behave like bit-oriented ones.
