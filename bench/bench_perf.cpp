@@ -5,9 +5,11 @@
 
 #include "circuit/subcircuits.h"
 #include "circuit/transient.h"
+#include "core/fault_campaign.h"
 #include "core/session.h"
 #include "ctrl/precharge_control.h"
 #include "engine/analytic_backend.h"
+#include "faults/models.h"
 #include "march/algorithms.h"
 
 namespace {
@@ -68,9 +70,13 @@ void BM_MarchRun(benchmark::State& state) {
     core::TestSession session(cfg);
     benchmark::DoNotOptimize(session.run(test));
   }
-  // 10 ops x 4096 addresses per run.
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations()) * 10 * 64 * 64);
+  // Cycles per run derive from the algorithm itself (operations per
+  // address plus any delay elements), so swapping the March test cannot
+  // silently skew the throughput numbers.
+  const auto cycles_per_run =
+      static_cast<std::int64_t>(test.cycle_count(cfg.geometry.words()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cycles_per_run);
   state.SetLabel(mode == Mode::kFunctional ? "functional (cycles/s)"
                                            : "low-power (cycles/s)");
 }
@@ -93,6 +99,23 @@ void BM_SweepPoint512_CycleAccurate(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepPoint512_CycleAccurate)->Unit(benchmark::kMillisecond);
 
+// Same sweep point through the per-column reference engine — the executable
+// specification the bitsliced/cohort path is parity-tested against.  The
+// default path must stay well ahead of this.
+void BM_SweepPoint512_CycleAccurateReference(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = sram::Geometry::paper_512x512();
+  cfg.column_model = sram::ColumnModel::kPerColumnReference;
+  const auto test = march::algorithms::march_c_minus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TestSession::compare_modes(cfg, test));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("512x512 March C- PRR points/s (per-column reference)");
+}
+BENCHMARK(BM_SweepPoint512_CycleAccurateReference)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SweepPoint512_Analytic(benchmark::State& state) {
   core::SessionConfig cfg;
   cfg.geometry = sram::Geometry::paper_512x512();
@@ -105,6 +128,26 @@ void BM_SweepPoint512_Analytic(benchmark::State& state) {
   state.SetLabel("512x512 March C- PRR points/s (analytic backend)");
 }
 BENCHMARK(BM_SweepPoint512_Analytic)->Unit(benchmark::kMillisecond);
+
+// Fault-campaign throughput at the paper's full scale: one stuck-at fault
+// means two full cycle-accurate March C- runs (both modes) on a 512x512
+// array — the workload CampaignRunner fans out per library entry.
+void BM_Campaign512_PerFault(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = sram::Geometry::paper_512x512();
+  const auto test = march::algorithms::march_c_minus();
+  const std::vector<faults::FaultSpec> one_fault = {
+      faults::FaultSpec{.kind = faults::FaultKind::kStuckAt1,
+                        .victim = {17, 131},
+                        .aggressor = {}}};
+  const core::CampaignRunner runner(core::CampaignRunner::Options{1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(cfg, test, one_fault));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("512x512 faults/s (serial, both modes)");
+}
+BENCHMARK(BM_Campaign512_PerFault)->Unit(benchmark::kMillisecond);
 
 void BM_TransientStep(benchmark::State& state) {
   circuit::ColumnConfig cfg;

@@ -2,40 +2,48 @@
 // to all SRAM memories": PRR as a function of the array organisation.
 // The sweep also exposes the crossover the paper does not discuss: on very
 // narrow arrays the follower-recharge overhead eats the saving.
+//
+// The whole grid goes through core::SweepRunner twice — once forced onto
+// the bitsliced cycle-accurate engine, once onto the closed-form analytic
+// backend — with the points fanned over the thread pool in both cases.
 #include <cstdio>
 #include <exception>
 
-#include "core/session.h"
+#include "core/sweep.h"
 #include "march/algorithms.h"
-#include "power/analytic.h"
 #include "util/table.h"
 #include "util/units.h"
 
 namespace {
 
 using namespace sramlp;
-using core::SessionConfig;
-using core::TestSession;
+using core::BackendChoice;
+using core::SweepGrid;
+using core::SweepRunner;
 
 void sweep_columns() {
   util::Table t({"organisation", "PF [pJ/cyc]", "PLPT [pJ/cyc]",
                  "PRR (sim)", "PRR (analytic)"});
-  const auto test = march::algorithms::march_c_minus();
 
+  SweepGrid grid;
+  grid.algorithms = {march::algorithms::march_c_minus()};
   for (const std::size_t cols : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
-    SessionConfig cfg;
     // Keep the cell count near 64k so runs stay comparable and fast.
     const std::size_t rows = std::max<std::size_t>(1, 65536 / cols);
-    cfg.geometry = {rows, cols, 1};
-    const auto cmp = TestSession::compare_modes(cfg, test);
-    // Same sweep point through the engine's closed-form backend — the
-    // fast path for wide geometry scans.
-    const auto fast = TestSession::compare_modes_analytic(cfg, test);
-    t.add_row({std::to_string(rows) + "x" + std::to_string(cols),
-               util::fmt(units::as_pJ(cmp.functional.energy_per_cycle_j)),
-               util::fmt(units::as_pJ(cmp.low_power.energy_per_cycle_j)),
-               util::fmt_percent(cmp.prr),
-               util::fmt_percent(fast.prr)});
+    grid.geometries.push_back({rows, cols, 1});
+  }
+
+  const auto sim =
+      SweepRunner({0, BackendChoice::kCycleAccurate}).run(grid);
+  const auto fast = SweepRunner({0, BackendChoice::kAnalytic}).run(grid);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const sram::Geometry& g = grid.geometries[sim[i].geometry];
+    t.add_row({std::to_string(g.rows) + "x" + std::to_string(g.cols),
+               util::fmt(units::as_pJ(sim[i].prr.functional.energy_per_cycle_j)),
+               util::fmt(units::as_pJ(sim[i].prr.low_power.energy_per_cycle_j)),
+               util::fmt_percent(sim[i].prr.prr),
+               util::fmt_percent(fast[i].prr.prr)});
   }
   std::fputs(t.str("PRR vs #columns (March C-, ~64k cells)").c_str(),
              stdout);
@@ -43,12 +51,17 @@ void sweep_columns() {
 
 void sweep_rows() {
   util::Table t({"organisation", "PRR (sim)"});
-  const auto test = march::algorithms::mats_plus();
-  for (const std::size_t rows : {64u, 128u, 256u, 512u}) {
-    SessionConfig cfg;
-    cfg.geometry = {rows, 512, 1};
-    const auto cmp = TestSession::compare_modes(cfg, test);
-    t.add_row({std::to_string(rows) + "x512", util::fmt_percent(cmp.prr)});
+  SweepGrid grid;
+  grid.algorithms = {march::algorithms::mats_plus()};
+  for (const std::size_t rows : {64u, 128u, 256u, 512u})
+    grid.geometries.push_back({rows, 512, 1});
+
+  const auto sim =
+      SweepRunner({0, BackendChoice::kCycleAccurate}).run(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const sram::Geometry& g = grid.geometries[sim[i].geometry];
+    t.add_row({std::to_string(g.rows) + "x512",
+               util::fmt_percent(sim[i].prr.prr)});
   }
   std::fputs(
       t.str("\nPRR vs #rows at 512 columns (MATS+) — row count is nearly "

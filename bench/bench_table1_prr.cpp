@@ -11,7 +11,7 @@
 #include <exception>
 
 #include "core/paper_reference.h"
-#include "core/session.h"
+#include "core/sweep.h"
 #include "march/algorithms.h"
 #include "power/analytic.h"
 #include "util/table.h"
@@ -26,17 +26,23 @@ void run() {
   const auto tech = power::TechnologyParams::tech_0p13um();
   const power::AnalyticModel model(tech, geometry.rows, geometry.cols);
 
-  core::SessionConfig config;
-  config.geometry = geometry;
-  config.tech = tech;
+  // All five Table 1 algorithms as one sweep grid: the points fan out
+  // over the thread pool, each through the bitsliced cycle-accurate
+  // engine (results[i] is algorithm i whatever the worker count).
+  core::SweepGrid grid;
+  grid.geometries = {geometry};
+  grid.algorithms = march::algorithms::table1();
+  grid.base.tech = tech;
+  const auto points =
+      core::SweepRunner({0, core::BackendChoice::kCycleAccurate}).run(grid);
 
   util::Table table({"Algorithm", "#elm", "#oper", "#read", "#write",
                      "PF [pJ/cyc]", "PLPT [pJ/cyc]", "PRR (sim)",
                      "PRR (model)", "PRR (paper)"});
 
-  for (const auto& test : march::algorithms::table1()) {
-    const core::PrrComparison cmp =
-        core::TestSession::compare_modes(config, test);
+  for (const auto& point : points) {
+    const march::MarchTest& test = grid.algorithms[point.algorithm];
+    const core::PrrComparison& cmp = point.prr;
     const auto counts = test.counts();
 
     double paper_prr = 0.0;

@@ -1,5 +1,6 @@
 #include "core/fault_campaign.h"
 
+#include "core/sweep.h"
 #include "engine/parallel.h"
 
 namespace sramlp::core {
@@ -53,20 +54,24 @@ CampaignReport CampaignRunner::run(
   report.entries.resize(faults.size());
 
   // One fresh session pair per fault; entry i == faults[i] regardless of
-  // which worker executes it.
+  // which worker executes it.  Each pair goes through SweepRunner's
+  // single-point executor, so backend routing (always the bitsliced
+  // cycle-accurate engine here — the analytic backend cannot model
+  // faults) lives in one place.
+  const SweepRunner point_runner;
   engine::parallel_for(
       faults.size(), options_.threads, [&](std::size_t i) {
         CampaignEntry entry;
         entry.spec = faults[i];
 
+        // A fresh fault model per mode run: accumulated fault state (RES
+        // stress, dynamic-fault history) must not leak between verdicts.
         for (const sram::Mode mode :
              {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
           SessionConfig cfg = config;
           cfg.mode = mode;
           faults::FaultSet set({faults[i]});
-          TestSession session(cfg);
-          session.attach_fault_model(&set);
-          const SessionResult result = session.run(test);
+          const SessionResult result = point_runner.run_mode(cfg, test, &set);
           if (mode == sram::Mode::kFunctional) {
             entry.detected_functional = result.detected();
             entry.mismatches_functional = result.mismatches;

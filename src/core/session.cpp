@@ -20,6 +20,7 @@ sram::SramConfig make_array_config(const SessionConfig& config, bool lp_ok) {
   ac.row_transition_restore = config.row_transition_restore;
   ac.wordline_duty = config.wordline_duty;
   ac.swap_threshold_frac = config.swap_threshold_frac;
+  ac.column_model = config.column_model;
   return ac;
 }
 

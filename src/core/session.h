@@ -52,6 +52,10 @@ struct SessionConfig {
   sram::DataBackground background;
   double wordline_duty = 0.5;
   double swap_threshold_frac = 0.5;
+  /// Column-state engine of the simulated array.  The default bitsliced
+  /// cohort engine is bit-identical to the per-column reference
+  /// (regression-tested); the reference exists for parity verification.
+  sram::ColumnModel column_model = sram::ColumnModel::kBitslicedCohort;
 };
 
 /// Location of a detected mismatch (the engine records the first

@@ -1,0 +1,91 @@
+#include "core/sweep.h"
+
+#include "engine/analytic_backend.h"
+#include "engine/parallel.h"
+#include "util/error.h"
+
+namespace sramlp::core {
+
+void SweepGrid::split(std::size_t index, std::size_t* geometry,
+                      std::size_t* background, std::size_t* algorithm) const {
+  SRAMLP_REQUIRE(index < size(), "sweep index out of range");
+  const std::size_t per_background = algorithms.size();
+  const std::size_t per_geometry = backgrounds.size() * per_background;
+  *geometry = index / per_geometry;
+  *background = (index % per_geometry) / per_background;
+  *algorithm = index % per_background;
+}
+
+SessionConfig SweepGrid::config_at(std::size_t index) const {
+  std::size_t geometry = 0, background = 0, algorithm = 0;
+  split(index, &geometry, &background, &algorithm);
+  SessionConfig config = base;
+  config.geometry = geometries[geometry];
+  config.background = backgrounds[background];
+  return config;
+}
+
+BackendChoice SweepRunner::route(const SessionConfig& config,
+                                 bool has_faults) {
+  // The closed form models fault-free runs under the paper's schedule
+  // only: faults need per-cell behaviour, and a disabled Fig. 7 restore
+  // changes the energy (and triggers swaps) in ways §5 does not cover.
+  if (has_faults || !config.row_transition_restore)
+    return BackendChoice::kCycleAccurate;
+  return BackendChoice::kAnalytic;
+}
+
+PrrComparison SweepRunner::run_point(const SessionConfig& config,
+                                     const march::MarchTest& test,
+                                     sram::CellFaultModel* faults) const {
+  BackendChoice backend = options_.backend;
+  if (backend == BackendChoice::kAuto)
+    backend = route(config, faults != nullptr);
+  SRAMLP_REQUIRE(backend != BackendChoice::kAnalytic || faults == nullptr,
+                 "the analytic backend cannot model fault injection");
+  if (backend == BackendChoice::kAnalytic)
+    return TestSession::compare_modes_analytic(config, test);
+  return TestSession::compare_modes(config, test, faults);
+}
+
+SessionResult SweepRunner::run_mode(const SessionConfig& config,
+                                    const march::MarchTest& test,
+                                    sram::CellFaultModel* faults) const {
+  BackendChoice backend = options_.backend;
+  if (backend == BackendChoice::kAuto)
+    backend = route(config, faults != nullptr);
+  SRAMLP_REQUIRE(backend != BackendChoice::kAnalytic || faults == nullptr,
+                 "the analytic backend cannot model fault injection");
+  TestSession session(config);
+  session.attach_fault_model(faults);
+  if (backend == BackendChoice::kAnalytic) {
+    engine::AnalyticBackend analytic(config.tech, config.geometry);
+    return session.run(test, analytic);
+  }
+  return session.run(test);
+}
+
+std::vector<SweepPointResult> SweepRunner::run(const SweepGrid& grid) const {
+  SRAMLP_REQUIRE(!grid.geometries.empty() && !grid.backgrounds.empty() &&
+                     !grid.algorithms.empty(),
+                 "sweep grid has an empty axis");
+  std::vector<SweepPointResult> results(grid.size());
+  engine::parallel_for(grid.size(), options_.threads, [&](std::size_t i) {
+    SweepPointResult& point = results[i];
+    point.index = i;
+    grid.split(i, &point.geometry, &point.background, &point.algorithm);
+    const SessionConfig config = grid.config_at(i);
+    // Resolve the backend once; the recorded choice IS the executed one.
+    point.backend = options_.backend == BackendChoice::kAuto
+                        ? route(config, /*has_faults=*/false)
+                        : options_.backend;
+    point.prr = point.backend == BackendChoice::kAnalytic
+                    ? TestSession::compare_modes_analytic(
+                          config, grid.algorithms[point.algorithm])
+                    : TestSession::compare_modes(
+                          config, grid.algorithms[point.algorithm]);
+  });
+  return results;
+}
+
+}  // namespace sramlp::core

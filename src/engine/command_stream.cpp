@@ -18,12 +18,65 @@ CommandStream::CommandStream(const march::MarchTest& test,
                              const StreamOptions& options)
     : test_(options.invert_background ? test.complemented() : test),
       order_(&order),
-      options_(options) {
+      options_(options),
+      wlawl_(order.is_word_line_after_word_line()) {
   SRAMLP_REQUIRE(order_->size() > 0, "empty address order");
-  SRAMLP_REQUIRE(!options_.low_power || order_->is_word_line_after_word_line(),
+  SRAMLP_REQUIRE(!options_.low_power || wlawl_,
                  "the low-power schedule requires the "
                  "word-line-after-word-line address order (paper §4); "
                  "resolve the fallback before building the stream");
+}
+
+bool CommandStream::peek_run(StreamRun* run) const {
+  if (done_ || op_ != 0 || !wlawl_) return false;
+  const auto& elements = test_.elements();
+  const march::MarchElement& element = elements[element_];
+  if (element.is_pause()) return false;
+
+  const march::Direction dir = element.direction;
+  const march::Address& addr = order_->at(step_, dir);
+  const bool descending = dir == march::Direction::kDown;
+  // WLAWL sequences keep each row's groups contiguous, so the rest of the
+  // current row is exactly this many addresses.
+  const std::size_t count =
+      descending ? addr.col + 1 : order_->col_groups() - addr.col;
+
+  run->element = element_;
+  run->row = addr.row;
+  run->first_group = addr.col;
+  run->group_count = count;
+  run->descending = descending;
+  run->scan = to_scan(dir);
+  run->restore_last = options_.low_power && options_.row_transition_restore &&
+                      restore_eligible_after(element_, step_ + count - 1,
+                                             addr.row);
+  return true;
+}
+
+bool CommandStream::restore_eligible_after(std::size_t element_index,
+                                           std::size_t step,
+                                           std::size_t row) const {
+  const auto& elements = test_.elements();
+  const march::Direction dir = elements[element_index].direction;
+  // Row of the next address in test order.  A following delay element
+  // forces a restore: bit-lines must not sit discharged through a long
+  // idle window.
+  if (step + 1 < order_->size())
+    return order_->at(step + 1, dir).row != row;
+  if (element_index + 1 >= elements.size()) return false;
+  if (elements[element_index + 1].is_pause()) return true;
+  const march::Direction next_dir = elements[element_index + 1].direction;
+  return order_->at(0, next_dir).row != row;
+}
+
+void CommandStream::skip_run(const StreamRun& run) {
+  materialized_ = false;
+  op_ = 0;
+  step_ += run.group_count;
+  if (step_ >= order_->size()) {
+    step_ = 0;
+    if (++element_ >= test_.elements().size()) done_ = true;
+  }
 }
 
 void CommandStream::reset() {
@@ -32,6 +85,8 @@ void CommandStream::reset() {
   op_ = 0;
   done_ = false;
   materialized_ = false;
+  cached_element_ = static_cast<std::size_t>(-1);
+  cached_step_ = static_cast<std::size_t>(-1);
 }
 
 void CommandStream::materialize() const {
@@ -39,7 +94,6 @@ void CommandStream::materialize() const {
   const auto& elements = test_.elements();
   const march::MarchElement& element = elements[element_];
 
-  current_ = StreamStep{};
   current_.element = element_;
   current_.op = op_;
 
@@ -50,41 +104,30 @@ void CommandStream::materialize() const {
     return;
   }
 
-  const march::Direction dir = element.direction;
-  const std::size_t n = order_->size();
   const std::size_t ops = element.ops.size();
-  const march::Address& addr = order_->at(step_, dir);
+  sram::CycleCommand& cmd = current_.command;
 
-  // Row of the next address in test order (for the restore decision).
-  // A following delay element forces a restore: bit-lines must not sit
-  // discharged through a long idle window.
-  std::optional<std::size_t> next_row;
-  bool restore_before_pause = false;
-  if (step_ + 1 < n) {
-    next_row = order_->at(step_ + 1, dir).row;
-  } else if (element_ + 1 < elements.size()) {
-    if (elements[element_ + 1].is_pause()) {
-      restore_before_pause = true;
-    } else {
-      const march::Direction next_dir = elements[element_ + 1].direction;
-      next_row = order_->at(0, next_dir).row;
-    }
+  if (element_ != cached_element_ || step_ != cached_step_) {
+    const march::Direction dir = element.direction;
+    const march::Address& addr = order_->at(step_, dir);
+    cmd.row = addr.row;
+    cmd.col_group = addr.col;
+    cmd.background = options_.background;
+    cmd.scan = to_scan(dir);
+    cached_restore_eligible_ =
+        restore_eligible_after(element_, step_, addr.row);
+    cached_element_ = element_;
+    cached_step_ = step_;
   }
 
   const march::Operation op = element.ops[op_];
   current_.kind = StreamStep::Kind::kCycle;
-  sram::CycleCommand& cmd = current_.command;
-  cmd.row = addr.row;
-  cmd.col_group = addr.col;
+  current_.idle_cycles = 0;
   cmd.is_read = march::is_read(op);
   cmd.value = march::value_of(op);
-  cmd.background = options_.background;
-  cmd.scan = to_scan(dir);
   cmd.restore_row_transition =
       options_.low_power && options_.row_transition_restore &&
-      op_ + 1 == ops &&
-      (restore_before_pause ||
-       (next_row.has_value() && *next_row != addr.row));
+      op_ + 1 == ops && cached_restore_eligible_;
   materialized_ = true;
 }
 

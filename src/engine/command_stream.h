@@ -44,6 +44,23 @@ struct StreamStep {
   std::size_t op = 0;
 };
 
+/// A whole-row batch of upcoming cycle steps: `group_count` consecutive
+/// addresses of one word line inside one March element, each executing the
+/// element's full operation list, with the stream's restore decision for
+/// the run's final operation pre-resolved.  Runs exist so backends can
+/// execute a row in one tight loop (sram::SramArray::execute_run) without
+/// re-deriving any sequencing policy — the stream remains the single owner
+/// of the restore and scan rules.
+struct StreamRun {
+  std::size_t element = 0;
+  std::size_t row = 0;
+  std::size_t first_group = 0;
+  std::size_t group_count = 0;
+  bool descending = false;
+  sram::Scan scan = sram::Scan::kAscending;
+  bool restore_last = false;  ///< Fig. 7 restore on the run's last op
+};
+
 /// Scheduling knobs resolved by the caller before the stream starts.
 struct StreamOptions {
   /// Apply the low-power schedule (restore cycles at row hand-overs).
@@ -82,6 +99,17 @@ class CommandStream {
   /// Pull one step; std::nullopt once the test is exhausted.
   std::optional<StreamStep> next();
 
+  /// Describe the whole-row run starting at the cursor, when one exists:
+  /// the cursor must sit on the first operation of an address, the order
+  /// must be word-line-after-word-line (runs are row-contiguous by
+  /// construction there), and the current element must not be a pause.
+  /// Returns false otherwise; the per-step API always remains valid.
+  bool peek_run(StreamRun* run) const;
+
+  /// Advance the cursor past a run obtained from peek_run() (equivalent
+  /// to pop()-ing each of its steps).
+  void skip_run(const StreamRun& run);
+
   /// Discard the current step without copying it (peek()/pop() is the
   /// copy-free consumption idiom for per-cycle hot loops).
   void pop() {
@@ -101,10 +129,18 @@ class CommandStream {
  private:
   void materialize() const;
   void advance();
+  /// The Fig. 7 restore-eligibility of the last operation at address-step
+  /// @p step of @p element_index: true when the next address in test
+  /// order sits on a different row than @p row, or the next element is a
+  /// pause (bit-lines must not sit discharged through an idle window).
+  /// Single owner of the rule, shared by materialize() and peek_run().
+  bool restore_eligible_after(std::size_t element_index, std::size_t step,
+                              std::size_t row) const;
 
   march::MarchTest test_;  ///< owned (already complemented when requested)
   const march::AddressOrder* order_;
   StreamOptions options_;
+  bool wlawl_ = false;  ///< order is word-line-after-word-line (cached)
 
   // Cursor: element -> address step -> operation.
   std::size_t element_ = 0;
@@ -113,9 +149,15 @@ class CommandStream {
   bool done_ = false;
 
   // Lazily materialized view of the current cursor position (cache only;
-  // logically const).
+  // logically const).  The address-dependent fields of current_ (row,
+  // column, scan, background, restore eligibility) are recomputed only
+  // when the cursor moves to a new (element, step) pair; per-operation
+  // fields refresh every materialize.
   mutable StreamStep current_;
   mutable bool materialized_ = false;
+  mutable std::size_t cached_element_ = static_cast<std::size_t>(-1);
+  mutable std::size_t cached_step_ = static_cast<std::size_t>(-1);
+  mutable bool cached_restore_eligible_ = false;
 };
 
 }  // namespace sramlp::engine

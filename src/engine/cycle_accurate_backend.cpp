@@ -1,12 +1,55 @@
 #include "engine/cycle_accurate_backend.h"
 
+#include <vector>
+
 namespace sramlp::engine {
 
 ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
   array_->reset_measurements();
 
+  static_assert(kMaxFirstDetections <= sram::RunResult::kDetectionCap,
+                "RunResult cannot carry enough detections per run");
+
   ExecutionResult result;
-  while (const StreamStep* step = stream.peek()) {
+  // Operation list of the current element, translated once per element.
+  std::vector<sram::RunOp> ops;
+  std::size_t ops_element = static_cast<std::size_t>(-1);
+
+  for (;;) {
+    StreamRun srun;
+    if (batch_runs_ && stream.peek_run(&srun)) {
+      if (ops_element != srun.element) {
+        ops.clear();
+        for (const march::Operation op :
+             stream.test().elements()[srun.element].ops)
+          ops.push_back({march::is_read(op), march::value_of(op)});
+        ops_element = srun.element;
+      }
+      sram::RunCommand rc;
+      rc.row = srun.row;
+      rc.first_group = srun.first_group;
+      rc.group_count = srun.group_count;
+      rc.descending = srun.descending;
+      rc.ops = ops.data();
+      rc.op_count = ops.size();
+      rc.background = stream.options().background;
+      rc.scan = srun.scan;
+      rc.restore_last = srun.restore_last;
+      const sram::RunResult rr = array_->execute_run(rc);
+      result.mismatches += rr.mismatches;
+      for (std::size_t i = 0;
+           i < rr.detection_count &&
+           result.first_detections.size() < kMaxFirstDetections;
+           ++i)
+        result.first_detections.push_back(Detection{
+            srun.element, rr.detections[i].op, srun.row,
+            rr.detections[i].group});
+      stream.skip_run(srun);
+      continue;
+    }
+
+    const StreamStep* step = stream.peek();
+    if (step == nullptr) break;
     if (step->kind == StreamStep::Kind::kIdle) {
       array_->idle(step->idle_cycles);
     } else {

@@ -187,6 +187,19 @@ std::vector<sram::CellCoord> FaultSet::res_sensitive_cells() const {
   return cells;
 }
 
+std::optional<std::vector<std::size_t>> FaultSet::relevant_rows() const {
+  std::vector<std::size_t> rows;
+  for (const FaultSpec& f : specs_) {
+    // Dynamic faults consume the global write history: write_result's
+    // last-write tracking on EVERY cell matters, so no row may skip it.
+    if (f.kind == FaultKind::kDynamicReadDestructive) return std::nullopt;
+    rows.push_back(f.victim.row);
+    // Edge-coupling faults strike from after_write on the aggressor.
+    if (is_coupling(f.kind)) rows.push_back(f.aggressor.row);
+  }
+  return rows;
+}
+
 void FaultSet::on_res(sram::SramArray& array, sram::CellCoord cell,
                       double stress) {
   for (std::size_t i = 0; i < specs_.size(); ++i) {

@@ -115,6 +115,7 @@ class FaultSet final : public sram::CellFaultModel {
   void after_write(sram::SramArray& array, sram::CellCoord cell,
                    bool old_value, bool new_value) override;
   std::vector<sram::CellCoord> res_sensitive_cells() const override;
+  std::optional<std::vector<std::size_t>> relevant_rows() const override;
   void on_res(sram::SramArray& array, sram::CellCoord cell,
               double stress) override;
   void on_idle(sram::SramArray& array, std::uint64_t cycles) override;

@@ -26,7 +26,12 @@ AddressOrder::AddressOrder(AddressOrderKind kind, std::size_t rows,
     : kind_(kind), rows_(rows), col_groups_(col_groups),
       sequence_(std::move(sequence)) {
   SRAMLP_REQUIRE(rows_ >= 1 && col_groups_ >= 1, "empty address space");
-  validate_permutation();
+  // The word-line-after-word-line factory is trivially a permutation and
+  // sits on the batched hot path (sweep sessions build one per point);
+  // every other kind — including the cold pseudo-random / Gray-code /
+  // complement generators — keeps the O(n) DOF-1 scan as a safety net.
+  if (kind_ != AddressOrderKind::kWordLineAfterWordLine)
+    validate_permutation();
 }
 
 void AddressOrder::validate_permutation() const {
@@ -51,6 +56,9 @@ const Address& AddressOrder::at(std::size_t step, Direction direction) const {
 }
 
 bool AddressOrder::is_word_line_after_word_line() const {
+  // Factory-built WLAWL orders are tagged; only custom permutations need
+  // the O(n) scan.
+  if (kind_ == AddressOrderKind::kWordLineAfterWordLine) return true;
   for (std::size_t i = 0; i < sequence_.size(); ++i) {
     if (sequence_[i].row != i / col_groups_ ||
         sequence_[i].col != i % col_groups_)

@@ -2,15 +2,7 @@
 
 #include <algorithm>
 
-#include "util/error.h"
-
 namespace sramlp::power {
-
-void EnergyMeter::add(EnergySource source, double joules) {
-  SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
-  SRAMLP_REQUIRE(joules >= 0.0, "energy contributions must be non-negative");
-  totals_[static_cast<std::size_t>(source)] += joules;
-}
 
 double EnergyMeter::supply_total() const {
   double total = 0.0;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "power/energy_source.h"
+#include "util/error.h"
 
 namespace sramlp::power {
 
@@ -26,10 +27,29 @@ struct BreakdownEntry {
 class EnergyMeter {
  public:
   /// Attribute @p joules to @p source. Negative amounts are rejected.
-  void add(EnergySource source, double joules);
+  void add(EnergySource source, double joules) {
+    SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
+    SRAMLP_REQUIRE(joules >= 0.0, "energy contributions must be non-negative");
+    totals_[static_cast<std::size_t>(source)] += joules;
+  }
+
+  /// Attribute @p joules to @p source, @p count times.  The accumulation is
+  /// performed as @p count successive additions, so the result is
+  /// bit-identical to calling add(source, joules) @p count times — the
+  /// identity the cohort-bulk metering of the bitsliced SramArray path
+  /// depends on for exact parity with the per-column reference path.
+  void add(EnergySource source, double joules, std::uint64_t count) {
+    SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
+    SRAMLP_REQUIRE(joules >= 0.0, "energy contributions must be non-negative");
+    double& total = totals_[static_cast<std::size_t>(source)];
+    for (std::uint64_t i = 0; i < count; ++i) total += joules;
+  }
 
   /// Advance the cycle counter (call once per simulated clock cycle).
   void tick_cycle() { ++cycles_; }
+
+  /// Advance the cycle counter by @p count cycles (idle blocks).
+  void tick_cycles(std::uint64_t count) { cycles_ += count; }
 
   std::uint64_t cycles() const { return cycles_; }
 
@@ -37,6 +57,12 @@ class EnergyMeter {
   double total(EnergySource source) const {
     return totals_[static_cast<std::size_t>(source)];
   }
+
+  /// Mutable view of the per-source accumulators, for the simulator's
+  /// block executor: it copies them into registers for the duration of a
+  /// run and writes them back, performing exactly the additions add()
+  /// would have — same values, same order, same totals to the bit.
+  std::array<double, kEnergySourceCount>& raw_totals() { return totals_; }
 
   /// Total energy drawn from the supply (all supply_drawn sources).
   double supply_total() const;

@@ -1,12 +1,26 @@
 #include "sram/array.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
+#include "sram/bits.h"
 #include "util/error.h"
 
 namespace sramlp::sram {
 
 using power::EnergySource;
+
+namespace {
+
+/// Accumulate @p value into @p acc @p count times.  Like
+/// EnergyMeter::add(source, joules, count), the loop keeps the
+/// floating-point result bit-identical to per-column accumulation.
+inline void accumulate(double& acc, double value, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) acc += value;
+}
+
+}  // namespace
 
 double ArrayStats::alpha_post_op() const {
   if (cycles == 0) return 0.0;
@@ -31,33 +45,99 @@ SramArray::SramArray(const SramConfig& config)
                      config_.swap_threshold_frac < 1.0,
                  "swap threshold must be a fraction of VDD");
   const double vdd = config_.tech.vdd;
-  columns_.assign(config_.geometry.cols, ColumnState{vdd, vdd, 0, false,
-                                                     false});
-  precharge_active_.assign(config_.geometry.cols,
-                           config_.mode == Mode::kFunctional);
-  sensitive_by_row_.assign(config_.geometry.rows, {});
+  const Geometry& g = config_.geometry;
+  columns_.assign(g.cols, ColumnState{vdd, vdd, 0, false, false});
+  sensitive_by_row_.assign(g.rows, {});
+
+  // Per-cycle constants: each value is exactly what the engines previously
+  // recomputed every cycle (pure functions of the fixed config).
+  const auto& t = config_.tech;
+  const auto bits = static_cast<double>(g.address_bits());
+  const auto others = static_cast<double>(g.cols - g.word_width);
+  e_.wordline = t.e_wordline(g.cols);
+  e_.decoder = bits * t.e_decoder_per_address_bit;
+  e_.address_bus = bits * t.e_addressbus_per_bit;
+  e_.clock_tree = t.e_clock_tree;
+  e_.control_base = t.e_control_base;
+  e_.res_fight = t.e_res_fight_per_cycle();
+  e_.cell_res = t.e_cell_res_dynamic();
+  e_.others_res_fight = others * t.e_res_fight_per_cycle();
+  e_.others_cell_res = others * t.e_cell_res_dynamic();
+  e_.control_element_group =
+      static_cast<double>(g.word_width) * t.e_control_element_switch();
+  e_.lptest_driver = t.e_lptest_driver(g.cols);
+  e_.sense_amp = t.e_sense_amp_per_bit;
+  e_.data_io = t.e_data_io_per_bit;
+  e_.read_restore = t.e_read_restore();
+  e_.write_driver = t.e_write_driver_per_bit;
+  e_.write_restore = t.e_write_restore();
+
+  fast_ = config_.column_model == ColumnModel::kBitslicedCohort;
+  if (fast_) {
+    cohort_of_.assign(g.cols, kColPrecharged);
+    always_materialized_.assign(g.cols, false);
+    decay_memo_.reserve(256);
+  } else {
+    precharge_active_.assign(g.cols, config_.mode == Mode::kFunctional);
+  }
 }
 
 void SramArray::set_mode(Mode mode) {
   config_.mode = mode;
   const double vdd = config_.tech.vdd;
   for (auto& s : columns_) s = ColumnState{vdd, vdd, cycle_, false, false};
-  precharge_active_.assign(config_.geometry.cols, mode == Mode::kFunctional);
+  if (fast_) {
+    cohorts_.clear();
+    for (std::size_t col = 0; col < cohort_of_.size(); ++col)
+      cohort_of_[col] =
+          always_materialized_[col] ? kColMaterialized : kColPrecharged;
+    snap_ = PrechargeSnapshot{};
+  } else {
+    precharge_active_.assign(config_.geometry.cols, mode == Mode::kFunctional);
+  }
   active_row_.reset();
   last_col_group_.reset();
   restored_last_cycle_ = false;
 }
 
 void SramArray::attach_fault_model(CellFaultModel* model) {
+  if (model == nullptr && faults_ == nullptr) return;  // nothing to clear
   faults_ = model;
   sensitive_by_row_.assign(config_.geometry.rows, {});
-  if (faults_ == nullptr) return;
-  faults_->on_attach(*this);
-  for (const CellCoord& cell : faults_->res_sensitive_cells()) {
-    SRAMLP_REQUIRE(cell.row < config_.geometry.rows &&
-                       cell.col < config_.geometry.cols,
-                   "RES-sensitive cell outside the array");
-    sensitive_by_row_[cell.row].push_back(cell.col);
+  if (fast_) std::fill(always_materialized_.begin(),
+                       always_materialized_.end(), false);
+  if (faults_ != nullptr) {
+    faults_->on_attach(*this);
+    for (const CellCoord& cell : faults_->res_sensitive_cells()) {
+      SRAMLP_REQUIRE(cell.row < config_.geometry.rows &&
+                         cell.col < config_.geometry.cols,
+                     "RES-sensitive cell outside the array");
+      sensitive_by_row_[cell.row].push_back(cell.col);
+      if (fast_) always_materialized_[cell.col] = true;
+    }
+  }
+  if (fast_) {
+    // Sensitive columns need per-cycle on_res delivery while decaying, so
+    // they leave cohort tracking for good; everything else stays bulk.
+    for (std::size_t col = 0; col < cohort_of_.size(); ++col)
+      if (always_materialized_[col] && cohort_of_[col] != kColMaterialized)
+        materialize_column(col);
+    // Row-sparse hook delivery: rows the model promises not to act on run
+    // the word-parallel data path with no per-cell hook calls.
+    all_rows_hooked_ = false;
+    hooked_rows_.assign(config_.geometry.rows, false);
+    if (faults_ != nullptr) {
+      const auto rows = faults_->relevant_rows();
+      if (!rows) {
+        all_rows_hooked_ = true;
+      } else {
+        for (const std::size_t row : *rows) {
+          SRAMLP_REQUIRE(row < config_.geometry.rows,
+                         "relevant row outside the array");
+          hooked_rows_[row] = true;
+        }
+      }
+    }
   }
 }
 
@@ -66,11 +146,23 @@ void SramArray::reset_measurements() {
   stats_ = ArrayStats{};
 }
 
+double SramArray::decay_factor_slow(std::uint64_t elapsed) const {
+  constexpr std::uint64_t kMemoCap = 4096;
+  if (elapsed >= kMemoCap) {
+    const double t = static_cast<double>(elapsed) * config_.wordline_duty;
+    return std::exp(-t / config_.tech.decay_tau_cycles);
+  }
+  while (decay_memo_.size() <= elapsed) {
+    const double t =
+        static_cast<double>(decay_memo_.size()) * config_.wordline_duty;
+    decay_memo_.push_back(std::exp(-t / config_.tech.decay_tau_cycles));
+  }
+  return decay_memo_[elapsed];
+}
+
 double SramArray::decayed(double v, std::uint64_t from_cycle) const {
   if (from_cycle >= cycle_) return v;  // decay starts at `from_cycle`
-  const double elapsed =
-      static_cast<double>(cycle_ - from_cycle) * config_.wordline_duty;
-  return v * std::exp(-elapsed / config_.tech.decay_tau_cycles);
+  return v * decay_factor(cycle_ - from_cycle);
 }
 
 void SramArray::evaluate(const ColumnState& s, std::size_t col, double* v_bl,
@@ -81,7 +173,7 @@ void SramArray::evaluate(const ColumnState& s, std::size_t col, double* v_bl,
   // The cell of the active row drives its '0'-side node's bit-line low.
   // Paper Fig. 5 convention: storing '1' means node S (on BL) is at 0 V,
   // so a '1' cell discharges BL and a '0' cell discharges BLB.
-  const bool value = cells_.get(*active_row_, col);
+  const bool value = cells_.get_unchecked(*active_row_, col);
   if (value)
     *v_bl = decayed(s.v_bl, s.since);
   else
@@ -181,9 +273,9 @@ std::uint32_t SramArray::enter_row(std::size_t row) {
           // BL low  => implied stored value '1' (Fig. 5 convention);
           // BLB low => implied stored value '0'.
           const bool implied = bl_low;
-          const bool stored = cells_.get(row, col);
+          const bool stored = cells_.get_unchecked(row, col);
           if (stored != implied) {
-            cells_.set(row, col, implied);
+            cells_.set_unchecked(row, col, implied);
             ++swaps;
           }
         }
@@ -212,9 +304,8 @@ std::uint32_t SramArray::enter_row(std::size_t row) {
 }
 
 void SramArray::apply_full_res(std::size_t row, std::size_t col) {
-  meter_.add(EnergySource::kPrechargeResFight,
-             config_.tech.e_res_fight_per_cycle());
-  meter_.add(EnergySource::kCellRes, config_.tech.e_cell_res_dynamic());
+  meter_.add(EnergySource::kPrechargeResFight, e_.res_fight);
+  meter_.add(EnergySource::kCellRes, e_.cell_res);
   ++stats_.full_res_column_cycles;
   if (faults_ != nullptr) {
     for (std::size_t sensitive_col : sensitive_by_row_[row]) {
@@ -225,13 +316,45 @@ void SramArray::apply_full_res(std::size_t row, std::size_t col) {
 
 void SramArray::charge_peripheral(const CycleCommand& command) {
   (void)command;
-  const auto& t = config_.tech;
-  const auto bits = static_cast<double>(config_.geometry.address_bits());
-  meter_.add(EnergySource::kWordline, t.e_wordline(config_.geometry.cols));
-  meter_.add(EnergySource::kDecoder, bits * t.e_decoder_per_address_bit);
-  meter_.add(EnergySource::kAddressBus, bits * t.e_addressbus_per_bit);
-  meter_.add(EnergySource::kClockTree, t.e_clock_tree);
-  meter_.add(EnergySource::kMemoryControl, t.e_control_base);
+  meter_.add(EnergySource::kWordline, e_.wordline);
+  meter_.add(EnergySource::kDecoder, e_.decoder);
+  meter_.add(EnergySource::kAddressBus, e_.address_bus);
+  meter_.add(EnergySource::kClockTree, e_.clock_tree);
+  meter_.add(EnergySource::kMemoryControl, e_.control_base);
+}
+
+void SramArray::op_bit(const CycleCommand& command, std::size_t col,
+                       CycleResult* result) {
+  const CellCoord cell{command.row, col};
+  const bool stored = cells_.get_unchecked(cell.row, cell.col);
+  // The command carries the *logical* March data bit; the data
+  // background maps it to the physical cell value.
+  const bool physical =
+      command.background.physical(command.value, cell.row, cell.col);
+  if (command.is_read) {
+    bool stored_after = stored;
+    bool sensed = stored;
+    if (faults_ != nullptr)
+      sensed = faults_->read_result(cell, stored, &stored_after);
+    if (stored_after != stored)
+      cells_.set_unchecked(cell.row, cell.col, stored_after);
+    result->read_value = sensed;
+    if (sensed != physical) result->mismatch = true;
+    meter_.add(EnergySource::kSenseAmp, e_.sense_amp);
+    meter_.add(EnergySource::kDataIo, e_.data_io);
+    meter_.add(EnergySource::kPrechargeRestoreRead, e_.read_restore);
+    meter_.add(EnergySource::kCellRes, e_.cell_res);
+  } else {
+    bool effective = physical;
+    if (faults_ != nullptr)
+      effective = faults_->write_result(cell, stored, physical);
+    cells_.set_unchecked(cell.row, cell.col, effective);
+    if (faults_ != nullptr)
+      faults_->after_write(*this, cell, stored, effective);
+    meter_.add(EnergySource::kWriteDriver, e_.write_driver);
+    meter_.add(EnergySource::kDataIo, e_.data_io);
+    meter_.add(EnergySource::kPrechargeRestoreWrite, e_.write_restore);
+  }
 }
 
 CycleResult SramArray::execute_op(const CycleCommand& command) {
@@ -260,35 +383,7 @@ CycleResult SramArray::execute_op(const CycleCommand& command) {
       recharge(col, EnergySource::kPrechargeNextColumn);
     }
 
-    const CellCoord cell{command.row, col};
-    const bool stored = cells_.get(cell.row, cell.col);
-    // The command carries the *logical* March data bit; the data
-    // background maps it to the physical cell value.
-    const bool physical =
-        command.background.physical(command.value, cell.row, cell.col);
-    if (command.is_read) {
-      bool stored_after = stored;
-      bool sensed = stored;
-      if (faults_ != nullptr)
-        sensed = faults_->read_result(cell, stored, &stored_after);
-      if (stored_after != stored) cells_.set(cell.row, cell.col, stored_after);
-      result.read_value = sensed;
-      if (sensed != physical) result.mismatch = true;
-      meter_.add(EnergySource::kSenseAmp, t.e_sense_amp_per_bit);
-      meter_.add(EnergySource::kDataIo, t.e_data_io_per_bit);
-      meter_.add(EnergySource::kPrechargeRestoreRead, t.e_read_restore());
-      meter_.add(EnergySource::kCellRes, t.e_cell_res_dynamic());
-    } else {
-      bool effective = physical;
-      if (faults_ != nullptr)
-        effective = faults_->write_result(cell, stored, physical);
-      cells_.set(cell.row, cell.col, effective);
-      if (faults_ != nullptr)
-        faults_->after_write(*this, cell, stored, effective);
-      meter_.add(EnergySource::kWriteDriver, t.e_write_driver_per_bit);
-      meter_.add(EnergySource::kDataIo, t.e_data_io_per_bit);
-      meter_.add(EnergySource::kPrechargeRestoreWrite, t.e_write_restore());
-    }
+    op_bit(command, col, &result);
   }
   if (command.is_read)
     ++stats_.reads;
@@ -302,7 +397,11 @@ CycleResult SramArray::cycle(const CycleCommand& command) {
   const Geometry& g = config_.geometry;
   SRAMLP_REQUIRE(command.row < g.rows, "row out of range");
   SRAMLP_REQUIRE(command.col_group < g.col_groups(), "column out of range");
+  return fast_ ? fast_cycle(command) : reference_cycle(command);
+}
 
+CycleResult SramArray::reference_cycle(const CycleCommand& command) {
+  const Geometry& g = config_.geometry;
   CycleResult result;
   const bool lp = config_.mode == Mode::kLowPowerTest;
   const std::size_t w = g.word_width;
@@ -328,11 +427,8 @@ CycleResult SramArray::cycle(const CycleCommand& command) {
   if (!lp) {
     // Functional mode: every unselected column of the active row fights a
     // full RES against its live pre-charge circuit, every cycle.
-    const auto others = static_cast<double>(g.cols - w);
-    meter_.add(EnergySource::kPrechargeResFight,
-               others * config_.tech.e_res_fight_per_cycle());
-    meter_.add(EnergySource::kCellRes,
-               others * config_.tech.e_cell_res_dynamic());
+    meter_.add(EnergySource::kPrechargeResFight, e_.others_res_fight);
+    meter_.add(EnergySource::kCellRes, e_.others_cell_res);
     stats_.full_res_column_cycles += g.cols - w;
     if (faults_ != nullptr) {
       for (std::size_t col : sensitive_by_row_[command.row]) {
@@ -350,8 +446,7 @@ CycleResult SramArray::cycle(const CycleCommand& command) {
       apply_full_res(command.row, col);
       precharge_active_[col] = true;
     }
-    meter_.add(EnergySource::kLpTestDriver,
-               config_.tech.e_lptest_driver(g.cols));
+    meter_.add(EnergySource::kLpTestDriver, e_.lptest_driver);
     ++stats_.restore_cycles;
   } else {
     // Steady LP cycle: only the follower group's pre-charge is on (driven
@@ -374,9 +469,7 @@ CycleResult SramArray::cycle(const CycleCommand& command) {
     }
     // One control element switches per column-group advance (paper §5.5).
     if (!last_col_group_ || *last_col_group_ != command.col_group)
-      meter_.add(EnergySource::kControlLogic,
-                 static_cast<double>(w) *
-                     config_.tech.e_control_element_switch());
+      meter_.add(EnergySource::kControlLogic, e_.control_element_group);
   }
 
   // After the restore phase the selected columns sit at VDD; from the next
@@ -412,6 +505,14 @@ CycleResult SramArray::cycle(const CycleCommand& command) {
 }
 
 void SramArray::idle(std::uint64_t cycles) {
+  if (fast_) {
+    fast_idle(cycles);
+    return;
+  }
+  reference_idle(cycles);
+}
+
+void SramArray::reference_idle(std::uint64_t cycles) {
   if (cycles == 0) return;
   const auto& t = config_.tech;
   const double n = static_cast<double>(cycles);
@@ -424,7 +525,7 @@ void SramArray::idle(std::uint64_t cycles) {
   for (std::size_t col = 0; col < columns_.size(); ++col)
     if (columns_[col].connected) settle(col);
   cycle_ += cycles;
-  for (std::uint64_t i = 0; i < cycles; ++i) meter_.tick_cycle();
+  meter_.tick_cycles(cycles);
   stats_.cycles += cycles;
   // No row is active while idling; the next access re-enters its row.
   active_row_.reset();
@@ -432,17 +533,928 @@ void SramArray::idle(std::uint64_t cycles) {
   if (faults_ != nullptr) faults_->on_idle(*this, cycles);
 }
 
+// --- bitsliced / decay-cohort engine ----------------------------------------
+
+SramArray::CohortEval SramArray::eval_cohort(const Cohort& cohort) const {
+  // Cohort members hold both lines at VDD at the capture point; only the
+  // side driven by the active row's cell decays, and every energy term is
+  // side-symmetric, so one evaluation covers the whole cohort.  Each
+  // expression mirrors settle()/recharge() exactly (the untouched side
+  // contributes an exact 0.0 there).
+  const double vdd = config_.tech.vdd;
+  CohortEval e;
+  e.v_low = active_row_ ? decayed(vdd, cohort.start) : vdd;
+  const double c = config_.tech.c_bitline;
+  e.stress_j = 0.5 * c * (vdd * vdd - e.v_low * e.v_low);
+  e.dv = vdd - e.v_low;
+  e.equiv = (config_.tech.decay_tau_cycles / config_.wordline_duty) * e.dv /
+            config_.tech.vdd;
+  e.recharge_e = config_.tech.c_bitline * vdd * e.dv;
+  return e;
+}
+
+void SramArray::cohort_settle_bulk(const CohortEval& eval, bool pre_op,
+                                   std::uint64_t count) {
+  if (eval.stress_j > 0.0)
+    meter_.add(EnergySource::kBitlineDecayStress, eval.stress_j, count);
+  accumulate(pre_op ? stats_.decay_stress_equiv_pre_op
+                    : stats_.decay_stress_equiv_post_op,
+             eval.equiv, count);
+}
+
+void SramArray::cohort_recharge_bulk(const CohortEval& eval,
+                                     const Cohort& cohort,
+                                     std::uint64_t count,
+                                     EnergySource source) {
+  cohort_settle_bulk(eval, cohort.pre_op, count);
+  if (eval.dv > 0.0) meter_.add(source, eval.recharge_e, count);
+}
+
+void SramArray::full_res_bulk(std::uint64_t count) {
+  meter_.add(EnergySource::kPrechargeResFight, e_.res_fight, count);
+  meter_.add(EnergySource::kCellRes, e_.cell_res, count);
+  stats_.full_res_column_cycles += count;
+}
+
+void SramArray::materialize_column(std::size_t col) {
+  const std::uint32_t tag = cohort_of_[col];
+  if (tag == kColMaterialized) return;
+  const double vdd = config_.tech.vdd;
+  if (tag == kColPrecharged) {
+    columns_[col] = ColumnState{vdd, vdd, cycle_, false, false};
+  } else {
+    const Cohort& k = cohorts_[tag];
+    columns_[col] = ColumnState{vdd, vdd, k.start, true, k.pre_op};
+  }
+  cohort_of_[col] = kColMaterialized;
+}
+
+void SramArray::compact_cohorts() {
+  std::vector<std::uint32_t> remap(cohorts_.size(), kColPrecharged);
+  std::vector<Cohort> live;
+  for (auto& tag : cohort_of_) {
+    if (tag == kColPrecharged || tag == kColMaterialized) continue;
+    if (remap[tag] == kColPrecharged) {
+      remap[tag] = static_cast<std::uint32_t>(live.size());
+      live.push_back(cohorts_[tag]);
+    }
+    tag = remap[tag];
+  }
+  cohorts_ = std::move(live);
+}
+
+std::uint32_t SramArray::fast_enter_row(std::size_t row) {
+  std::uint32_t swaps = 0;
+  const bool had_row = active_row_.has_value();
+  const bool lp = config_.mode == Mode::kLowPowerTest;
+  if (lp) {
+    const double vdd = config_.tech.vdd;
+    const double threshold = config_.swap_threshold_frac * vdd;
+    const std::size_t old_row = had_row ? *active_row_ : 0;
+    // Phase 1 — settle everything under the OLD row, in column order.
+    // Whole cohorts fold with one closed-form evaluation; the swap hazard
+    // resolves per cohort (the depth of discharge is a cohort property)
+    // with a word-parallel compare-and-copy against the old row's data.
+    for_each_run(0, config_.geometry.cols,
+                 [&](std::size_t col, std::size_t n, std::uint32_t tag) {
+      if (tag == kColPrecharged) return;  // at VDD: nothing settles or swaps
+      if (tag == kColMaterialized) {
+        for (std::size_t c = col; c < col + n; ++c) {
+          settle(c);
+          ColumnState& s = columns_[c];
+          if (s.connected && !restored_last_cycle_) {
+            const bool bl_low = s.v_bl <= threshold;
+            const bool blb_low = s.v_blb <= threshold;
+            if (bl_low != blb_low) {
+              const bool implied = bl_low;
+              const bool stored = cells_.get_unchecked(row, c);
+              if (stored != implied) {
+                cells_.set_unchecked(row, c, implied);
+                ++swaps;
+              }
+            }
+          }
+        }
+        return;
+      }
+      const Cohort& k = cohorts_[tag];
+      const CohortEval e = eval_cohort(k);
+      cohort_settle_bulk(e, k.pre_op, n);
+      if (!restored_last_cycle_ && e.v_low <= threshold) {
+        // Exactly one side of every member is below threshold, and its
+        // implied value is the old row's stored bit (that cell drove the
+        // decay): overpowering copies the old row's data onto the new row.
+        for (std::size_t c = col; c < col + n; c += 64) {
+          const std::size_t chunk = std::min<std::size_t>(64, col + n - c);
+          swaps += cells_.copy_row_bits(row, old_row, c, chunk);
+        }
+      }
+      if (e.v_low < vdd) {
+        // Partial voltage survives the hand-over: per-column state from
+        // here on (the decayed side depends on the old row's data).
+        for (std::size_t c = col; c < col + n; ++c) {
+          const bool one = cells_.get_unchecked(old_row, c);
+          columns_[c] = one ? ColumnState{e.v_low, vdd, cycle_, true, k.pre_op}
+                            : ColumnState{vdd, e.v_low, cycle_, true, k.pre_op};
+          cohort_of_[c] = kColMaterialized;
+        }
+      }
+    });
+    active_row_ = row;
+    // Phase 2 — every column of the new row is connected with its
+    // pre-charge off: fresh pre-operation decay.  All fully-charged
+    // columns share one new cohort; materialized columns re-stamp.
+    cohorts_.clear();
+    cohorts_.push_back(Cohort{cycle_, /*pre_op=*/true});
+    for (std::size_t col = 0; col < config_.geometry.cols; ++col) {
+      if (cohort_of_[col] == kColMaterialized) {
+        ColumnState& s = columns_[col];
+        if (!s.connected) {
+          begin_decay(col, /*pre_op=*/true);
+        } else {
+          s.pre_op_phase = true;
+          s.since = cycle_;
+        }
+      } else {
+        cohort_of_[col] = 0;
+      }
+    }
+  } else {
+    active_row_ = row;
+  }
+  if (had_row) ++stats_.row_transitions;
+  return swaps;
+}
+
+CycleResult SramArray::fast_execute_op(const CycleCommand& command) {
+  CycleResult result;
+  const auto& t = config_.tech;
+  const std::size_t w = config_.geometry.word_width;
+  const std::size_t first_col = command.col_group * w;
+
+  // Column-state phase: bring every selected column to pre-charged VDD,
+  // folding residual decay exactly like the reference engine (including
+  // its back-to-back multi-op exemption).
+  for (std::size_t b = 0; b < w; ++b) {
+    const std::size_t col = first_col + b;
+    const std::uint32_t tag = cohort_of_[col];
+    if (tag == kColPrecharged) continue;  // at VDD, disconnected: no energy
+    if (tag == kColMaterialized) {
+      ColumnState& s = columns_[col];
+      if (s.connected && cycle_ - s.since <= 1 &&
+          s.v_bl >= t.vdd - 1e-3 && s.v_blb >= t.vdd - 1e-3) {
+        s.v_bl = t.vdd;
+        s.v_blb = t.vdd;
+        s.connected = false;
+        s.pre_op_phase = false;
+        s.since = cycle_;
+      } else {
+        recharge(col, EnergySource::kPrechargeNextColumn);
+      }
+      if (!always_materialized_[col]) cohort_of_[col] = kColPrecharged;
+      continue;
+    }
+    const Cohort& k = cohorts_[tag];
+    if (cycle_ - k.start <= 1) {
+      // Back-to-back exemption: still at VDD, stays pre-charged for free.
+      cohort_of_[col] = kColPrecharged;
+    } else {
+      materialize_column(col);
+      recharge(col, EnergySource::kPrechargeNextColumn);
+      cohort_of_[col] = kColPrecharged;
+    }
+  }
+
+  // Operation phase.  Fault hooks are per-cell, so an attached model runs
+  // the shared per-bit path; otherwise the whole group reads, compares
+  // against the background and writes word-parallel (bit-oriented arrays
+  // take the single-cell shortcut of the same math).
+  if (faults_ != nullptr) {
+    for (std::size_t b = 0; b < w; ++b)
+      op_bit(command, first_col + b, &result);
+  } else {
+    if (w == 1) {
+      const bool physical =
+          command.background.physical(command.value, command.row, first_col);
+      if (command.is_read) {
+        const bool sensed = cells_.get_unchecked(command.row, first_col);
+        if (sensed != physical) result.mismatch = true;
+        result.read_value = sensed;
+      } else {
+        cells_.set_unchecked(command.row, first_col, physical);
+      }
+    } else {
+      for (std::size_t c0 = first_col; c0 < first_col + w; c0 += 64) {
+        const std::size_t n = std::min<std::size_t>(64, first_col + w - c0);
+        const std::uint64_t value_bits =
+            command.value ? low_bit_mask(n) : std::uint64_t{0};
+        const std::uint64_t physical =
+            value_bits ^ command.background.bits(command.row, c0, n);
+        if (command.is_read) {
+          const std::uint64_t sensed = cells_.row_bits(command.row, c0, n);
+          if (sensed != physical) result.mismatch = true;
+          result.read_value = ((sensed >> (n - 1)) & 1u) != 0;
+        } else {
+          cells_.set_row_bits(command.row, c0, n, physical);
+        }
+      }
+    }
+    if (command.is_read) {
+      meter_.add(EnergySource::kSenseAmp, e_.sense_amp, w);
+      meter_.add(EnergySource::kDataIo, e_.data_io, w);
+      meter_.add(EnergySource::kPrechargeRestoreRead, e_.read_restore, w);
+      meter_.add(EnergySource::kCellRes, e_.cell_res, w);
+    } else {
+      meter_.add(EnergySource::kWriteDriver, e_.write_driver, w);
+      meter_.add(EnergySource::kDataIo, e_.data_io, w);
+      meter_.add(EnergySource::kPrechargeRestoreWrite, e_.write_restore, w);
+    }
+  }
+  if (command.is_read)
+    ++stats_.reads;
+  else
+    ++stats_.writes;
+  if (result.mismatch) ++stats_.read_mismatches;
+  return result;
+}
+
+void SramArray::fast_restore_cycle(std::size_t row, std::size_t first_col) {
+  const Geometry& g = config_.geometry;
+  const std::size_t w = g.word_width;
+  // One functional cycle: all pre-charge circuits on (paper Fig. 7).
+  // Recharge + full RES, cohort-bulk per run of equal decay state.
+  const auto restore_run = [&](std::size_t col, std::size_t n,
+                               std::uint32_t tag) {
+    if (tag == kColPrecharged) {
+      full_res_bulk(n);  // recharging a full bit-line pair costs nothing
+    } else if (tag == kColMaterialized) {
+      for (std::size_t c = col; c < col + n; ++c) {
+        recharge(c, EnergySource::kRowTransitionRestore);
+        apply_full_res(row, c);
+      }
+    } else {
+      const Cohort& k = cohorts_[tag];
+      const CohortEval e = eval_cohort(k);
+      cohort_recharge_bulk(e, k, n, EnergySource::kRowTransitionRestore);
+      full_res_bulk(n);
+    }
+  };
+  for_each_run(0, first_col, restore_run);
+  for_each_run(first_col + w, g.cols, restore_run);
+  meter_.add(EnergySource::kLpTestDriver, e_.lptest_driver);
+  ++stats_.restore_cycles;
+  // All columns restored: everything stays pre-charged until the next row
+  // entry re-connects it.
+  for (std::size_t col = 0; col < g.cols; ++col) {
+    if (cohort_of_[col] == kColMaterialized) {
+      columns_[col].connected = false;
+      columns_[col].v_bl = config_.tech.vdd;
+      columns_[col].v_blb = config_.tech.vdd;
+      columns_[col].since = cycle_;
+    } else {
+      cohort_of_[col] = kColPrecharged;
+    }
+  }
+  cohorts_.clear();
+}
+
+CycleResult SramArray::fast_cycle(const CycleCommand& command) {
+  const Geometry& g = config_.geometry;
+  CycleResult result;
+  const bool lp = config_.mode == Mode::kLowPowerTest;
+  const std::size_t w = g.word_width;
+  const std::size_t first_col = command.col_group * w;
+
+  // Row hand-over bookkeeping (swap hazard in LP mode without restore).
+  if (!active_row_ || *active_row_ != command.row)
+    result.faulty_swaps = fast_enter_row(command.row);
+  stats_.faulty_swaps += result.faulty_swaps;
+
+  charge_peripheral(command);
+
+  // The operation itself (selected columns).
+  const CycleResult op = fast_execute_op(command);
+  result.read_value = op.read_value;
+  result.mismatch = op.mismatch;
+
+  // Pre-charge activity snapshot: stored as the command outline, expanded
+  // on demand by precharge_was_active() instead of an O(cols) refill.
+  snap_.valid = true;
+  snap_.all_on = !lp || command.restore_row_transition;
+  snap_.first_col = first_col;
+  snap_.width = w;
+  snap_.has_follower = false;
+
+  if (!lp) {
+    // Functional mode: every unselected column of the active row fights a
+    // full RES against its live pre-charge circuit, every cycle.
+    meter_.add(EnergySource::kPrechargeResFight, e_.others_res_fight);
+    meter_.add(EnergySource::kCellRes, e_.others_cell_res);
+    stats_.full_res_column_cycles += g.cols - w;
+    if (faults_ != nullptr) {
+      for (std::size_t col : sensitive_by_row_[command.row]) {
+        if (col < first_col || col >= first_col + w)
+          faults_->on_res(*this, {command.row, col}, 1.0);
+      }
+    }
+  } else if (command.restore_row_transition) {
+    fast_restore_cycle(command.row, first_col);
+  } else {
+    // Steady LP cycle: only the follower group's pre-charge is on (driven
+    // by the previous column's selection signal, Fig. 8).  The last group
+    // of the scan has no follower (its CS line is not wrapped around).
+    const bool ascending = command.scan == Scan::kAscending;
+    const std::size_t groups = g.col_groups();
+    std::optional<std::size_t> follower;
+    if (ascending && command.col_group + 1 < groups)
+      follower = command.col_group + 1;
+    else if (!ascending && command.col_group > 0)
+      follower = command.col_group - 1;
+    if (follower) {
+      const std::size_t fc = *follower * w;
+      snap_.has_follower = true;
+      snap_.follower_first = fc;
+      for_each_run(fc, fc + w,
+                   [&](std::size_t col, std::size_t n, std::uint32_t tag) {
+        if (tag == kColPrecharged) {
+          full_res_bulk(n);
+        } else if (tag == kColMaterialized) {
+          for (std::size_t c = col; c < col + n; ++c) {
+            recharge(c, EnergySource::kPrechargeNextColumn);
+            apply_full_res(command.row, c);
+            if (!always_materialized_[c]) cohort_of_[c] = kColPrecharged;
+          }
+        } else {
+          const Cohort& k = cohorts_[tag];
+          const CohortEval e = eval_cohort(k);
+          cohort_recharge_bulk(e, k, n, EnergySource::kPrechargeNextColumn);
+          full_res_bulk(n);
+          std::fill(cohort_of_.begin() + static_cast<std::ptrdiff_t>(col),
+                    cohort_of_.begin() + static_cast<std::ptrdiff_t>(col + n),
+                    kColPrecharged);
+        }
+      });
+    }
+    // One control element switches per column-group advance (paper §5.5).
+    if (!last_col_group_ || *last_col_group_ != command.col_group)
+      meter_.add(EnergySource::kControlLogic, e_.control_element_group);
+  }
+
+  // After the restore phase the selected columns sit at VDD; from the next
+  // cycle on they decay again (WL still strobes this row every cycle).
+  // (Restore cycles leave everything pre-charged via fast_restore_cycle.)
+  if (lp && !command.restore_row_transition) {
+    const std::uint32_t post_cohort =
+        static_cast<std::uint32_t>(cohorts_.size());
+    cohorts_.push_back(Cohort{cycle_ + 1, /*pre_op=*/false});
+    for (std::size_t b = 0; b < w; ++b) {
+      const std::size_t col = first_col + b;
+      if (always_materialized_[col])
+        begin_decay(col, /*pre_op=*/false);
+      else
+        cohort_of_[col] = post_cohort;
+    }
+    if (cohorts_.size() > 2 * g.cols + 64) compact_cohorts();
+  } else if (!lp) {
+    for (std::size_t b = 0; b < w; ++b) {
+      const std::size_t col = first_col + b;
+      if (cohort_of_[col] == kColMaterialized) {
+        columns_[col].v_bl = config_.tech.vdd;
+        columns_[col].v_blb = config_.tech.vdd;
+        columns_[col].connected = false;
+        columns_[col].since = cycle_;
+      } else {
+        cohort_of_[col] = kColPrecharged;
+      }
+    }
+  }
+
+  restored_last_cycle_ = lp && command.restore_row_transition;
+  last_col_group_ = command.col_group;
+  ++cycle_;
+  meter_.tick_cycle();
+  ++stats_.cycles;
+  return result;
+}
+
+void SramArray::fast_idle(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  const auto& t = config_.tech;
+  const double n = static_cast<double>(cycles);
+  meter_.add(EnergySource::kClockTree, n * t.e_clock_tree);
+  meter_.add(EnergySource::kMemoryControl, n * t.e_control_base);
+  // Word lines are low during the idle window: connected bit-lines stop
+  // discharging.  Fold cohort decay in bulk; members keeping a partial
+  // voltage across the window become materialized (their frozen state is
+  // what the next row entry's swap check must see).
+  const double vdd = t.vdd;
+  for_each_run(0, config_.geometry.cols,
+               [&](std::size_t col, std::size_t count, std::uint32_t tag) {
+    if (tag == kColPrecharged) return;
+    if (tag == kColMaterialized) {
+      for (std::size_t c = col; c < col + count; ++c)
+        if (columns_[c].connected) settle(c);
+      return;
+    }
+    const Cohort& k = cohorts_[tag];
+    const CohortEval e = eval_cohort(k);
+    cohort_settle_bulk(e, k.pre_op, count);
+    const std::uint64_t since = k.start < cycle_ ? cycle_ : k.start;
+    for (std::size_t c = col; c < col + count; ++c) {
+      const bool one =
+          active_row_ && cells_.get_unchecked(*active_row_, c);
+      columns_[c] = one ? ColumnState{e.v_low, vdd, since, true, k.pre_op}
+                        : ColumnState{vdd, e.v_low, since, true, k.pre_op};
+      cohort_of_[c] = kColMaterialized;
+    }
+  });
+  cohorts_.clear();
+  cycle_ += cycles;
+  meter_.tick_cycles(cycles);
+  stats_.cycles += cycles;
+  // No row is active while idling; the next access re-enters its row.
+  active_row_.reset();
+  restored_last_cycle_ = false;
+  if (faults_ != nullptr) faults_->on_idle(*this, cycles);
+}
+
+RunResult SramArray::execute_run(const RunCommand& run) {
+  const Geometry& g = config_.geometry;
+  SRAMLP_REQUIRE(run.ops != nullptr && run.op_count >= 1,
+                 "run without operations");
+  SRAMLP_REQUIRE(run.row < g.rows, "row out of range");
+  SRAMLP_REQUIRE(run.group_count >= 1, "empty run");
+  if (run.descending) {
+    SRAMLP_REQUIRE(run.first_group < g.col_groups() &&
+                       run.group_count <= run.first_group + 1,
+                   "column run out of range");
+  } else {
+    SRAMLP_REQUIRE(run.first_group + run.group_count <= g.col_groups(),
+                   "column run out of range");
+  }
+  return fast_ ? fast_run(run) : run_per_cycle(run);
+}
+
+RunResult SramArray::run_per_cycle(const RunCommand& run) {
+  RunResult rr;
+  CycleCommand cmd;
+  cmd.row = run.row;
+  cmd.background = run.background;
+  cmd.scan = run.scan;
+  std::size_t group = run.first_group;
+  for (std::size_t k = 0; k < run.group_count; ++k) {
+    cmd.col_group = group;
+    for (std::size_t o = 0; o < run.op_count; ++o) {
+      cmd.is_read = run.ops[o].is_read;
+      cmd.value = run.ops[o].value;
+      cmd.restore_row_transition = run.restore_last &&
+                                   k + 1 == run.group_count &&
+                                   o + 1 == run.op_count;
+      const CycleResult r = reference_cycle(cmd);
+      rr.faulty_swaps += r.faulty_swaps;
+      if (cmd.is_read && r.mismatch) {
+        ++rr.mismatches;
+        if (rr.detection_count < RunResult::kDetectionCap)
+          rr.detections[rr.detection_count++] = {o, group};
+      }
+    }
+    group = run.descending ? group - 1 : group + 1;
+  }
+  return rr;
+}
+
+RunResult SramArray::fast_run(const RunCommand& run) {
+  const Geometry& g = config_.geometry;
+  const std::size_t w = g.word_width;
+  const bool lp = config_.mode == Mode::kLowPowerTest;
+  const double vdd = config_.tech.vdd;
+  RunResult rr;
+
+  // Row hand-over once for the whole run.
+  bool entered = false;
+  if (!active_row_ || *active_row_ != run.row) {
+    rr.faulty_swaps = fast_enter_row(run.row);
+    entered = true;
+  }
+  stats_.faulty_swaps += rr.faulty_swaps;
+
+  bool have_mat = false;
+  for (const std::uint32_t tag : cohort_of_) {
+    if (tag == kColMaterialized) {
+      have_mat = true;
+      break;
+    }
+  }
+  // Per-cell hooks are needed only on rows the fault model can act on;
+  // everywhere else the data path runs word-parallel (the model promised
+  // its hooks are no-ops there — see CellFaultModel::relevant_rows).
+  const bool hooked =
+      faults_ != nullptr && (all_rows_hooked_ || hooked_rows_[run.row]);
+
+  // Meter accumulators and the hot statistics live in locals for the whole
+  // run: each cycle performs exactly the additions the per-cycle path
+  // performs, in the same order, so the written-back totals match it to
+  // the bit.  store()/load() spill and reload them around the rare
+  // per-column (materialized / restore) work that meters directly.
+  // Fault hooks never touch the meter (they only see cells via force()),
+  // so hook calls need no spill.
+  constexpr auto I = [](EnergySource s) constexpr {
+    return static_cast<std::size_t>(s);
+  };
+  auto& totals = meter_.raw_totals();
+  std::array<double, power::kEnergySourceCount> t{};
+  double equiv_post = 0.0;
+  double equiv_pre = 0.0;
+  std::uint64_t d_full_res = 0, d_reads = 0, d_writes = 0, d_mismatch = 0,
+                d_cycles = 0;
+  const auto load = [&] {
+    t = totals;
+    equiv_post = stats_.decay_stress_equiv_post_op;
+    equiv_pre = stats_.decay_stress_equiv_pre_op;
+  };
+  const auto store = [&] {
+    totals = t;
+    stats_.decay_stress_equiv_post_op = equiv_post;
+    stats_.decay_stress_equiv_pre_op = equiv_pre;
+    stats_.full_res_column_cycles += d_full_res;
+    stats_.reads += d_reads;
+    stats_.writes += d_writes;
+    stats_.read_mismatches += d_mismatch;
+    stats_.cycles += d_cycles;
+    meter_.tick_cycles(d_cycles);
+    d_full_res = d_reads = d_writes = d_mismatch = d_cycles = 0;
+  };
+  load();
+
+  const std::size_t groups = g.col_groups();
+  const bool ascending = run.scan == Scan::kAscending;
+  // Virtual-cohort mode: a clean whole-row LP sweep entered this call with
+  // no materialized columns has a fully predictable decay structure —
+  // every selected column stays exempt, the follower is always the row's
+  // pre-op cohort on its first recharge and pre-charged afterwards, and
+  // each group's post-op decay start is an arithmetic function of its
+  // position.  The loop then touches no cohort state at all; the row's
+  // cohorts are written out once at the end (or consumed by the restore).
+  const std::uint64_t row_entry_cycle = cycle_;
+  const bool virt = lp && entered && !have_mat && cohorts_.size() == 1 &&
+                    cohorts_[0].start == cycle_ && cohorts_[0].pre_op &&
+                    run.group_count == groups &&
+                    (run.descending ? run.first_group + 1 == groups
+                                    : run.first_group == 0) &&
+                    (run.descending != ascending);
+  // Per-address operation counts and the run-edge bookkeeping are
+  // loop-invariant: accumulate them per address / per run, not per cycle.
+  std::uint64_t reads_per_addr = 0;
+  for (std::size_t o = 0; o < run.op_count; ++o)
+    if (run.ops[o].is_read) ++reads_per_addr;
+  const std::uint64_t writes_per_addr = run.op_count - reads_per_addr;
+  const bool first_group_advance =
+      !last_col_group_ || *last_col_group_ != run.first_group;
+  std::size_t group = run.first_group;
+  for (std::size_t k = 0; k < run.group_count; ++k) {
+    const std::size_t first_col = group * w;
+    bool has_follower = false;
+    std::size_t follower_first = 0;
+    if (lp) {
+      if (ascending && group + 1 < groups) {
+        has_follower = true;
+        follower_first = (group + 1) * w;
+      } else if (!ascending && group > 0) {
+        has_follower = true;
+        follower_first = (group - 1) * w;
+      }
+    }
+    const bool group_advance = k != 0 || first_group_advance;
+    d_reads += reads_per_addr;
+    d_writes += writes_per_addr;
+
+    for (std::size_t o = 0; o < run.op_count; ++o) {
+      const RunOp op = run.ops[o];
+      const bool restore = run.restore_last && k + 1 == run.group_count &&
+                           o + 1 == run.op_count;
+
+      // --- peripheral (charge_peripheral) -----------------------------
+      t[I(EnergySource::kWordline)] += e_.wordline;
+      t[I(EnergySource::kDecoder)] += e_.decoder;
+      t[I(EnergySource::kAddressBus)] += e_.address_bus;
+      t[I(EnergySource::kClockTree)] += e_.clock_tree;
+      t[I(EnergySource::kMemoryControl)] += e_.control_base;
+
+      // --- selected column state (fast_execute_op phase 1) ------------
+      // Virtual mode: the selected group is provably exempt or
+      // pre-charged on every cycle of the sweep — no state, no energy.
+      // Functional runs without materialized columns are all-pre-charged
+      // by construction.
+      if (!virt && (lp || have_mat)) {
+        for (std::size_t b = 0; b < w; ++b) {
+          const std::size_t col = first_col + b;
+          const std::uint32_t tag = cohort_of_[col];
+          if (tag == kColPrecharged) continue;
+          if (tag != kColMaterialized && cycle_ - cohorts_[tag].start <= 1) {
+            cohort_of_[col] = kColPrecharged;  // back-to-back exemption
+            continue;
+          }
+          if (tag == kColMaterialized) {
+            ColumnState& s = columns_[col];
+            if (s.connected && cycle_ - s.since <= 1 &&
+                s.v_bl >= vdd - 1e-3 && s.v_blb >= vdd - 1e-3) {
+              s.v_bl = vdd;
+              s.v_blb = vdd;
+              s.connected = false;
+              s.pre_op_phase = false;
+              s.since = cycle_;
+              if (!always_materialized_[col])
+                cohort_of_[col] = kColPrecharged;
+              continue;
+            }
+          }
+          store();
+          if (cohort_of_[col] != kColMaterialized) materialize_column(col);
+          recharge(col, EnergySource::kPrechargeNextColumn);
+          if (!always_materialized_[col]) cohort_of_[col] = kColPrecharged;
+          load();
+        }
+      }
+
+      // --- operation phase --------------------------------------------
+      bool mismatch = false;
+      if (hooked) {
+        for (std::size_t b = 0; b < w; ++b) {
+          const std::size_t col = first_col + b;
+          const CellCoord cell{run.row, col};
+          const bool stored_v = cells_.get_unchecked(cell.row, cell.col);
+          const bool physical =
+              run.background.physical(op.value, cell.row, cell.col);
+          if (op.is_read) {
+            bool stored_after = stored_v;
+            const bool sensed =
+                faults_->read_result(cell, stored_v, &stored_after);
+            if (stored_after != stored_v)
+              cells_.set_unchecked(cell.row, cell.col, stored_after);
+            if (sensed != physical) mismatch = true;
+            t[I(EnergySource::kSenseAmp)] += e_.sense_amp;
+            t[I(EnergySource::kDataIo)] += e_.data_io;
+            t[I(EnergySource::kPrechargeRestoreRead)] += e_.read_restore;
+            t[I(EnergySource::kCellRes)] += e_.cell_res;
+          } else {
+            const bool effective =
+                faults_->write_result(cell, stored_v, physical);
+            cells_.set_unchecked(cell.row, cell.col, effective);
+            faults_->after_write(*this, cell, stored_v, effective);
+            t[I(EnergySource::kWriteDriver)] += e_.write_driver;
+            t[I(EnergySource::kDataIo)] += e_.data_io;
+            t[I(EnergySource::kPrechargeRestoreWrite)] += e_.write_restore;
+          }
+        }
+      } else {
+        if (w == 1) {
+          const bool physical =
+              run.background.physical(op.value, run.row, first_col);
+          if (op.is_read) {
+            mismatch = cells_.get_unchecked(run.row, first_col) != physical;
+          } else {
+            cells_.set_unchecked(run.row, first_col, physical);
+          }
+        } else {
+          for (std::size_t c0 = first_col; c0 < first_col + w; c0 += 64) {
+            const std::size_t nb = std::min<std::size_t>(64, first_col + w - c0);
+            const std::uint64_t value_bits =
+                op.value ? low_bit_mask(nb) : std::uint64_t{0};
+            const std::uint64_t physical =
+                value_bits ^ run.background.bits(run.row, c0, nb);
+            if (op.is_read) {
+              if (cells_.row_bits(run.row, c0, nb) != physical)
+                mismatch = true;
+            } else {
+              cells_.set_row_bits(run.row, c0, nb, physical);
+            }
+          }
+        }
+        if (op.is_read) {
+          for (std::size_t b = 0; b < w; ++b) {
+            t[I(EnergySource::kSenseAmp)] += e_.sense_amp;
+            t[I(EnergySource::kDataIo)] += e_.data_io;
+            t[I(EnergySource::kPrechargeRestoreRead)] += e_.read_restore;
+            t[I(EnergySource::kCellRes)] += e_.cell_res;
+          }
+        } else {
+          for (std::size_t b = 0; b < w; ++b) {
+            t[I(EnergySource::kWriteDriver)] += e_.write_driver;
+            t[I(EnergySource::kDataIo)] += e_.data_io;
+            t[I(EnergySource::kPrechargeRestoreWrite)] += e_.write_restore;
+          }
+        }
+      }
+      if (mismatch) {
+        ++d_mismatch;
+        ++rr.mismatches;
+        if (rr.detection_count < RunResult::kDetectionCap)
+          rr.detections[rr.detection_count++] = {o, group};
+      }
+
+      // --- unselected columns -----------------------------------------
+      if (!lp) {
+        t[I(EnergySource::kPrechargeResFight)] += e_.others_res_fight;
+        t[I(EnergySource::kCellRes)] += e_.others_cell_res;
+        d_full_res += g.cols - w;
+        if (faults_ != nullptr) {
+          for (std::size_t col : sensitive_by_row_[run.row]) {
+            if (col < first_col || col >= first_col + w)
+              faults_->on_res(*this, {run.row, col}, 1.0);
+          }
+        }
+      } else if (restore) {
+        store();
+        if (virt) {
+          // Everything the restore recharges is a post-op cohort whose
+          // decay start is arithmetic in its scan position; walk groups
+          // in column order, exactly like the tag-driven path would.
+          for (std::size_t gi = 0; gi < groups; ++gi) {
+            if (gi == group) continue;
+            const std::size_t scan_index =
+                run.descending ? run.first_group - gi : gi;
+            const Cohort kc{
+                row_entry_cycle + run.op_count * (scan_index + 1),
+                /*pre_op=*/false};
+            const CohortEval ev = eval_cohort(kc);
+            cohort_recharge_bulk(ev, kc, w,
+                                 EnergySource::kRowTransitionRestore);
+            full_res_bulk(w);
+          }
+          meter_.add(EnergySource::kLpTestDriver, e_.lptest_driver);
+          ++stats_.restore_cycles;
+          std::fill(cohort_of_.begin(), cohort_of_.end(), kColPrecharged);
+          cohorts_.clear();
+        } else {
+          fast_restore_cycle(run.row, first_col);
+        }
+        load();
+      } else {
+        if (has_follower) {
+          if (virt) {
+            // First op on an address recharges the follower out of the
+            // row's pre-op cohort; later ops find it pre-charged.
+            if (o == 0) {
+              const Cohort kc{row_entry_cycle, /*pre_op=*/true};
+              const CohortEval ev = eval_cohort(kc);
+              for (std::size_t b = 0; b < w; ++b) {
+                if (ev.stress_j > 0.0)
+                  t[I(EnergySource::kBitlineDecayStress)] += ev.stress_j;
+                equiv_pre += ev.equiv;
+                if (ev.dv > 0.0)
+                  t[I(EnergySource::kPrechargeNextColumn)] += ev.recharge_e;
+                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
+                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                ++d_full_res;
+              }
+            } else {
+              for (std::size_t b = 0; b < w; ++b) {
+                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
+                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                ++d_full_res;
+              }
+            }
+          } else {
+            for (std::size_t b = 0; b < w; ++b) {
+              const std::size_t col = follower_first + b;
+              const std::uint32_t tag = cohort_of_[col];
+              if (tag == kColPrecharged) {
+                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
+                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                ++d_full_res;
+              } else if (tag == kColMaterialized) {
+                store();
+                recharge(col, EnergySource::kPrechargeNextColumn);
+                apply_full_res(run.row, col);
+                if (!always_materialized_[col])
+                  cohort_of_[col] = kColPrecharged;
+                load();
+              } else {
+                const Cohort& kc = cohorts_[tag];
+                const CohortEval ev = eval_cohort(kc);
+                if (ev.stress_j > 0.0)
+                  t[I(EnergySource::kBitlineDecayStress)] += ev.stress_j;
+                if (kc.pre_op)
+                  equiv_pre += ev.equiv;
+                else
+                  equiv_post += ev.equiv;
+                if (ev.dv > 0.0)
+                  t[I(EnergySource::kPrechargeNextColumn)] += ev.recharge_e;
+                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
+                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                ++d_full_res;
+                cohort_of_[col] = kColPrecharged;
+              }
+            }
+          }
+        }
+        if (o == 0 && group_advance)
+          t[I(EnergySource::kControlLogic)] += e_.control_element_group;
+
+        // Selected group: post-operation decay from the next cycle on.
+        // (Virtual mode defers the whole row's cohort write-out.)
+        if (!virt) {
+          const std::uint32_t post_cohort =
+              static_cast<std::uint32_t>(cohorts_.size());
+          cohorts_.push_back(Cohort{cycle_ + 1, /*pre_op=*/false});
+          for (std::size_t b = 0; b < w; ++b) {
+            const std::size_t col = first_col + b;
+            if (always_materialized_[col])
+              begin_decay(col, /*pre_op=*/false);
+            else
+              cohort_of_[col] = post_cohort;
+          }
+          if (cohorts_.size() > 2 * g.cols + 64) compact_cohorts();
+        }
+      }
+      if (!lp && have_mat) {
+        for (std::size_t b = 0; b < w; ++b) {
+          const std::size_t col = first_col + b;
+          if (cohort_of_[col] == kColMaterialized) {
+            columns_[col].v_bl = vdd;
+            columns_[col].v_blb = vdd;
+            columns_[col].connected = false;
+            columns_[col].since = cycle_;
+          } else {
+            cohort_of_[col] = kColPrecharged;
+          }
+        }
+      }
+
+      ++cycle_;
+      ++d_cycles;
+    }
+    group = run.descending ? group - 1 : group + 1;
+  }
+  store();
+  if (virt && !run.restore_last) {
+    // Materialize the row's deferred cohort structure: one post-op cohort
+    // per group, decay start arithmetic in the scan position — the exact
+    // state the per-cycle path would have accumulated.
+    cohorts_.clear();
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      const std::size_t scan_index =
+          run.descending ? run.first_group - gi : gi;
+      const std::uint32_t id = static_cast<std::uint32_t>(cohorts_.size());
+      cohorts_.push_back(Cohort{
+          row_entry_cycle + run.op_count * (scan_index + 1),
+          /*pre_op=*/false});
+      for (std::size_t b = 0; b < w; ++b) cohort_of_[gi * w + b] = id;
+    }
+  }
+  // Run-edge bookkeeping: nothing inside the loop reads these, so the
+  // per-cycle stores collapse to the final values.
+  const std::size_t last_group =
+      run.descending ? run.first_group - (run.group_count - 1)
+                     : run.first_group + (run.group_count - 1);
+  restored_last_cycle_ = lp && run.restore_last;
+  last_col_group_ = last_group;
+
+  // Diagnostics snapshot: the outline of the run's final cycle.
+  snap_.valid = true;
+  snap_.all_on = !lp || run.restore_last;
+  snap_.first_col = last_group * w;
+  snap_.width = w;
+  snap_.has_follower = false;
+  if (lp && !run.restore_last) {
+    if (ascending && last_group + 1 < groups) {
+      snap_.has_follower = true;
+      snap_.follower_first = (last_group + 1) * w;
+    } else if (!ascending && last_group > 0) {
+      snap_.has_follower = true;
+      snap_.follower_first = (last_group - 1) * w;
+    }
+  }
+  return rr;
+}
+
 double SramArray::bitline_low_side_voltage(std::size_t col) const {
   SRAMLP_REQUIRE(col < config_.geometry.cols, "column out of range");
   double v_bl = 0.0;
   double v_blb = 0.0;
-  evaluate(columns_[col], col, &v_bl, &v_blb);
+  if (!fast_ || cohort_of_[col] == kColMaterialized) {
+    evaluate(columns_[col], col, &v_bl, &v_blb);
+  } else if (cohort_of_[col] == kColPrecharged) {
+    v_bl = config_.tech.vdd;
+    v_blb = config_.tech.vdd;
+  } else {
+    const Cohort& k = cohorts_[cohort_of_[col]];
+    const ColumnState ghost{config_.tech.vdd, config_.tech.vdd, k.start, true,
+                            k.pre_op};
+    evaluate(ghost, col, &v_bl, &v_blb);
+  }
   return std::min(v_bl, v_blb);
 }
 
 bool SramArray::precharge_was_active(std::size_t col) const {
   SRAMLP_REQUIRE(col < config_.geometry.cols, "column out of range");
-  return precharge_active_[col];
+  if (!fast_) return precharge_active_[col];
+  if (!snap_.valid) return config_.mode == Mode::kFunctional;
+  if (snap_.all_on) return true;
+  if (col >= snap_.first_col && col < snap_.first_col + snap_.width)
+    return true;
+  return snap_.has_follower && col >= snap_.follower_first &&
+         col < snap_.follower_first + snap_.width;
 }
 
 }  // namespace sramlp::sram

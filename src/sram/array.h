@@ -23,9 +23,34 @@
 // for that one cycle (Fig. 7) — omitting it reproduces the faulty-swap
 // mechanism, which the simulator models faithfully.
 //
+// Two column-state engines implement the same contract:
+//
+//   * ColumnModel::kBitslicedCohort (default) — cell data lives in the
+//     64-cell-packed CellArray and is read/written/compared a word group at
+//     a time; floating columns are grouped into *decay cohorts* keyed by
+//     their decay-start cycle, so settling, recharging and stressing a
+//     whole cohort costs one closed-form evaluation plus bulk meter
+//     accumulation instead of per-column work.  Per-column ColumnState is
+//     materialized lazily, only for columns something actually observes:
+//     RES-sensitive columns of an attached fault model (which need
+//     per-cycle on_res callbacks), columns left with partial bit-line
+//     voltage across a non-restored row hand-over or an idle window, and
+//     nothing else.  Diagnostics (bitline_low_side_voltage,
+//     precharge_was_active) evaluate the cohort closed form on demand
+//     without materializing.
+//
+//   * ColumnModel::kPerColumnReference — the original per-column engine,
+//     kept as the executable specification.  The cohort path is required
+//     (and regression-tested) to produce bit-identical supply energy,
+//     ArrayStats and detections; EnergyMeter::add(source, joules, count)
+//     performs bulk accumulation as repeated additions precisely so the
+//     cohort path's per-source floating-point sums match the reference
+//     path's addition-by-addition.
+//
 // Bit-line voltages are tracked lazily (closed-form exponential decay from
-// the last capture point), so a cycle costs O(word_width) amortised work
-// and full 512x512 March runs complete in milliseconds.
+// the last capture point, memoized per integer cycle count), so a cycle
+// costs O(word_width) amortised work and full 512x512 March runs complete
+// in milliseconds.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +67,12 @@
 
 namespace sramlp::sram {
 
+/// Which column-state engine executes the cycles (see file comment).
+enum class ColumnModel {
+  kBitslicedCohort,    ///< word-packed data + decay-cohort accounting (fast)
+  kPerColumnReference, ///< original per-column engine (executable spec)
+};
+
 /// Static configuration of one simulated array.
 struct SramConfig {
   Geometry geometry;
@@ -56,6 +87,8 @@ struct SramConfig {
   /// A floating bit-line below this fraction of VDD overpowers an opposing
   /// cell at row entry (bit-line capacitance >> cell node capacitance).
   double swap_threshold_frac = 0.5;
+  /// Column-state engine; the reference model exists for parity tests.
+  ColumnModel column_model = ColumnModel::kBitslicedCohort;
 };
 
 /// Counters accumulated over a run.
@@ -89,6 +122,7 @@ class SramArray {
   const SramConfig& config() const { return config_; }
   const Geometry& geometry() const { return config_.geometry; }
   Mode mode() const { return config_.mode; }
+  ColumnModel column_model() const { return config_.column_model; }
 
   /// Switch operating mode between runs; resets bit-line state to
   /// pre-charged (a functional settling period is assumed) but keeps data.
@@ -97,6 +131,14 @@ class SramArray {
   /// Execute one clock cycle. In low-power test mode the caller must issue
   /// addresses word-line-after-word-line (the TestSession enforces this).
   CycleResult cycle(const CycleCommand& command);
+
+  /// Execute a whole-row batch of cycles (see RunCommand): group_count
+  /// addresses in scan order, op_count operations each.  Supply energy,
+  /// statistics, cell contents and detections are bit-identical to
+  /// issuing the equivalent CycleCommands through cycle(); the bitsliced
+  /// engine executes the batch with meter accumulators held in registers
+  /// and per-cycle glue amortised over the row.
+  RunResult execute_run(const RunCommand& run);
 
   /// Idle for @p cycles clock cycles (March "Del" elements): no access,
   /// word lines low.  Only the clock tree and the control FSM burn energy;
@@ -128,11 +170,16 @@ class SramArray {
   /// Average supply energy per cycle so far [J].
   double energy_per_cycle() const { return meter_.supply_per_cycle(); }
 
-  /// Reset meters and statistics (keeps data and bit-line state).
+  /// Reset meters and statistics.  Measurement-only: the electrical state
+  /// is untouched — bit-line voltages, decay cohorts and lazily
+  /// materialized per-column state all survive unchanged, so a reset in
+  /// the middle of a run never perturbs subsequent decay, swap or
+  /// detection behaviour (regression-tested).
   void reset_measurements();
 
   /// Current voltage of a column's cell-driven bit-line [V] (diagnostics;
-  /// evaluates the lazy decay at the present cycle).
+  /// evaluates the lazy decay — or the column's cohort closed form — at
+  /// the present cycle, without materializing per-column state).
   double bitline_low_side_voltage(std::size_t col) const;
 
   /// True if the column's pre-charge circuit is on this cycle (diagnostic
@@ -149,7 +196,14 @@ class SramArray {
     bool pre_op_phase = false;   ///< decay began at row entry (not post-op)
   };
 
+  // --- shared helpers ----------------------------------------------------
   double decayed(double v, std::uint64_t from_cycle) const;
+  /// Memoized exp(-(elapsed * duty) / tau); same bits as computing it raw.
+  double decay_factor(std::uint64_t elapsed) const {
+    if (elapsed < decay_memo_.size()) return decay_memo_[elapsed];
+    return decay_factor_slow(elapsed);
+  }
+  double decay_factor_slow(std::uint64_t elapsed) const;
   /// Current (v_bl, v_blb) of a column, without mutating state.
   void evaluate(const ColumnState& s, std::size_t col, double* v_bl,
                 double* v_blb) const;
@@ -159,12 +213,73 @@ class SramArray {
   void recharge(std::size_t col, power::EnergySource source);
   /// Mark a column as decaying from VDD starting now.
   void begin_decay(std::size_t col, bool pre_op);
-  /// Row-entry bookkeeping: swap checks (when unrestored) + fresh decay.
-  std::uint32_t enter_row(std::size_t row);
   /// Full RES on one column for one cycle (fight energy + hooks).
   void apply_full_res(std::size_t row, std::size_t col);
   void charge_peripheral(const CycleCommand& command);
+  /// The read/write data-path of one selected cell (meters + fault hooks);
+  /// shared verbatim by both column engines.
+  void op_bit(const CycleCommand& command, std::size_t col,
+              CycleResult* result);
+
+  // --- per-column reference engine ---------------------------------------
+  CycleResult reference_cycle(const CycleCommand& command);
+  void reference_idle(std::uint64_t cycles);
+  std::uint32_t enter_row(std::size_t row);
   CycleResult execute_op(const CycleCommand& command);
+
+  // --- bitsliced / decay-cohort engine ------------------------------------
+  /// A set of columns whose bit-lines all float from VDD since the same
+  /// cycle; one closed-form evaluation covers every member.
+  struct Cohort {
+    std::uint64_t start = 0;  ///< decay-start cycle (may be one ahead)
+    bool pre_op = false;      ///< decay began at row entry
+  };
+  /// Everything the bulk paths need to know about a cohort "now".
+  struct CohortEval {
+    double v_low = 0.0;      ///< decayed low-side voltage
+    double stress_j = 0.0;   ///< settle: bit-line charge spent, per column
+    double equiv = 0.0;      ///< settle: full-RES column-cycle equivalents
+    double dv = 0.0;         ///< voltage deficit folded by a settle
+    double recharge_e = 0.0; ///< supply energy to restore one pair to VDD
+  };
+
+  CycleResult fast_cycle(const CycleCommand& command);
+  void fast_idle(std::uint64_t cycles);
+  std::uint32_t fast_enter_row(std::size_t row);
+  CycleResult fast_execute_op(const CycleCommand& command);
+  /// The Fig. 7 all-column restore cycle's column work (recharge + RES +
+  /// the everything-pre-charged tail), shared by fast_cycle and fast_run.
+  void fast_restore_cycle(std::size_t row, std::size_t first_col);
+  /// Per-cycle fallback for execute_run (reference engine, or whenever
+  /// the batch preconditions do not hold).
+  RunResult run_per_cycle(const RunCommand& run);
+  RunResult fast_run(const RunCommand& run);
+  CohortEval eval_cohort(const Cohort& cohort) const;
+  /// Meter the settle of @p count cohort members (stress + α bookkeeping).
+  void cohort_settle_bulk(const CohortEval& eval, bool pre_op,
+                          std::uint64_t count);
+  /// Settle + recharge-to-VDD of @p count cohort members into @p source.
+  void cohort_recharge_bulk(const CohortEval& eval, const Cohort& cohort,
+                            std::uint64_t count, power::EnergySource source);
+  /// Full RES on @p count columns at once (no sensitive columns inside:
+  /// those are always materialized and take the per-column path).
+  void full_res_bulk(std::uint64_t count);
+  /// Promote a cohort-tracked or pre-charged column to explicit
+  /// ColumnState (exact: cohorts capture at VDD, decay stays lazy).
+  void materialize_column(std::size_t col);
+  /// Walk [begin, end) as maximal runs of columns sharing a state tag.
+  template <typename Fn>
+  void for_each_run(std::size_t begin, std::size_t end, Fn&& fn) const {
+    std::size_t col = begin;
+    while (col < end) {
+      const std::uint32_t tag = cohort_of_[col];
+      std::size_t run_end = col + 1;
+      while (run_end < end && cohort_of_[run_end] == tag) ++run_end;
+      fn(col, run_end - col, tag);
+      col = run_end;
+    }
+  }
+  void compact_cohorts();
 
   SramConfig config_;
   CellArray cells_;
@@ -174,12 +289,59 @@ class SramArray {
   /// Sensitive cells grouped by row (from the fault model).
   std::vector<std::vector<std::size_t>> sensitive_by_row_;
 
+  /// Hot-loop constants derived from the technology + geometry once; every
+  /// value is the identical product/call the engines previously computed
+  /// per cycle (pure functions of config), cached for speed.
+  struct PerCycleEnergies {
+    double wordline = 0.0;
+    double decoder = 0.0;
+    double address_bus = 0.0;
+    double clock_tree = 0.0;
+    double control_base = 0.0;
+    double res_fight = 0.0;
+    double cell_res = 0.0;
+    double others_res_fight = 0.0;  ///< (cols - w) columns of RES fight
+    double others_cell_res = 0.0;
+    double control_element_group = 0.0;  ///< w control elements switching
+    double lptest_driver = 0.0;
+    double sense_amp = 0.0;
+    double data_io = 0.0;
+    double read_restore = 0.0;
+    double write_driver = 0.0;
+    double write_restore = 0.0;
+  };
+  PerCycleEnergies e_;
+
   std::vector<ColumnState> columns_;
-  std::vector<bool> precharge_active_;  ///< last cycle's activity snapshot
+  std::vector<bool> precharge_active_;  ///< reference engine only
   std::uint64_t cycle_ = 0;
   std::optional<std::size_t> active_row_;
   std::optional<std::size_t> last_col_group_;
   bool restored_last_cycle_ = false;
+
+  // --- bitsliced-engine state --------------------------------------------
+  static constexpr std::uint32_t kColPrecharged = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kColMaterialized = 0xFFFFFFFEu;
+  bool fast_ = true;                      ///< config_.column_model cached
+  std::vector<std::uint32_t> cohort_of_;  ///< per-column state tag
+  std::vector<Cohort> cohorts_;
+  std::vector<bool> always_materialized_; ///< RES-sensitive columns
+  /// Rows where the fault model's data-path hooks can act (from
+  /// CellFaultModel::relevant_rows); other rows run word-parallel.
+  std::vector<bool> hooked_rows_;
+  bool all_rows_hooked_ = false;
+  /// Last cycle's pre-charge activity, reconstructed on demand instead of
+  /// refilling an O(cols) snapshot every cycle.
+  struct PrechargeSnapshot {
+    bool valid = false;
+    bool all_on = false;
+    std::size_t first_col = 0;
+    std::size_t width = 0;
+    bool has_follower = false;
+    std::size_t follower_first = 0;
+  };
+  PrechargeSnapshot snap_;
+  mutable std::vector<double> decay_memo_;  ///< exp factor per elapsed cycle
 };
 
 }  // namespace sramlp::sram

@@ -14,8 +14,10 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "sram/bits.h"
 #include "util/error.h"
 
 namespace sramlp::sram {
@@ -70,6 +72,27 @@ class DataBackground {
   constexpr bool physical(bool logical, std::size_t row,
                           std::size_t col) const {
     return logical != at(row, col);
+  }
+
+  /// Background bits of @p count cells (1..64) of one row starting at
+  /// @p col, packed with bit b = at(row, col + b).  Every built-in pattern
+  /// has a closed word form, so the bitsliced array path can compare or
+  /// scatter a whole word group against the background in O(1).
+  constexpr std::uint64_t bits(std::size_t row, std::size_t col,
+                               std::size_t count) const {
+    constexpr std::uint64_t kEvenBits = 0x5555555555555555ull;  // bits 0,2,..
+    const std::uint64_t mask = low_bit_mask(count);
+    switch (kind_) {
+      case BackgroundKind::kSolid0: return 0;
+      case BackgroundKind::kSolid1: return mask;
+      case BackgroundKind::kCheckerboard:
+        return (((row + col) & 1) != 0 ? kEvenBits : ~kEvenBits) & mask;
+      case BackgroundKind::kRowStripes:
+        return (row & 1) != 0 ? mask : 0;
+      case BackgroundKind::kColumnStripes:
+        return ((col & 1) != 0 ? kEvenBits : ~kEvenBits) & mask;
+    }
+    return 0;
   }
 
   std::string name() const {

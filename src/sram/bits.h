@@ -1,0 +1,16 @@
+// Shared word-slice helpers for the bitsliced data paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sramlp::sram {
+
+/// Mask selecting the low @p count bits of a word; well-defined for the
+/// full 0..64 range (a plain shift would overflow at 64).
+constexpr std::uint64_t low_bit_mask(std::size_t count) {
+  return count >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << count) - 1;
+}
+
+}  // namespace sramlp::sram

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "sram/bits.h"
+
 namespace sramlp::sram {
 
 CellArray::CellArray(const Geometry& geometry, bool fill_value)
@@ -9,6 +11,47 @@ CellArray::CellArray(const Geometry& geometry, bool fill_value)
   geometry_.validate();
   words_.assign((geometry_.cells() + 63) / 64, 0);
   if (fill_value) fill(true);
+}
+
+std::uint64_t CellArray::row_bits(std::size_t row, std::size_t col,
+                                  std::size_t count) const {
+  check(row, col);
+  SRAMLP_REQUIRE(count >= 1 && count <= 64 && col + count <= geometry_.cols,
+                 "row slice outside the array or wider than one word");
+  const std::size_t flat = row * geometry_.cols + col;
+  const std::size_t word = flat >> 6;
+  const std::size_t off = flat & 63;
+  std::uint64_t bits = words_[word] >> off;
+  if (off + count > 64) bits |= words_[word + 1] << (64 - off);
+  return bits & low_bit_mask(count);
+}
+
+void CellArray::set_row_bits(std::size_t row, std::size_t col,
+                             std::size_t count, std::uint64_t bits) {
+  check(row, col);
+  SRAMLP_REQUIRE(count >= 1 && count <= 64 && col + count <= geometry_.cols,
+                 "row slice outside the array or wider than one word");
+  bits &= low_bit_mask(count);
+  const std::size_t flat = row * geometry_.cols + col;
+  const std::size_t word = flat >> 6;
+  const std::size_t off = flat & 63;
+  words_[word] = (words_[word] & ~(low_bit_mask(count) << off)) | (bits << off);
+  if (off + count > 64) {
+    const std::size_t spill = off + count - 64;
+    const std::uint64_t spill_mask = low_bit_mask(spill);
+    words_[word + 1] = (words_[word + 1] & ~spill_mask) |
+                       ((bits >> (64 - off)) & spill_mask);
+  }
+}
+
+std::uint32_t CellArray::copy_row_bits(std::size_t dst_row,
+                                       std::size_t src_row, std::size_t col,
+                                       std::size_t count) {
+  const std::uint64_t src = row_bits(src_row, col, count);
+  const std::uint64_t dst = row_bits(dst_row, col, count);
+  const std::uint64_t flips = src ^ dst;
+  if (flips != 0) set_row_bits(dst_row, col, count, src);
+  return static_cast<std::uint32_t>(std::popcount(flips));
 }
 
 void CellArray::fill(bool value) {

@@ -1,4 +1,12 @@
 // Packed bit storage for the cell matrix.
+//
+// Cells are stored 64 per uint64_t word in row-major flat order, so besides
+// the checked per-cell accessors the array exposes word-parallel primitives
+// over up-to-64-column row slices: gather (row_bits), scatter
+// (set_row_bits) and compare-and-copy (copy_row_bits).  The bitsliced
+// SramArray fast path uses them for whole-word March writes, read-compare
+// fault detection and the faulty-swap overpowering check, replacing
+// per-cell loops with one or two word operations.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +25,22 @@ class CellArray {
 
   bool get(std::size_t row, std::size_t col) const {
     check(row, col);
-    const std::size_t flat = row * geometry_.cols + col;
-    return (words_[flat >> 6] >> (flat & 63)) & 1u;
+    return get_unchecked(row, col);
   }
 
   void set(std::size_t row, std::size_t col, bool value) {
     check(row, col);
+    set_unchecked(row, col, value);
+  }
+
+  /// Unchecked accessors for validated hot paths (the cycle simulator
+  /// bounds-checks the command once per cycle, not once per cell).
+  bool get_unchecked(std::size_t row, std::size_t col) const {
+    const std::size_t flat = row * geometry_.cols + col;
+    return (words_[flat >> 6] >> (flat & 63)) & 1u;
+  }
+
+  void set_unchecked(std::size_t row, std::size_t col, bool value) {
     const std::size_t flat = row * geometry_.cols + col;
     const std::uint64_t mask = std::uint64_t{1} << (flat & 63);
     if (value)
@@ -30,6 +48,24 @@ class CellArray {
     else
       words_[flat >> 6] &= ~mask;
   }
+
+  /// Gather @p count cells (1..64) of one row starting at @p col into the
+  /// low bits of a word (bit b = cell at col + b).  Rows are packed flat,
+  /// so the slice may straddle one word boundary.
+  std::uint64_t row_bits(std::size_t row, std::size_t col,
+                         std::size_t count) const;
+
+  /// Scatter the low @p count bits of @p bits into one row at @p col.
+  void set_row_bits(std::size_t row, std::size_t col, std::size_t count,
+                    std::uint64_t bits);
+
+  /// Overwrite @p count cells of @p dst_row at @p col with the matching
+  /// cells of @p src_row; returns how many cells changed value.  This is
+  /// the word-parallel core of the faulty-swap check: a discharged
+  /// bit-line pair imposes the driving row's value on the newly connected
+  /// row, flipping exactly the cells whose stored bit differs.
+  std::uint32_t copy_row_bits(std::size_t dst_row, std::size_t src_row,
+                              std::size_t col, std::size_t count);
 
   void fill(bool value);
 

@@ -46,4 +46,45 @@ struct CycleResult {
   std::uint32_t faulty_swaps = 0;  ///< cells flipped by bit-line overpowering
 };
 
+/// One operation of a run (a March operation reduced to array terms).
+struct RunOp {
+  bool is_read = true;
+  bool value = false;  ///< logical data bit
+};
+
+/// A whole-row batch of cycles: every column group of one word line, in
+/// scan order, executing the same operation list per address — exactly the
+/// cycles a March element spends on one row.  The issuing layer (the
+/// engine's CommandStream) still owns all scheduling decisions; a run just
+/// hands the array enough structure to execute the row in one tight loop
+/// (meter accumulators held in registers, cells touched word-at-a-time)
+/// instead of one CycleCommand at a time.  Results are bit-identical to
+/// issuing the equivalent CycleCommands.
+struct RunCommand {
+  std::size_t row = 0;
+  std::size_t first_group = 0;   ///< column group of the first address
+  std::size_t group_count = 0;   ///< addresses covered (same row)
+  bool descending = false;       ///< walk groups downward from first_group
+  const RunOp* ops = nullptr;    ///< operations applied at every address
+  std::size_t op_count = 0;
+  DataBackground background;
+  Scan scan = Scan::kAscending;
+  /// Issue the one-cycle functional restore (Fig. 7) on the last
+  /// operation of the last address of the run.
+  bool restore_last = false;
+};
+
+/// Everything a run reports back (detections are capped; the engine's
+/// backend translates them into its Detection records).
+struct RunResult {
+  static constexpr std::size_t kDetectionCap = 16;
+  std::uint64_t mismatches = 0;        ///< read cycles with any bad bit
+  std::uint32_t faulty_swaps = 0;
+  std::size_t detection_count = 0;     ///< entries valid in detections[]
+  struct RunDetection {
+    std::size_t op = 0;
+    std::size_t group = 0;
+  } detections[kDetectionCap] = {};
+};
+
 }  // namespace sramlp::sram

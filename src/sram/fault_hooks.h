@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace sramlp::sram {
@@ -60,6 +61,17 @@ class CellFaultModel {
   /// Cells that want Read-Equivalent-Stress event notifications
   /// (RES-sensitive faults).  Queried once when the model is attached.
   virtual std::vector<CellCoord> res_sensitive_cells() const { return {}; }
+
+  /// Rows on which this model's read/write/after-write hooks can do
+  /// anything at all.  Returning a list is a promise that on every other
+  /// row the hooks are pure no-ops (identity results, no state the model
+  /// later acts on), which lets the bitsliced engine run those rows
+  /// word-parallel without per-cell hook calls.  The default (nullopt)
+  /// makes no promise: every row gets hooks.  on_res and on_idle are
+  /// unaffected — they are delivered through their own channels.
+  virtual std::optional<std::vector<std::size_t>> relevant_rows() const {
+    return std::nullopt;
+  }
 
   /// One cycle of (full or decaying) RES hit @p cell.  Only delivered to
   /// cells returned by res_sensitive_cells().  @p stress is 1.0 for a full

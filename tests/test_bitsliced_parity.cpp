@@ -1,0 +1,415 @@
+// Bit-exact parity between the two SramArray column engines: the default
+// bitsliced/decay-cohort fast path must reproduce the per-column reference
+// engine to the last bit — supply energy, every per-source meter total,
+// ArrayStats, detections, faulty swaps and cell contents — across
+// functional, low-power, restore-disabled and single-fault runs, on square
+// and awkward (non-square, non-power-of-two, word-oriented) geometries.
+// Also covers the whole-row batch executor (StreamRun / execute_run)
+// against the per-step path, and the lazy column state surviving
+// reset_measurements().
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "engine/cycle_accurate_backend.h"
+#include "faults/models.h"
+#include "march/algorithms.h"
+#include "power/energy_source.h"
+#include "sram/array.h"
+
+namespace {
+
+using namespace sramlp;
+using core::SessionConfig;
+using core::SessionResult;
+using core::TestSession;
+using sram::ColumnModel;
+using sram::CycleCommand;
+using sram::Mode;
+using sram::SramArray;
+using sram::SramConfig;
+
+void expect_meters_identical(const power::EnergyMeter& a,
+                             const power::EnergyMeter& b,
+                             const std::string& where) {
+  EXPECT_EQ(a.cycles(), b.cycles()) << where;
+  for (std::size_t i = 0; i < power::kEnergySourceCount; ++i) {
+    const auto source = static_cast<power::EnergySource>(i);
+    EXPECT_EQ(a.total(source), b.total(source))
+        << where << " source=" << power::to_string(source);
+  }
+  EXPECT_EQ(a.supply_total(), b.supply_total()) << where;
+}
+
+void expect_stats_identical(const sram::ArrayStats& a,
+                            const sram::ArrayStats& b,
+                            const std::string& where) {
+  EXPECT_EQ(a.cycles, b.cycles) << where;
+  EXPECT_EQ(a.reads, b.reads) << where;
+  EXPECT_EQ(a.writes, b.writes) << where;
+  EXPECT_EQ(a.read_mismatches, b.read_mismatches) << where;
+  EXPECT_EQ(a.faulty_swaps, b.faulty_swaps) << where;
+  EXPECT_EQ(a.row_transitions, b.row_transitions) << where;
+  EXPECT_EQ(a.restore_cycles, b.restore_cycles) << where;
+  EXPECT_EQ(a.full_res_column_cycles, b.full_res_column_cycles) << where;
+  EXPECT_EQ(a.decay_stress_equiv_post_op, b.decay_stress_equiv_post_op)
+      << where;
+  EXPECT_EQ(a.decay_stress_equiv_pre_op, b.decay_stress_equiv_pre_op)
+      << where;
+}
+
+void expect_results_identical(const SessionResult& ref,
+                              const SessionResult& fast,
+                              const std::string& where) {
+  EXPECT_EQ(ref.cycles, fast.cycles) << where;
+  EXPECT_EQ(ref.supply_energy_j, fast.supply_energy_j) << where;
+  EXPECT_EQ(ref.energy_per_cycle_j, fast.energy_per_cycle_j) << where;
+  EXPECT_EQ(ref.mismatches, fast.mismatches) << where;
+  expect_meters_identical(ref.meter, fast.meter, where);
+  expect_stats_identical(ref.stats, fast.stats, where);
+  ASSERT_EQ(ref.first_detections.size(), fast.first_detections.size())
+      << where;
+  for (std::size_t i = 0; i < ref.first_detections.size(); ++i) {
+    EXPECT_EQ(ref.first_detections[i].element,
+              fast.first_detections[i].element)
+        << where << " det " << i;
+    EXPECT_EQ(ref.first_detections[i].op, fast.first_detections[i].op)
+        << where << " det " << i;
+    EXPECT_EQ(ref.first_detections[i].row, fast.first_detections[i].row)
+        << where << " det " << i;
+    EXPECT_EQ(ref.first_detections[i].col_group,
+              fast.first_detections[i].col_group)
+        << where << " det " << i;
+  }
+}
+
+/// Run @p test under both column engines and require bit-exact agreement,
+/// including final cell contents.
+void expect_session_parity_specs(SessionConfig config,
+                                 const march::MarchTest& test,
+                                 const std::vector<faults::FaultSpec>& specs,
+                                 const std::string& where) {
+  SessionResult results[2];
+  std::vector<bool> cells[2];
+  for (int m = 0; m < 2; ++m) {
+    config.column_model = m == 0 ? ColumnModel::kPerColumnReference
+                                 : ColumnModel::kBitslicedCohort;
+    TestSession session(config);
+    faults::FaultSet set(specs);
+    if (!specs.empty()) session.attach_fault_model(&set);
+    results[m] = session.run(test);
+    for (std::size_t r = 0; r < config.geometry.rows; ++r)
+      for (std::size_t c = 0; c < config.geometry.cols; ++c)
+        cells[m].push_back(session.array().peek(r, c));
+  }
+  expect_results_identical(results[0], results[1], where);
+  EXPECT_EQ(cells[0], cells[1]) << where << " (cell contents)";
+}
+
+void expect_session_parity(const SessionConfig& config,
+                           const march::MarchTest& test,
+                           const faults::FaultSpec* fault,
+                           const std::string& where) {
+  std::vector<faults::FaultSpec> specs;
+  if (fault != nullptr) specs.push_back(*fault);
+  expect_session_parity_specs(config, test, specs, where);
+}
+
+SessionConfig grid_config(Mode mode, std::size_t rows, std::size_t cols,
+                          std::size_t word_width = 1) {
+  SessionConfig cfg;
+  cfg.geometry = {rows, cols, word_width};
+  cfg.mode = mode;
+  return cfg;
+}
+
+// --- fault-free parity across modes, geometries, backgrounds ----------------
+
+TEST(BitslicedParity, FaultFreeAcrossModesAndAwkwardGeometries) {
+  // Non-square, non-power-of-two and word-oriented organisations exercise
+  // the packing and cohort math off the easy 512x512 path.
+  struct Geo {
+    std::size_t rows, cols, w;
+  };
+  const Geo geos[] = {{8, 8, 1}, {48, 96, 1}, {33, 17, 1}, {16, 96, 4}};
+  for (const auto& test :
+       {march::algorithms::mats_plus(), march::algorithms::march_c_minus()}) {
+    for (const Geo& geo : geos) {
+      for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+        SessionConfig cfg = grid_config(mode, geo.rows, geo.cols, geo.w);
+        const std::string where =
+            test.name() + " " + std::to_string(geo.rows) + "x" +
+            std::to_string(geo.cols) + "/w" + std::to_string(geo.w) +
+            (mode == Mode::kFunctional ? " F" : " LP");
+        expect_session_parity(cfg, test, nullptr, where);
+      }
+    }
+  }
+}
+
+TEST(BitslicedParity, PaperWidthRowsWithDeepDecay) {
+  // 512-column rows push pre-op decay thousands of cycles deep (the decay
+  // factor underflows to exactly 0.0 past ~e^-700) and exercise the memo
+  // cap; a reduced row count keeps the reference engine affordable.
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    SessionConfig cfg = grid_config(mode, 8, 512);
+    expect_session_parity(cfg, march::algorithms::march_c_minus(), nullptr,
+                          mode == Mode::kFunctional ? "8x512 F" : "8x512 LP");
+  }
+}
+
+TEST(BitslicedParity, BackgroundsAndInvertedData) {
+  const auto test = march::algorithms::march_c_minus();
+  for (const auto kind : sram::DataBackground::kinds()) {
+    SessionConfig cfg = grid_config(Mode::kLowPowerTest, 12, 24);
+    cfg.background = sram::DataBackground(kind);
+    expect_session_parity(cfg, test, nullptr,
+                          "background " + cfg.background.name());
+  }
+  SessionConfig cfg = grid_config(Mode::kLowPowerTest, 12, 24);
+  cfg.invert_background = true;
+  expect_session_parity(cfg, test, nullptr, "inverted background");
+}
+
+TEST(BitslicedParity, DelayElementsAndIdleWindows) {
+  SessionConfig cfg = grid_config(Mode::kLowPowerTest, 6, 16);
+  expect_session_parity(cfg, march::algorithms::march_g_with_delays(),
+                        nullptr, "march G with delays");
+}
+
+// --- restore-disabled (faulty-swap) parity ----------------------------------
+
+TEST(BitslicedParity, RestoreDisabledReproducesFaultySwapsExactly) {
+  for (const auto& geo : {std::pair<std::size_t, std::size_t>{8, 32},
+                          std::pair<std::size_t, std::size_t>{33, 17}}) {
+    SessionConfig cfg = grid_config(Mode::kLowPowerTest, geo.first,
+                                    geo.second);
+    cfg.row_transition_restore = false;
+    expect_session_parity(cfg, march::algorithms::mats_plus(), nullptr,
+                          "restore-disabled " + std::to_string(geo.first) +
+                              "x" + std::to_string(geo.second));
+  }
+}
+
+// --- single-fault parity ------------------------------------------------------
+
+TEST(BitslicedParity, SingleFaultRunsAcrossKinds) {
+  const auto test = march::algorithms::march_sr();
+  const faults::FaultSpec specs[] = {
+      {.kind = faults::FaultKind::kStuckAt1, .victim = {3, 5}},
+      {.kind = faults::FaultKind::kTransitionUp, .victim = {7, 0}},
+      {.kind = faults::FaultKind::kReadDestructive, .victim = {1, 14}},
+      {.kind = faults::FaultKind::kCouplingInversion,
+       .victim = {2, 9},
+       .aggressor = {5, 4}},
+      {.kind = faults::FaultKind::kResSensitive,
+       .victim = {4, 11},
+       .res_threshold = 12.0},
+  };
+  for (const auto& spec : specs) {
+    for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+      SessionConfig cfg = grid_config(mode, 12, 20);
+      expect_session_parity(cfg, test, &spec,
+                            spec.describe() +
+                                (mode == Mode::kFunctional ? " F" : " LP"));
+    }
+  }
+}
+
+// Dynamic write-then-read faults force relevant_rows() to nullopt (the
+// global write-history tracking matters everywhere), so every row must
+// keep per-cell hooks — the all-rows-hooked path of the batch executor.
+TEST(BitslicedParity, DynamicFaultDisablesRowSparseHooks) {
+  const faults::FaultSpec spec{
+      .kind = faults::FaultKind::kDynamicReadDestructive, .victim = {5, 7}};
+  faults::FaultSet set({spec});
+  ASSERT_FALSE(set.relevant_rows().has_value());
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    SessionConfig cfg = grid_config(mode, 12, 20);
+    // March SR contains the w,r pair that sensitises dRDF.
+    expect_session_parity(cfg, march::algorithms::march_sr(), &spec,
+                          mode == Mode::kFunctional ? "dRDF F" : "dRDF LP");
+  }
+}
+
+// A mixed set: row-sparse hooks must cover the union of victim and
+// aggressor rows, and the cohort math must survive several models at once.
+TEST(BitslicedParity, MixedFaultSetUnionOfRelevantRows) {
+  const std::vector<faults::FaultSpec> specs = {
+      {.kind = faults::FaultKind::kStuckAt0, .victim = {1, 2}},
+      {.kind = faults::FaultKind::kCouplingIdempotent,
+       .victim = {9, 15},
+       .aggressor = {3, 4},
+       .aggressor_up = true,
+       .forced_value = true},
+      {.kind = faults::FaultKind::kResSensitive,
+       .victim = {6, 10},
+       .res_threshold = 10.0},
+  };
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    SessionConfig cfg = grid_config(mode, 12, 20);
+    expect_session_parity_specs(cfg, march::algorithms::march_c_minus(),
+                                specs,
+                                mode == Mode::kFunctional ? "mixed F"
+                                                          : "mixed LP");
+  }
+}
+
+TEST(BitslicedParity, DataRetentionFaultThroughDelays) {
+  const faults::FaultSpec spec{.kind = faults::FaultKind::kDataRetention,
+                               .victim = {2, 3},
+                               .forced_value = true,
+                               .retention_idle_cycles = 900};
+  SessionConfig cfg = grid_config(Mode::kLowPowerTest, 4, 8);
+  expect_session_parity(cfg, march::algorithms::march_g_with_delays(), &spec,
+                        "data retention");
+}
+
+// --- batch executor vs per-step path -----------------------------------------
+
+TEST(BitslicedParity, BatchedRunsMatchPerStepExecution) {
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    SessionConfig cfg = grid_config(mode, 24, 48);
+    const auto test = march::algorithms::march_c_minus();
+
+    TestSession per_step_session(cfg);
+    engine::CycleAccurateBackend per_step(per_step_session.array(),
+                                          /*batch_runs=*/false);
+    const auto a = per_step_session.run(test, per_step);
+
+    TestSession batched_session(cfg);
+    engine::CycleAccurateBackend batched(batched_session.array(),
+                                         /*batch_runs=*/true);
+    const auto b = batched_session.run(test, batched);
+
+    expect_results_identical(a, b, mode == Mode::kFunctional
+                                       ? "batched F"
+                                       : "batched LP");
+  }
+}
+
+// --- direct-drive parity (arbitrary command sequences) ------------------------
+
+TEST(BitslicedParity, DirectDriveWithSwapsIdleAndModeSwitch) {
+  const std::size_t rows = 4, cols = 24;
+  SramConfig base;
+  base.geometry = {rows, cols, 1};
+  base.mode = Mode::kLowPowerTest;
+  base.row_transition_restore = false;
+  SramConfig ref_cfg = base;
+  ref_cfg.column_model = ColumnModel::kPerColumnReference;
+  SramConfig fast_cfg = base;
+  fast_cfg.column_model = ColumnModel::kBitslicedCohort;
+  SramArray ref(ref_cfg), fast(fast_cfg);
+
+  const auto drive = [&](SramArray& a) {
+    // Row 1 holds the complement of what row 0 drives -> swaps on entry.
+    for (std::size_t c = 0; c < cols; ++c) a.poke(1, c, false);
+    CycleCommand cmd;
+    for (std::size_t c = 0; c < cols; ++c) {
+      cmd.row = 0;
+      cmd.col_group = c;
+      cmd.is_read = false;
+      cmd.value = true;
+      a.cycle(cmd);
+    }
+    // Hop to row 1 without restore: the swap hazard fires.
+    cmd.row = 1;
+    cmd.col_group = 0;
+    cmd.is_read = true;
+    cmd.value = false;
+    a.cycle(cmd);
+    // Partial column walk, an idle window, then a row re-entry.
+    for (std::size_t c = 1; c < 9; ++c) {
+      cmd.col_group = c;
+      cmd.is_read = (c % 2) == 0;
+      cmd.value = (c % 3) == 0;
+      a.cycle(cmd);
+    }
+    a.idle(40);
+    cmd.row = 2;
+    for (std::size_t c = 0; c < cols; ++c) {
+      cmd.col_group = c;
+      cmd.is_read = false;
+      cmd.value = (c % 2) != 0;
+      cmd.restore_row_transition = c == cols - 1;
+      a.cycle(cmd);
+    }
+    cmd.restore_row_transition = false;
+    // Descending scan across a fresh row.
+    cmd.row = 3;
+    cmd.scan = sram::Scan::kDescending;
+    for (std::size_t c = cols; c-- > 0;) {
+      cmd.col_group = c;
+      cmd.is_read = false;
+      cmd.value = true;
+      a.cycle(cmd);
+    }
+    // Mode switch keeps data and resets bit-lines identically.
+    a.set_mode(Mode::kFunctional);
+    cmd.scan = sram::Scan::kAscending;
+    for (std::size_t c = 0; c < cols; ++c) {
+      cmd.row = 1;
+      cmd.col_group = c;
+      cmd.is_read = true;
+      cmd.value = true;
+      a.cycle(cmd);
+    }
+  };
+  drive(ref);
+  drive(fast);
+
+  expect_meters_identical(ref.meter(), fast.meter(), "direct drive");
+  expect_stats_identical(ref.stats(), fast.stats(), "direct drive");
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_EQ(ref.peek(r, c), fast.peek(r, c)) << r << "," << c;
+  for (std::size_t c = 0; c < cols; ++c) {
+    EXPECT_EQ(ref.bitline_low_side_voltage(c),
+              fast.bitline_low_side_voltage(c))
+        << "column " << c;
+    EXPECT_EQ(ref.precharge_was_active(c), fast.precharge_was_active(c))
+        << "column " << c;
+  }
+}
+
+// --- reset_measurements is measurement-only -----------------------------------
+
+TEST(BitslicedParity, ResetMeasurementsPreservesLazyColumnState) {
+  SramConfig cfg;
+  cfg.geometry = {2, 16, 1};
+  cfg.mode = Mode::kLowPowerTest;
+  SramArray a(cfg);
+  CycleCommand cmd;
+  cmd.is_read = false;
+  cmd.value = true;
+  for (std::size_t c = 0; c < 8; ++c) {
+    cmd.col_group = c;
+    a.cycle(cmd);
+  }
+  // Columns 0..6 are decaying cohorts now; snapshot their voltages.
+  std::vector<double> before;
+  for (std::size_t c = 0; c < 16; ++c)
+    before.push_back(a.bitline_low_side_voltage(c));
+  EXPECT_LT(before[0], cfg.tech.vdd);
+
+  a.reset_measurements();
+  EXPECT_EQ(a.meter().supply_total(), 0.0);
+  EXPECT_EQ(a.stats().cycles, 0u);
+  for (std::size_t c = 0; c < 16; ++c)
+    EXPECT_EQ(a.bitline_low_side_voltage(c), before[c]) << "column " << c;
+
+  // The swap hazard still sees the pre-reset decay: entering row 1 with
+  // opposing data must swap exactly as it would have without the reset.
+  for (std::size_t c = 0; c < 16; ++c) a.poke(1, c, false);
+  cmd.row = 1;
+  cmd.col_group = 0;
+  cmd.is_read = true;
+  cmd.value = false;
+  const auto r = a.cycle(cmd);
+  EXPECT_GT(r.faulty_swaps, 0u);
+}
+
+}  // namespace

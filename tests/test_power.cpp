@@ -100,6 +100,43 @@ TEST(EnergyMeter, RejectsNegativeEnergy) {
   EXPECT_THROW(m.add(EnergySource::kCount, 1.0), Error);
 }
 
+// The cohort-bulk metering of the bitsliced array path depends on this
+// identity holding EXACTLY (same floating-point bits), not approximately:
+// add(source, e, n) must equal n scalar add(source, e) calls.
+TEST(EnergyMeter, BulkAddBitIdenticalToScalarAdds) {
+  // 0.1 is a repeating fraction in binary: ten repeated additions land on
+  // 0.9999999999999999, while 10 * 0.1 rounds to exactly 1.0 — so this
+  // test distinguishes a faithful bulk add from a multiply-based one.
+  for (const std::uint64_t n : {0ull, 1ull, 3ull, 10ull, 64ull, 65537ull}) {
+    power::EnergyMeter scalar;
+    for (std::uint64_t i = 0; i < n; ++i)
+      scalar.add(EnergySource::kSenseAmp, 0.1);
+    power::EnergyMeter bulk;
+    bulk.add(EnergySource::kSenseAmp, 0.1, n);
+    EXPECT_EQ(scalar.total(EnergySource::kSenseAmp),
+              bulk.total(EnergySource::kSenseAmp))
+        << "n=" << n;
+  }
+  power::EnergyMeter bulk10;
+  bulk10.add(EnergySource::kSenseAmp, 0.1, 10);
+  EXPECT_NE(bulk10.total(EnergySource::kSenseAmp), 10.0 * 0.1);
+}
+
+TEST(EnergyMeter, BulkAddChecksArgumentsLikeScalarAdd) {
+  power::EnergyMeter m;
+  EXPECT_THROW(m.add(EnergySource::kDecoder, -1.0, 4), Error);
+  EXPECT_THROW(m.add(EnergySource::kCount, 1.0, 4), Error);
+  m.add(EnergySource::kDecoder, 1.0, 0);  // zero count adds nothing
+  EXPECT_EQ(m.total(EnergySource::kDecoder), 0.0);
+}
+
+TEST(EnergyMeter, TickCyclesMatchesRepeatedTicks) {
+  power::EnergyMeter a, b;
+  for (int i = 0; i < 7; ++i) a.tick_cycle();
+  b.tick_cycles(7);
+  EXPECT_EQ(a.cycles(), b.cycles());
+}
+
 TEST(EnergyMeter, ResetClearsEverything) {
   power::EnergyMeter m;
   m.add(EnergySource::kDecoder, 1e-12);

@@ -1,0 +1,124 @@
+// Tests of the batched sweep-grid layer: deterministic point ordering
+// whatever the thread count, backend routing (analytic for fault-free
+// restored points, cycle-accurate otherwise), forced-backend agreement,
+// and the single-mode executor campaigns use.
+#include <gtest/gtest.h>
+
+#include "core/fault_campaign.h"
+#include "core/sweep.h"
+#include "faults/models.h"
+#include "march/algorithms.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using core::BackendChoice;
+using core::SessionConfig;
+using core::SweepGrid;
+using core::SweepRunner;
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.geometries = {{8, 16, 1}, {4, 32, 1}, {6, 24, 2}};
+  grid.backgrounds = {sram::DataBackground::solid0(),
+                      sram::DataBackground::checkerboard()};
+  grid.algorithms = {march::algorithms::mats_plus(),
+                     march::algorithms::march_c_minus()};
+  return grid;
+}
+
+TEST(SweepGrid, IndexingRoundTrips) {
+  const SweepGrid grid = small_grid();
+  EXPECT_EQ(grid.size(), 3u * 2u * 2u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::size_t g = 0, b = 0, a = 0;
+    grid.split(i, &g, &b, &a);
+    EXPECT_EQ((g * grid.backgrounds.size() + b) * grid.algorithms.size() + a,
+              i);
+    const SessionConfig cfg = grid.config_at(i);
+    EXPECT_EQ(cfg.geometry, grid.geometries[g]);
+    EXPECT_EQ(cfg.background, grid.backgrounds[b]);
+  }
+  EXPECT_THROW(grid.config_at(grid.size()), Error);
+}
+
+TEST(SweepRunner, ParallelGridBitIdenticalToSerial) {
+  const SweepGrid grid = small_grid();
+  const auto serial = SweepRunner({1, BackendChoice::kAuto}).run(grid);
+  const auto parallel = SweepRunner({4, BackendChoice::kAuto}).run(grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(parallel.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(serial[i].index, i);
+    EXPECT_EQ(parallel[i].index, i);
+    EXPECT_EQ(serial[i].algorithm, parallel[i].algorithm);
+    EXPECT_EQ(serial[i].backend, parallel[i].backend);
+    EXPECT_EQ(serial[i].prr.prr, parallel[i].prr.prr) << i;
+    EXPECT_EQ(serial[i].prr.functional.supply_energy_j,
+              parallel[i].prr.functional.supply_energy_j)
+        << i;
+    EXPECT_EQ(serial[i].prr.low_power.supply_energy_j,
+              parallel[i].prr.low_power.supply_energy_j)
+        << i;
+  }
+}
+
+TEST(SweepRunner, RoutesFaultFreeRestoredPointsToAnalytic) {
+  SessionConfig cfg;
+  cfg.geometry = {8, 16, 1};
+  EXPECT_EQ(SweepRunner::route(cfg, /*has_faults=*/false),
+            BackendChoice::kAnalytic);
+  EXPECT_EQ(SweepRunner::route(cfg, /*has_faults=*/true),
+            BackendChoice::kCycleAccurate);
+  cfg.row_transition_restore = false;
+  EXPECT_EQ(SweepRunner::route(cfg, /*has_faults=*/false),
+            BackendChoice::kCycleAccurate);
+}
+
+TEST(SweepRunner, ForcedBackendsAgreeOnFaultFreePoints) {
+  SweepGrid grid;
+  grid.geometries = {{8, 64, 1}};
+  grid.algorithms = {march::algorithms::march_c_minus()};
+  const auto sim =
+      SweepRunner({1, BackendChoice::kCycleAccurate}).run(grid);
+  const auto ana = SweepRunner({1, BackendChoice::kAnalytic}).run(grid);
+  EXPECT_EQ(sim[0].backend, BackendChoice::kCycleAccurate);
+  EXPECT_EQ(ana[0].backend, BackendChoice::kAnalytic);
+  EXPECT_EQ(sim[0].prr.functional.cycles, ana[0].prr.functional.cycles);
+  EXPECT_NEAR(ana[0].prr.prr, sim[0].prr.prr, 0.02);
+}
+
+TEST(SweepRunner, RunPointRejectsFaultsOnAnalyticBackend) {
+  SessionConfig cfg;
+  cfg.geometry = {8, 8, 1};
+  faults::FaultSet set({faults::FaultSpec{
+      .kind = faults::FaultKind::kStuckAt1, .victim = {2, 3}, .aggressor = {}}});
+  const SweepRunner forced_analytic({1, BackendChoice::kAnalytic});
+  EXPECT_THROW(
+      forced_analytic.run_point(cfg, march::algorithms::mats_plus(), &set),
+      Error);
+  // kAuto routes the same call to the cycle-accurate engine instead.
+  const SweepRunner automatic;
+  const auto cmp =
+      automatic.run_point(cfg, march::algorithms::march_c_minus(), &set);
+  EXPECT_TRUE(cmp.functional.detected());
+  EXPECT_TRUE(cmp.low_power.detected());
+}
+
+TEST(SweepRunner, RunModeHonoursConfiguredMode) {
+  SessionConfig cfg;
+  // Wide enough that the low-power mode actually saves energy (narrow
+  // arrays sit past the crossover the E10 sweep demonstrates).
+  cfg.geometry = {8, 128, 1};
+  cfg.mode = sram::Mode::kLowPowerTest;
+  const SweepRunner runner;
+  const auto lp = runner.run_mode(cfg, march::algorithms::mats_plus());
+  EXPECT_EQ(lp.mode, sram::Mode::kLowPowerTest);
+  cfg.mode = sram::Mode::kFunctional;
+  const auto f = runner.run_mode(cfg, march::algorithms::mats_plus());
+  EXPECT_EQ(f.mode, sram::Mode::kFunctional);
+  EXPECT_LT(lp.energy_per_cycle_j, f.energy_per_cycle_j);
+}
+
+}  // namespace
