@@ -149,6 +149,41 @@ void BM_Campaign512_PerFault(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign512_PerFault)->Unit(benchmark::kMillisecond);
 
+// Whole-library campaign at 256x256 (~110 faults with 8 instances per
+// kind), March C-, per-fault vs the word-parallel multi-fault batcher.
+// The batcher partitions victim-disjoint faults into shared sessions
+// (faults::plan_batches), so the same report costs a fraction of the
+// session pairs — the session_pairs counter records how many actually ran.
+void BM_Campaign256(benchmark::State& state, bool batched) {
+  core::SessionConfig cfg;
+  cfg.geometry = {256, 256, 1};
+  const auto test = march::algorithms::march_c_minus();
+  const auto library = faults::standard_fault_library(cfg.geometry, 7, 8);
+  core::CampaignRunner::Options opts;
+  opts.batched = batched;
+  const core::CampaignRunner runner(opts);
+  std::size_t session_pairs = 0;
+  for (auto _ : state) {
+    const auto report = runner.run(cfg, test, library);
+    session_pairs = report.session_pairs;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["faults"] = static_cast<double>(library.size());
+  state.counters["session_pairs"] = static_cast<double>(session_pairs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(library.size()));
+  state.SetLabel(batched ? "256x256 March C- campaign (batched)"
+                         : "256x256 March C- campaign (per-fault)");
+}
+void BM_Campaign256_PerFault(benchmark::State& state) {
+  BM_Campaign256(state, false);
+}
+void BM_Campaign256_Batched(benchmark::State& state) {
+  BM_Campaign256(state, true);
+}
+BENCHMARK(BM_Campaign256_PerFault)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Campaign256_Batched)->Unit(benchmark::kMillisecond);
+
 void BM_TransientStep(benchmark::State& state) {
   circuit::ColumnConfig cfg;
   cfg.scenario = circuit::PrechargeScenario::kAlwaysOff;

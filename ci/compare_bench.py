@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against the checked-in baseline.
+
+Usage: compare_bench.py CURRENT.json [BASELINE.json]
+
+Prints one line per benchmark with the slowdown ratio and emits a GitHub
+Actions ::warning:: annotation for anything past the regression threshold.
+Shared CI runners are far too noisy to gate a build on timings, so the
+script NEVER fails the job: it always exits 0 unless the inputs are
+unreadable (a crash upstream should already have failed the run step).
+"""
+
+import json
+import sys
+
+THRESHOLD = 1.5  # warn past a 1.5x slowdown vs the baseline
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> real_time in ns (aggregate entries like _mean are skipped)."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        times[name] = bench["real_time"] * UNIT_NS[bench.get("time_unit", "ns")]
+    return times
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} CURRENT.json [BASELINE.json]")
+        return 2
+    current = load_times(argv[1])
+    baseline = load_times(argv[2] if len(argv) > 2 else "ci/bench_baseline.json")
+
+    regressions = []
+    for name, base_ns in sorted(baseline.items()):
+        if name not in current:
+            print(f"::warning::benchmark '{name}' missing from the current run")
+            continue
+        ratio = current[name] / base_ns
+        marker = "  <-- REGRESSION" if ratio > THRESHOLD else ""
+        print(f"{name}: {current[name] / 1e6:.2f} ms vs baseline "
+              f"{base_ns / 1e6:.2f} ms ({ratio:.2f}x){marker}")
+        if ratio > THRESHOLD:
+            regressions.append((name, ratio))
+
+    for name, ratio in regressions:
+        print(f"::warning title=perf regression::{name} is {ratio:.2f}x the "
+              f"checked-in baseline (threshold {THRESHOLD}x); runners are "
+              f"noisy — compare the uploaded BENCH_*.json artifacts before "
+              f"acting")
+    if not regressions:
+        print(f"all benchmarks within {THRESHOLD}x of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,8 @@
 
 #include "core/sweep.h"
 #include "engine/parallel.h"
+#include "faults/batch.h"
+#include "util/error.h"
 
 namespace sramlp::core {
 
@@ -53,35 +55,91 @@ CampaignReport CampaignRunner::run(
   report.algorithm = test.name();
   report.entries.resize(faults.size());
 
-  // One fresh session pair per fault; entry i == faults[i] regardless of
-  // which worker executes it.  Each pair goes through SweepRunner's
-  // single-point executor, so backend routing (always the bitsliced
-  // cycle-accurate engine here — the analytic backend cannot model
-  // faults) lives in one place.
+  // Every session pair goes through SweepRunner's single-point executor,
+  // so backend routing (always the bitsliced cycle-accurate engine here —
+  // the analytic backend cannot model faults) lives in one place.
   const SweepRunner point_runner;
-  engine::parallel_for(
-      faults.size(), options_.threads, [&](std::size_t i) {
-        CampaignEntry entry;
-        entry.spec = faults[i];
 
-        // A fresh fault model per mode run: accumulated fault state (RES
-        // stress, dynamic-fault history) must not leak between verdicts.
-        for (const sram::Mode mode :
-             {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
-          SessionConfig cfg = config;
-          cfg.mode = mode;
-          faults::FaultSet set({faults[i]});
-          const SessionResult result = point_runner.run_mode(cfg, test, &set);
-          if (mode == sram::Mode::kFunctional) {
-            entry.detected_functional = result.detected();
-            entry.mismatches_functional = result.mismatches;
-          } else {
-            entry.detected_low_power = result.detected();
-            entry.mismatches_low_power = result.mismatches;
-          }
+  // One fresh session pair per fault; entry i == faults[i] regardless of
+  // which worker executes it.  A fresh fault model per mode run:
+  // accumulated fault state (RES stress, dynamic-fault history) must not
+  // leak between verdicts.
+  const auto run_single = [&](std::size_t i) {
+    CampaignEntry entry;
+    entry.spec = faults[i];
+    for (const sram::Mode mode :
+         {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
+      SessionConfig cfg = config;
+      cfg.mode = mode;
+      faults::FaultSet set({faults[i]});
+      const SessionResult result = point_runner.run_mode(cfg, test, &set);
+      if (mode == sram::Mode::kFunctional) {
+        entry.detected_functional = result.detected();
+        entry.mismatches_functional = result.mismatches;
+      } else {
+        entry.detected_low_power = result.detected();
+        entry.mismatches_low_power = result.mismatches;
+      }
+    }
+    report.entries[i] = entry;
+  };
+
+  // Batching requires the Fig. 7 restore: with it disabled, faulty swaps
+  // copy whole rows of per-fault-dependent data around and member
+  // independence is gone.
+  faults::BatchPlan plan;
+  if (options_.batched && config.row_transition_restore) {
+    plan = faults::plan_batches(faults, options_.max_batch);
+  } else {
+    plan.fallback.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) plan.fallback[i] = i;
+  }
+
+  // One multi-fault session pair per batch.  Detections are attributed per
+  // member through the on_read_mismatch channel, so entry verdicts and
+  // mismatch counts come out exactly as the per-fault path computes them.
+  const auto run_batch = [&](const std::vector<std::size_t>& members) {
+    std::vector<faults::FaultSpec> specs;
+    specs.reserve(members.size());
+    for (const std::size_t m : members) specs.push_back(faults[m]);
+    for (const sram::Mode mode :
+         {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
+      SessionConfig cfg = config;
+      cfg.mode = mode;
+      faults::BatchFaultSet set(specs);  // fresh model per mode run
+      point_runner.run_mode(cfg, test, &set);
+      // A mismatch no member owns means the batch-independence invariant
+      // broke (a partitioning bug): fail loudly instead of silently
+      // reporting wrong verdicts.
+      SRAMLP_REQUIRE(set.unattributed() == 0,
+                     "batched campaign saw mismatches at cells no batch "
+                     "member owns");
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        CampaignEntry& entry = report.entries[members[j]];
+        entry.spec = faults[members[j]];
+        const std::uint64_t mismatches = set.mismatches_of(j);
+        if (mode == sram::Mode::kFunctional) {
+          entry.detected_functional = mismatches > 0;
+          entry.mismatches_functional = mismatches;
+        } else {
+          entry.detected_low_power = mismatches > 0;
+          entry.mismatches_low_power = mismatches;
         }
-        report.entries[i] = entry;
-      });
+      }
+    }
+  };
+
+  // Work items: batches first, then the per-fault fallbacks.  Every fault
+  // index belongs to exactly one item, so entries never race.
+  const std::size_t items = plan.batches.size() + plan.fallback.size();
+  engine::parallel_for(items, options_.threads, [&](std::size_t i) {
+    if (i < plan.batches.size())
+      run_batch(plan.batches[i]);
+    else
+      run_single(plan.fallback[i - plan.batches.size()]);
+  });
+  report.session_pairs = items;
+  report.batch_sessions = plan.batches.size();
   return report;
 }
 

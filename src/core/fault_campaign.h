@@ -1,13 +1,25 @@
-// Single-fault campaigns: inject each fault on a fresh array, run a March
-// test, record whether it was detected — in functional mode, in low-power
-// test mode, and optionally across address orders (DOF-1 verification).
+// Fault campaigns: inject faults on fresh arrays, run a March test, record
+// whether each was detected — in functional mode, in low-power test mode,
+// and optionally across address orders (DOF-1 verification).
 //
-// Campaigns are embarrassingly parallel (one independent session pair per
-// fault), so CampaignRunner fans the library out over a thread pool via
-// engine::parallel_for.  Entry i always describes faults[i] and every
-// per-fault computation is independent and deterministic, so the report is
-// bit-identical whatever the worker count — threads = 1 IS the serial
-// reference path.
+// Two execution shapes produce the same report:
+//
+//   * per-fault (default) — one independent session pair per fault,
+//     embarrassingly parallel over engine::parallel_for;
+//   * batched (Options::batched) — faults::plan_batches partitions the
+//     library into victim-disjoint batches, each wrapped in a
+//     faults::BatchFaultSet and run as ONE session pair; detections are
+//     attributed back per fault through the array's on_read_mismatch
+//     channel.  Faults the partitioner cannot prove independent (dynamic
+//     dRDF, aggressor-row collisions) run per-fault, as does everything
+//     when the Fig. 7 restore is disabled (faulty swaps break
+//     independence).  Verdicts and per-entry mismatch counts are
+//     regression-tested bit-identical to the per-fault path; only the
+//     session count (and wall time) changes.
+//
+// Entry i always describes faults[i] and every work item is independent
+// and deterministic, so the report is identical whatever the worker
+// count — threads = 1 IS the serial reference path.
 #pragma once
 
 #include <string>
@@ -31,6 +43,11 @@ struct CampaignEntry {
 struct CampaignReport {
   std::string algorithm;
   std::vector<CampaignEntry> entries;
+  /// Execution-shape accounting: functional+low-power session pairs run
+  /// (per-fault: one per entry) and how many of them were multi-fault
+  /// batches.
+  std::size_t session_pairs = 0;
+  std::size_t batch_sessions = 0;
 
   std::size_t detected_functional() const;
   std::size_t detected_low_power() const;
@@ -47,13 +64,20 @@ class CampaignRunner {
   struct Options {
     /// Worker threads; 0 = one per hardware thread, 1 = serial.
     unsigned threads = 0;
+    /// Run victim-disjoint faults many-per-session (see file comment).
+    /// Verdicts are identical to the per-fault path; sessions drop by the
+    /// batching factor.
+    bool batched = false;
+    /// Cap on faults per batch (0 = unlimited); forwarded to plan_batches.
+    std::size_t max_batch = 0;
   };
 
   CampaignRunner() = default;
   explicit CampaignRunner(const Options& options) : options_(options) {}
 
-  /// Run @p test against each fault of @p faults, one at a time, on fresh
-  /// arrays built from @p config (mode field ignored; both modes are run).
+  /// Run @p test against each fault of @p faults on fresh arrays built
+  /// from @p config (mode field ignored; both modes are run).  entries[i]
+  /// describes faults[i] whichever execution shape ran it.
   CampaignReport run(const SessionConfig& config, const march::MarchTest& test,
                      const std::vector<faults::FaultSpec>& faults) const;
 

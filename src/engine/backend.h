@@ -31,6 +31,10 @@ struct Detection {
   std::size_t op = 0;
   std::size_t row = 0;
   std::size_t col_group = 0;
+  /// Cell column of the first mismatched bit of the read cycle: (row, col)
+  /// names the exact cell, which is what multi-fault campaign batching
+  /// needs to attribute a detection to one injected fault.
+  std::size_t col = 0;
 };
 
 /// Everything a backend measures over one stream execution.

@@ -43,7 +43,7 @@ ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
            ++i)
         result.first_detections.push_back(Detection{
             srun.element, rr.detections[i].op, srun.row,
-            rr.detections[i].group});
+            rr.detections[i].group, rr.detections[i].col});
       stream.skip_run(srun);
       continue;
     }
@@ -59,7 +59,7 @@ ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
         if (result.first_detections.size() < kMaxFirstDetections)
           result.first_detections.push_back(
               Detection{step->element, step->op, step->command.row,
-                        step->command.col_group});
+                        step->command.col_group, r.first_bad_col});
       }
     }
     stream.pop();

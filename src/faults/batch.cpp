@@ -1,0 +1,143 @@
+#include "faults/batch.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sramlp::faults {
+
+namespace {
+
+/// True when the model's dynamic sensitisation depends on global operation
+/// history rather than its own cells.
+bool needs_global_history(FaultKind kind) {
+  return kind == FaultKind::kDynamicReadDestructive;
+}
+
+}  // namespace
+
+BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
+                       std::size_t max_batch) {
+  BatchPlan plan;
+
+  // Victim rows of the whole campaign, for the aggressor-row collision
+  // rule (a coupling fault is independent of faults on other rows only).
+  std::vector<std::size_t> victim_rows;
+  victim_rows.reserve(specs.size());
+  for (const FaultSpec& f : specs) victim_rows.push_back(f.victim.row);
+
+  // Per-batch victim-cell bookkeeping for the greedy first-fit pass.
+  std::vector<std::vector<sram::CellCoord>> batch_victims;
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& f = specs[i];
+    if (needs_global_history(f.kind)) {
+      plan.fallback.push_back(i);
+      continue;
+    }
+    if (is_coupling(f.kind)) {
+      // Any OTHER fault with a victim on the aggressor's row could corrupt
+      // the aggressor sample (CFst) or be corrupted by the strike ordering;
+      // same-row column-neighbour aggressors make this common on small
+      // arrays and rare on campaign-scale ones.
+      bool collides = false;
+      for (std::size_t j = 0; j < specs.size(); ++j) {
+        if (j != i && victim_rows[j] == f.aggressor.row) {
+          collides = true;
+          break;
+        }
+      }
+      if (collides) {
+        plan.fallback.push_back(i);
+        continue;
+      }
+    }
+    // First batch whose victims miss this fault's victim cell.
+    bool placed = false;
+    for (std::size_t b = 0; b < plan.batches.size() && !placed; ++b) {
+      if (max_batch != 0 && plan.batches[b].size() >= max_batch) continue;
+      const auto& victims = batch_victims[b];
+      if (std::find(victims.begin(), victims.end(), f.victim) ==
+          victims.end()) {
+        plan.batches[b].push_back(i);
+        batch_victims[b].push_back(f.victim);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      plan.batches.push_back({i});
+      batch_victims.push_back({f.victim});
+    }
+  }
+  return plan;
+}
+
+BatchFaultSet::BatchFaultSet(std::vector<FaultSpec> specs) {
+  victims_.reserve(specs.size());
+  for (const FaultSpec& f : specs) {
+    for (const sram::CellCoord& v : victims_)
+      SRAMLP_REQUIRE(!(v == f.victim),
+                     "batched faults must have pairwise distinct victims");
+    victims_.push_back(f.victim);
+    set_.add(f);
+  }
+  counts_.assign(victims_.size(), 0);
+}
+
+void BatchFaultSet::reset_state() {
+  set_.reset_state();
+  counts_.assign(counts_.size(), 0);
+  unattributed_ = 0;
+}
+
+void BatchFaultSet::on_attach(const sram::SramArray& array) {
+  set_.on_attach(array);
+}
+
+std::vector<sram::CellCoord> BatchFaultSet::declared_cells() const {
+  return set_.declared_cells();
+}
+
+bool BatchFaultSet::write_result(sram::CellCoord cell, bool stored,
+                                 bool intended) {
+  return set_.write_result(cell, stored, intended);
+}
+
+bool BatchFaultSet::read_result(sram::CellCoord cell, bool stored,
+                                bool* stored_after) {
+  return set_.read_result(cell, stored, stored_after);
+}
+
+void BatchFaultSet::after_write(sram::SramArray& array, sram::CellCoord cell,
+                                bool old_value, bool new_value) {
+  set_.after_write(array, cell, old_value, new_value);
+}
+
+std::vector<sram::CellCoord> BatchFaultSet::res_sensitive_cells() const {
+  return set_.res_sensitive_cells();
+}
+
+std::optional<std::vector<std::size_t>> BatchFaultSet::relevant_rows() const {
+  return set_.relevant_rows();
+}
+
+void BatchFaultSet::on_res(sram::SramArray& array, sram::CellCoord cell,
+                           double stress) {
+  set_.on_res(array, cell, stress);
+}
+
+void BatchFaultSet::on_idle(sram::SramArray& array, std::uint64_t cycles) {
+  set_.on_idle(array, cycles);
+}
+
+void BatchFaultSet::on_read_mismatch(sram::CellCoord cell) {
+  for (std::size_t i = 0; i < victims_.size(); ++i) {
+    if (victims_[i] == cell) {
+      ++counts_[i];
+      return;
+    }
+  }
+  ++unattributed_;
+}
+
+}  // namespace sramlp::faults

@@ -1,0 +1,108 @@
+// Word-parallel multi-fault campaign batching.
+//
+// A single-fault campaign pays one functional + one low-power March session
+// per fault.  Most library faults never interact: their behaviour is
+// confined to their own victim cell, so many of them can ride in ONE
+// session pair as long as nothing couples them.  This header owns the two
+// pieces that make that safe:
+//
+//   * plan_batches — partitions a fault list into batches whose members are
+//     provably independent, plus a per-fault fallback list for everything
+//     that is not.  The rules (conservative by design):
+//       - victim cells within a batch are pairwise disjoint: every fault's
+//         observable misbehaviour stays on its own cell;
+//       - dynamic dRDF<w;r> faults always fall back: they consume the
+//         global write-then-read history (FaultSet::relevant_rows returns
+//         nullopt for them), so their sensitisation cannot be localised;
+//       - a coupling fault whose aggressor ROW collides with any other
+//         fault's victim row falls back: its aggressor sampling/edge could
+//         otherwise see (or its row-level hook claim could overlap) another
+//         fault's corruption.  Row granularity mirrors
+//         CellFaultModel::relevant_rows, the promise the bitsliced engine
+//         optimises on.
+//     Batching additionally requires the Fig. 7 row-transition restore:
+//     with it disabled, faulty swaps copy whole rows of (per-fault
+//     different) data around and independence is gone — callers must run
+//     per-fault instead (CampaignRunner enforces this).
+//
+//   * BatchFaultSet — a FaultSet-compatible adapter over one batch that
+//     keeps per-fault identity: it forwards every sram::CellFaultModel
+//     hook to an inner FaultSet and listens on the on_read_mismatch
+//     attribution channel, mapping each mismatched cell back to the batch
+//     member owning it.  After a run, mismatches_of(i) is exactly the
+//     mismatch count the per-fault path would have measured for member i
+//     (regression-tested bit-identical).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/models.h"
+
+namespace sramlp::faults {
+
+/// Outcome of partitioning a fault list for batched execution.  Indices
+/// refer to the input list; every input index appears exactly once, either
+/// in one batch or in the fallback list.
+struct BatchPlan {
+  /// Victim-disjoint batches; each runs as one multi-fault session pair.
+  std::vector<std::vector<std::size_t>> batches;
+  /// Faults that must run through the single-fault path.
+  std::vector<std::size_t> fallback;
+
+  /// Session pairs a campaign will run under this plan.
+  std::size_t session_pairs() const { return batches.size() + fallback.size(); }
+};
+
+/// Partition @p specs under the independence rules above (greedy,
+/// first-fit, deterministic).  @p max_batch caps the members per batch;
+/// 0 means unlimited.
+BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
+                       std::size_t max_batch = 0);
+
+/// Multi-fault adapter: one victim-disjoint batch behind the single
+/// sram::CellFaultModel interface, with per-fault detection attribution.
+class BatchFaultSet final : public sram::CellFaultModel {
+ public:
+  /// @p specs must have pairwise distinct victim cells (plan_batches
+  /// guarantees this; enforced here).
+  explicit BatchFaultSet(std::vector<FaultSpec> specs);
+
+  std::size_t size() const { return victims_.size(); }
+  const std::vector<FaultSpec>& specs() const { return set_.specs(); }
+
+  /// Read-cycle mismatches attributed to batch member @p i so far — the
+  /// number the per-fault path's SessionResult::mismatches would show.
+  std::uint64_t mismatches_of(std::size_t i) const { return counts_.at(i); }
+
+  /// Mismatches at cells no member owns.  Always zero when the batch
+  /// invariants hold; a nonzero value means members interacted (a
+  /// partitioning bug), which the parity tests assert against.
+  std::uint64_t unattributed() const { return unattributed_; }
+
+  /// Clear attribution counters and the inner set's dynamic state.
+  void reset_state();
+
+  // --- sram::CellFaultModel (forwarded to the inner FaultSet) ------------
+  void on_attach(const sram::SramArray& array) override;
+  std::vector<sram::CellCoord> declared_cells() const override;
+  bool write_result(sram::CellCoord cell, bool stored, bool intended) override;
+  bool read_result(sram::CellCoord cell, bool stored,
+                   bool* stored_after) override;
+  void after_write(sram::SramArray& array, sram::CellCoord cell,
+                   bool old_value, bool new_value) override;
+  std::vector<sram::CellCoord> res_sensitive_cells() const override;
+  std::optional<std::vector<std::size_t>> relevant_rows() const override;
+  void on_res(sram::SramArray& array, sram::CellCoord cell,
+              double stress) override;
+  void on_idle(sram::SramArray& array, std::uint64_t cycles) override;
+  void on_read_mismatch(sram::CellCoord cell) override;
+
+ private:
+  FaultSet set_;
+  std::vector<sram::CellCoord> victims_;   ///< victims_[i] = member i's cell
+  std::vector<std::uint64_t> counts_;      ///< parallel to victims_
+  std::uint64_t unattributed_ = 0;
+};
+
+}  // namespace sramlp::faults

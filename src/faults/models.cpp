@@ -1,5 +1,6 @@
 #include "faults/models.h"
 
+#include "march/test.h"
 #include "sram/array.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -187,6 +188,15 @@ std::vector<sram::CellCoord> FaultSet::res_sensitive_cells() const {
   return cells;
 }
 
+std::vector<sram::CellCoord> FaultSet::declared_cells() const {
+  std::vector<sram::CellCoord> cells;
+  for (const FaultSpec& f : specs_) {
+    cells.push_back(f.victim);
+    if (is_coupling(f.kind)) cells.push_back(f.aggressor);
+  }
+  return cells;
+}
+
 std::optional<std::vector<std::size_t>> FaultSet::relevant_rows() const {
   std::vector<std::size_t> rows;
   for (const FaultSpec& f : specs_) {
@@ -221,18 +231,29 @@ void FaultSet::on_idle(sram::SramArray& array, std::uint64_t cycles) {
     const FaultSpec& f = specs_[i];
     if (f.kind != FaultKind::kDataRetention) continue;
     res_accumulated_[i] += static_cast<double>(cycles);
-    if (!res_fired_[i] &&
-        res_accumulated_[i] >= static_cast<double>(f.retention_idle_cycles)) {
+    if (res_accumulated_[i] >= static_cast<double>(f.retention_idle_cycles)) {
+      // Once the CUMULATIVE idle total crosses the threshold (the
+      // documented model — see FaultSpec::retention_idle_cycles) the weak
+      // cell can no longer hold the non-preferred value across any pause:
+      // writes between pauses may refresh it, but each later pause leaks
+      // it again.  March G needs its second delay precisely to catch the
+      // polarity the first pause could not expose.
       res_fired_[i] = true;
-      array.force(f.victim, f.forced_value);  // the cell leaks to its
-                                              // preferred value
+      array.force(f.victim, f.forced_value);
     }
   }
 }
 
 std::vector<FaultSpec> standard_fault_library(const sram::Geometry& geometry,
-                                              std::uint64_t seed) {
-  geometry.validate();
+                                              std::uint64_t seed,
+                                              int instances_per_kind) {
+  // The library itself only needs in-bounds cells; it deliberately skips
+  // the full Geometry::validate() (which also enforces the LP-mode
+  // two-word-group minimum) so single-column organisations can draw a
+  // library too.
+  SRAMLP_REQUIRE(geometry.rows >= 1 && geometry.cols >= 1, "empty array");
+  SRAMLP_REQUIRE(instances_per_kind >= 1,
+                 "need at least one instance per fault kind");
   util::Rng rng(seed);
   const auto random_cell = [&rng, &geometry]() {
     return sram::CellCoord{rng.next_below(geometry.rows),
@@ -240,33 +261,64 @@ std::vector<FaultSpec> standard_fault_library(const sram::Geometry& geometry,
   };
   const auto neighbour_of = [&geometry](sram::CellCoord c) {
     // Pick an adjacent cell (coupling faults are typically neighbours).
-    if (c.col + 1 < geometry.cols) return sram::CellCoord{c.row, c.col + 1};
-    return sram::CellCoord{c.row, c.col - 1};
+    // Single-column geometries have no column neighbour; use a row
+    // neighbour instead of letting c.col - 1 wrap to SIZE_MAX.
+    if (geometry.cols > 1) {
+      if (c.col + 1 < geometry.cols) return sram::CellCoord{c.row, c.col + 1};
+      return sram::CellCoord{c.row, c.col - 1};
+    }
+    if (c.row + 1 < geometry.rows) return sram::CellCoord{c.row + 1, c.col};
+    return sram::CellCoord{c.row - 1, c.col};
   };
+  // A 1x1 array has no neighbour at all: skip the two-cell kinds.
+  const bool can_couple = geometry.rows > 1 || geometry.cols > 1;
 
   std::vector<FaultSpec> library;
-  const int per_kind = 3;
-  for (int i = 0; i < per_kind; ++i) {
+  for (int i = 0; i < instances_per_kind; ++i) {
     for (FaultKind kind :
          {FaultKind::kStuckAt0, FaultKind::kStuckAt1,
           FaultKind::kTransitionUp, FaultKind::kTransitionDown,
           FaultKind::kWriteDisturb, FaultKind::kReadDestructive,
-          FaultKind::kDeceptiveReadDestructive, FaultKind::kIncorrectRead}) {
+          FaultKind::kDeceptiveReadDestructive, FaultKind::kIncorrectRead,
+          FaultKind::kDynamicReadDestructive}) {
       FaultSpec f;
       f.kind = kind;
       f.victim = random_cell();
       library.push_back(f);
     }
-    for (FaultKind kind :
-         {FaultKind::kCouplingInversion, FaultKind::kCouplingIdempotent,
-          FaultKind::kCouplingState}) {
+    if (can_couple) {
+      for (FaultKind kind :
+           {FaultKind::kCouplingInversion, FaultKind::kCouplingIdempotent,
+            FaultKind::kCouplingState}) {
+        FaultSpec f;
+        f.kind = kind;
+        f.victim = random_cell();
+        f.aggressor = neighbour_of(f.victim);
+        f.aggressor_up = rng.next_bool();
+        f.aggressor_state = rng.next_bool();
+        f.forced_value = rng.next_bool();
+        library.push_back(f);
+      }
+    }
+    {
+      // Paper §4 headline class: fires under functional-mode RES exposure
+      // ((cols - 1) column-cycles per operation) but not under the
+      // low-power schedule's bounded exposure (follower + decay tail,
+      // ~100 equivalents per run regardless of width) once rows are wide.
       FaultSpec f;
-      f.kind = kind;
+      f.kind = FaultKind::kResSensitive;
       f.victim = random_cell();
-      f.aggressor = neighbour_of(f.victim);
-      f.aggressor_up = rng.next_bool();
-      f.aggressor_state = rng.next_bool();
+      f.res_threshold = 3.0 * static_cast<double>(geometry.cols);
+      library.push_back(f);
+    }
+    {
+      // One "Del" element (march::kDefaultPauseCycles idle cycles) must be
+      // enough to sensitise the leak.
+      FaultSpec f;
+      f.kind = FaultKind::kDataRetention;
+      f.victim = random_cell();
       f.forced_value = rng.next_bool();
+      f.retention_idle_cycles = march::kDefaultPauseCycles * 3 / 4;
       library.push_back(f);
     }
   }

@@ -16,6 +16,8 @@
 //                                   Read-Equivalent-Stress (paper §4: tests
 //                                   that rely on functional-mode stress must
 //                                   not run in the low-power test mode)
+//   dRDF<w;r>  dynamic RDF          a read right after a write flips the cell
+//   DRF        data retention       the cell leaks after enough idle time
 //
 // All models plug into sram::CellFaultModel through FaultSet.
 #pragma once
@@ -115,6 +117,7 @@ class FaultSet final : public sram::CellFaultModel {
   void after_write(sram::SramArray& array, sram::CellCoord cell,
                    bool old_value, bool new_value) override;
   std::vector<sram::CellCoord> res_sensitive_cells() const override;
+  std::vector<sram::CellCoord> declared_cells() const override;
   std::optional<std::vector<std::size_t>> relevant_rows() const override;
   void on_res(sram::SramArray& array, sram::CellCoord cell,
               double stress) override;
@@ -132,8 +135,16 @@ class FaultSet final : public sram::CellFaultModel {
 
 /// A representative single-fault library spread pseudo-randomly over the
 /// array: several instances of every kind (and both polarities where it
-/// applies).  Deterministic for a given seed.
+/// applies), including the dynamic dRDF<w;r> fault and the paper's §4
+/// classes (RES-sensitive, data retention).  RES thresholds scale with the
+/// row width (3x the column count: below one functional-mode element sweep
+/// for every Table 1 algorithm, above the low-power-mode exposure on wide
+/// rows); retention thresholds sit below march::kDefaultPauseCycles so one
+/// "Del" element sensitises them.  Deterministic for a given seed.
+/// Coupling aggressors are column neighbours; single-column geometries get
+/// row neighbours instead, and a 1x1 array has no coupling instances.
 std::vector<FaultSpec> standard_fault_library(const sram::Geometry& geometry,
-                                              std::uint64_t seed = 7);
+                                              std::uint64_t seed = 7,
+                                              int instances_per_kind = 3);
 
 }  // namespace sramlp::faults

@@ -1,6 +1,7 @@
 #include "sram/array.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 
@@ -108,6 +109,13 @@ void SramArray::attach_fault_model(CellFaultModel* model) {
                        always_materialized_.end(), false);
   if (faults_ != nullptr) {
     faults_->on_attach(*this);
+    // Fail fast on mis-specified faults: an out-of-range victim would
+    // otherwise never fire (its coordinate compare never matches) and an
+    // out-of-range aggressor would throw from force() deep inside a run.
+    for (const CellCoord& cell : faults_->declared_cells())
+      SRAMLP_REQUIRE(cell.row < config_.geometry.rows &&
+                         cell.col < config_.geometry.cols,
+                     "fault cell outside the array");
     for (const CellCoord& cell : faults_->res_sensitive_cells()) {
       SRAMLP_REQUIRE(cell.row < config_.geometry.rows &&
                          cell.col < config_.geometry.cols,
@@ -339,7 +347,11 @@ void SramArray::op_bit(const CycleCommand& command, std::size_t col,
     if (stored_after != stored)
       cells_.set_unchecked(cell.row, cell.col, stored_after);
     result->read_value = sensed;
-    if (sensed != physical) result->mismatch = true;
+    if (sensed != physical) {
+      if (!result->mismatch) result->first_bad_col = col;
+      result->mismatch = true;
+      if (faults_ != nullptr) faults_->on_read_mismatch(cell);
+    }
     meter_.add(EnergySource::kSenseAmp, e_.sense_amp);
     meter_.add(EnergySource::kDataIo, e_.data_io);
     meter_.add(EnergySource::kPrechargeRestoreRead, e_.read_restore);
@@ -418,6 +430,7 @@ CycleResult SramArray::reference_cycle(const CycleCommand& command) {
   const CycleResult op = execute_op(command);
   result.read_value = op.read_value;
   result.mismatch = op.mismatch;
+  result.first_bad_col = op.first_bad_col;
 
   // Pre-charge activity snapshot for diagnostics (Fig. 4).
   std::fill(precharge_active_.begin(), precharge_active_.end(), !lp);
@@ -738,7 +751,10 @@ CycleResult SramArray::fast_execute_op(const CycleCommand& command) {
           command.background.physical(command.value, command.row, first_col);
       if (command.is_read) {
         const bool sensed = cells_.get_unchecked(command.row, first_col);
-        if (sensed != physical) result.mismatch = true;
+        if (sensed != physical) {
+          result.mismatch = true;
+          result.first_bad_col = first_col;
+        }
         result.read_value = sensed;
       } else {
         cells_.set_unchecked(command.row, first_col, physical);
@@ -752,7 +768,13 @@ CycleResult SramArray::fast_execute_op(const CycleCommand& command) {
             value_bits ^ command.background.bits(command.row, c0, n);
         if (command.is_read) {
           const std::uint64_t sensed = cells_.row_bits(command.row, c0, n);
-          if (sensed != physical) result.mismatch = true;
+          if (sensed != physical) {
+            if (!result.mismatch)
+              result.first_bad_col =
+                  c0 + static_cast<std::size_t>(
+                           std::countr_zero(sensed ^ physical));
+            result.mismatch = true;
+          }
           result.read_value = ((sensed >> (n - 1)) & 1u) != 0;
         } else {
           cells_.set_row_bits(command.row, c0, n, physical);
@@ -836,6 +858,7 @@ CycleResult SramArray::fast_cycle(const CycleCommand& command) {
   const CycleResult op = fast_execute_op(command);
   result.read_value = op.read_value;
   result.mismatch = op.mismatch;
+  result.first_bad_col = op.first_bad_col;
 
   // Pre-charge activity snapshot: stored as the command outline, expanded
   // on demand by precharge_was_active() instead of an O(cols) refill.
@@ -1015,7 +1038,7 @@ RunResult SramArray::run_per_cycle(const RunCommand& run) {
       if (cmd.is_read && r.mismatch) {
         ++rr.mismatches;
         if (rr.detection_count < RunResult::kDetectionCap)
-          rr.detections[rr.detection_count++] = {o, group};
+          rr.detections[rr.detection_count++] = {o, group, r.first_bad_col};
       }
     }
     group = run.descending ? group - 1 : group + 1;
@@ -1178,6 +1201,7 @@ RunResult SramArray::fast_run(const RunCommand& run) {
 
       // --- operation phase --------------------------------------------
       bool mismatch = false;
+      std::size_t first_bad_col = 0;
       if (hooked) {
         for (std::size_t b = 0; b < w; ++b) {
           const std::size_t col = first_col + b;
@@ -1191,7 +1215,11 @@ RunResult SramArray::fast_run(const RunCommand& run) {
                 faults_->read_result(cell, stored_v, &stored_after);
             if (stored_after != stored_v)
               cells_.set_unchecked(cell.row, cell.col, stored_after);
-            if (sensed != physical) mismatch = true;
+            if (sensed != physical) {
+              if (!mismatch) first_bad_col = col;
+              mismatch = true;
+              faults_->on_read_mismatch(cell);
+            }
             t[I(EnergySource::kSenseAmp)] += e_.sense_amp;
             t[I(EnergySource::kDataIo)] += e_.data_io;
             t[I(EnergySource::kPrechargeRestoreRead)] += e_.read_restore;
@@ -1211,7 +1239,15 @@ RunResult SramArray::fast_run(const RunCommand& run) {
           const bool physical =
               run.background.physical(op.value, run.row, first_col);
           if (op.is_read) {
-            mismatch = cells_.get_unchecked(run.row, first_col) != physical;
+            if (cells_.get_unchecked(run.row, first_col) != physical) {
+              mismatch = true;
+              first_bad_col = first_col;
+              // Attribution channel even on word-parallel rows: a model's
+              // relevant_rows promise covers its hooks, not where a cell
+              // it corrupted elsewhere gets read back.
+              if (faults_ != nullptr)
+                faults_->on_read_mismatch({run.row, first_col});
+            }
           } else {
             cells_.set_unchecked(run.row, first_col, physical);
           }
@@ -1223,8 +1259,20 @@ RunResult SramArray::fast_run(const RunCommand& run) {
             const std::uint64_t physical =
                 value_bits ^ run.background.bits(run.row, c0, nb);
             if (op.is_read) {
-              if (cells_.row_bits(run.row, c0, nb) != physical)
+              std::uint64_t diff =
+                  cells_.row_bits(run.row, c0, nb) ^ physical;
+              if (diff != 0) {
+                if (!mismatch)
+                  first_bad_col =
+                      c0 + static_cast<std::size_t>(std::countr_zero(diff));
                 mismatch = true;
+                if (faults_ != nullptr) {
+                  for (; diff != 0; diff &= diff - 1)
+                    faults_->on_read_mismatch(
+                        {run.row, c0 + static_cast<std::size_t>(
+                                           std::countr_zero(diff))});
+                }
+              }
             } else {
               cells_.set_row_bits(run.row, c0, nb, physical);
             }
@@ -1249,7 +1297,7 @@ RunResult SramArray::fast_run(const RunCommand& run) {
         ++d_mismatch;
         ++rr.mismatches;
         if (rr.detection_count < RunResult::kDetectionCap)
-          rr.detections[rr.detection_count++] = {o, group};
+          rr.detections[rr.detection_count++] = {o, group, first_bad_col};
       }
 
       // --- unselected columns -----------------------------------------

@@ -43,6 +43,9 @@ struct CycleCommand {
 struct CycleResult {
   bool read_value = false;   ///< sensed value (reads; last bit for words)
   bool mismatch = false;     ///< any read bit differed from the expectation
+  /// Cell column of the first mismatched bit (valid when mismatch is set);
+  /// with the row it identifies the mismatching cell for fault attribution.
+  std::size_t first_bad_col = 0;
   std::uint32_t faulty_swaps = 0;  ///< cells flipped by bit-line overpowering
 };
 
@@ -84,6 +87,10 @@ struct RunResult {
   struct RunDetection {
     std::size_t op = 0;
     std::size_t group = 0;
+    /// Cell column of the first mismatched bit of the read cycle; with the
+    /// run's row it names the exact cell, so campaign layers can attribute
+    /// a detection to the fault owning that cell.
+    std::size_t col = 0;
   } detections[kDetectionCap] = {};
 };
 

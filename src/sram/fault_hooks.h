@@ -32,6 +32,13 @@ class CellFaultModel {
   /// (e.g. state-coupling faults sampling a live aggressor) keep a handle.
   virtual void on_attach(const SramArray& array) { (void)array; }
 
+  /// Every cell the model's hooks may touch (victims and aggressors).
+  /// Queried once at attach time: SramArray bounds-checks the list so a
+  /// mis-specified fault fails fast there instead of silently never firing
+  /// (a coordinate compare never matches) or throwing mid-run from
+  /// force().  The default (empty) declares nothing and skips the check.
+  virtual std::vector<CellCoord> declared_cells() const { return {}; }
+
   /// Value actually latched when writing @p intended into a cell currently
   /// holding @p stored (stuck-at / transition faults hook here).
   virtual bool write_result(CellCoord cell, bool stored, bool intended) {
@@ -88,6 +95,13 @@ class CellFaultModel {
     (void)array;
     (void)cycles;
   }
+
+  /// A read cycle sensed a wrong value at @p cell (one call per mismatched
+  /// bit; a cell mismatches at most once per read cycle).  Multi-fault
+  /// campaign adapters use this to attribute each detection back to the
+  /// individual fault owning the cell; delivered by every engine and both
+  /// the per-cell and the word-parallel compare paths.
+  virtual void on_read_mismatch(CellCoord cell) { (void)cell; }
 };
 
 }  // namespace sramlp::sram

@@ -82,6 +82,8 @@ void expect_results_identical(const SessionResult& ref,
     EXPECT_EQ(ref.first_detections[i].col_group,
               fast.first_detections[i].col_group)
         << where << " det " << i;
+    EXPECT_EQ(ref.first_detections[i].col, fast.first_detections[i].col)
+        << where << " det " << i;
   }
 }
 

@@ -1,0 +1,249 @@
+// The word-parallel multi-fault campaign batcher:
+//  * plan_batches partitioning rules (victim disjointness, dRDF and
+//    aggressor-row fallbacks, batch cap);
+//  * BatchFaultSet attribution (per-member mismatch counts, nothing
+//    unattributed);
+//  * the correctness anchor: batched campaigns produce bit-identical
+//    CampaignReport verdicts (detection + mismatch counts per entry) to
+//    the per-fault path, across modes, algorithms with pauses, awkward
+//    geometries and word-oriented arrays — while running far fewer
+//    sessions.
+#include <gtest/gtest.h>
+
+#include "core/fault_campaign.h"
+#include "core/session.h"
+#include "faults/batch.h"
+#include "march/algorithms.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using core::CampaignReport;
+using core::CampaignRunner;
+using core::SessionConfig;
+using faults::FaultKind;
+using faults::FaultSpec;
+
+FaultSpec at(FaultKind kind, std::size_t row, std::size_t col) {
+  FaultSpec f;
+  f.kind = kind;
+  f.victim = {row, col};
+  return f;
+}
+
+// --- plan_batches ------------------------------------------------------------
+
+TEST(BatchPlan, DisjointVictimsShareOneBatch) {
+  const std::vector<FaultSpec> specs = {
+      at(FaultKind::kStuckAt0, 0, 0), at(FaultKind::kStuckAt1, 1, 1),
+      at(FaultKind::kReadDestructive, 2, 2),
+      at(FaultKind::kIncorrectRead, 3, 3)};
+  const auto plan = faults::plan_batches(specs);
+  ASSERT_EQ(plan.batches.size(), 1u);
+  EXPECT_EQ(plan.batches[0].size(), 4u);
+  EXPECT_TRUE(plan.fallback.empty());
+  EXPECT_EQ(plan.session_pairs(), 1u);
+}
+
+TEST(BatchPlan, DuplicateVictimsSplitIntoSeparateBatches) {
+  const std::vector<FaultSpec> specs = {
+      at(FaultKind::kStuckAt0, 2, 2), at(FaultKind::kStuckAt1, 2, 2),
+      at(FaultKind::kWriteDisturb, 2, 2)};
+  const auto plan = faults::plan_batches(specs);
+  EXPECT_EQ(plan.batches.size(), 3u);
+  EXPECT_TRUE(plan.fallback.empty());
+}
+
+TEST(BatchPlan, DynamicReadDestructiveFallsBack) {
+  const std::vector<FaultSpec> specs = {
+      at(FaultKind::kStuckAt0, 0, 0),
+      at(FaultKind::kDynamicReadDestructive, 1, 1),
+      at(FaultKind::kStuckAt1, 2, 2)};
+  const auto plan = faults::plan_batches(specs);
+  ASSERT_EQ(plan.fallback.size(), 1u);
+  EXPECT_EQ(plan.fallback[0], 1u);
+  ASSERT_EQ(plan.batches.size(), 1u);
+  EXPECT_EQ(plan.batches[0].size(), 2u);
+}
+
+TEST(BatchPlan, CouplingAggressorRowCollisionFallsBack) {
+  FaultSpec cf = at(FaultKind::kCouplingIdempotent, 4, 4);
+  cf.aggressor = {5, 4};  // row 5 hosts another fault's victim
+  const std::vector<FaultSpec> specs = {cf, at(FaultKind::kStuckAt0, 5, 0),
+                                        at(FaultKind::kStuckAt1, 6, 0)};
+  const auto plan = faults::plan_batches(specs);
+  ASSERT_EQ(plan.fallback.size(), 1u);
+  EXPECT_EQ(plan.fallback[0], 0u);
+
+  // Without the collision the coupling fault batches normally.
+  FaultSpec free_cf = at(FaultKind::kCouplingIdempotent, 4, 4);
+  free_cf.aggressor = {4, 5};  // same-row neighbour; no victim on row 4
+  const auto plan2 = faults::plan_batches(
+      {free_cf, at(FaultKind::kStuckAt0, 5, 0)});
+  EXPECT_TRUE(plan2.fallback.empty());
+  ASSERT_EQ(plan2.batches.size(), 1u);
+  EXPECT_EQ(plan2.batches[0].size(), 2u);
+}
+
+TEST(BatchPlan, MaxBatchCapsMembership) {
+  std::vector<FaultSpec> specs;
+  for (std::size_t i = 0; i < 10; ++i)
+    specs.push_back(at(FaultKind::kStuckAt0, i, i % 8));
+  const auto plan = faults::plan_batches(specs, 4);
+  EXPECT_EQ(plan.batches.size(), 3u);  // 4 + 4 + 2
+  for (const auto& b : plan.batches) EXPECT_LE(b.size(), 4u);
+}
+
+TEST(BatchPlan, EveryIndexAppearsExactlyOnce) {
+  const auto specs = faults::standard_fault_library({16, 16, 1}, 23);
+  const auto plan = faults::plan_batches(specs);
+  std::vector<int> seen(specs.size(), 0);
+  for (const auto& b : plan.batches)
+    for (const std::size_t i : b) ++seen[i];
+  for (const std::size_t i : plan.fallback) ++seen[i];
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "fault " << i;
+}
+
+// At campaign scale the plan must collapse the session count by a lot more
+// than the acceptance floor of 3x.
+TEST(BatchPlan, CollapsesSessionsAtCampaignScale) {
+  const auto specs = faults::standard_fault_library({256, 256, 1}, 7, 8);
+  EXPECT_GE(specs.size(), 100u);
+  const auto plan = faults::plan_batches(specs);
+  EXPECT_LE(plan.session_pairs() * 3, specs.size())
+      << plan.session_pairs() << " session pairs for " << specs.size()
+      << " faults";
+}
+
+// --- BatchFaultSet -----------------------------------------------------------
+
+TEST(BatchFaultSet, RejectsSharedVictims) {
+  EXPECT_THROW(faults::BatchFaultSet({at(FaultKind::kStuckAt0, 1, 1),
+                                      at(FaultKind::kStuckAt1, 1, 1)}),
+               Error);
+}
+
+TEST(BatchFaultSet, AttributesMismatchesPerMember) {
+  // SA0 at (1,1) mismatches on r1 expectations; the healthy fault at (2,2)
+  // must collect nothing.
+  faults::BatchFaultSet set(
+      {at(FaultKind::kStuckAt0, 1, 1), at(FaultKind::kStuckAt1, 2, 2)});
+  SessionConfig cfg;
+  cfg.geometry = {8, 8, 1};
+  core::TestSession session(cfg);
+  session.attach_fault_model(&set);
+  const auto result = session.run(march::algorithms::march_c_minus());
+  EXPECT_GT(result.mismatches, 0u);
+  EXPECT_GT(set.mismatches_of(0), 0u);
+  EXPECT_GT(set.mismatches_of(1), 0u);
+  EXPECT_EQ(set.mismatches_of(0) + set.mismatches_of(1), result.mismatches);
+  EXPECT_EQ(set.unattributed(), 0u);
+}
+
+// --- batched campaign parity -------------------------------------------------
+
+void expect_reports_identical(const CampaignReport& per_fault,
+                              const CampaignReport& batched,
+                              const std::string& where) {
+  ASSERT_EQ(per_fault.entries.size(), batched.entries.size()) << where;
+  for (std::size_t i = 0; i < per_fault.entries.size(); ++i) {
+    const auto& a = per_fault.entries[i];
+    const auto& b = batched.entries[i];
+    EXPECT_EQ(a.spec.kind, b.spec.kind) << where << " entry " << i;
+    EXPECT_TRUE(a.spec.victim == b.spec.victim) << where << " entry " << i;
+    EXPECT_EQ(a.detected_functional, b.detected_functional)
+        << where << ": " << a.spec.describe();
+    EXPECT_EQ(a.detected_low_power, b.detected_low_power)
+        << where << ": " << a.spec.describe();
+    EXPECT_EQ(a.mismatches_functional, b.mismatches_functional)
+        << where << ": " << a.spec.describe();
+    EXPECT_EQ(a.mismatches_low_power, b.mismatches_low_power)
+        << where << ": " << a.spec.describe();
+  }
+}
+
+// The correctness anchor: identical verdicts on the expanded standard
+// library, across algorithms (with and without pauses) and geometries
+// (including the awkward 33x17), with the batched path running a fraction
+// of the sessions.
+TEST(BatchedCampaign, VerdictParityWithPerFaultPath) {
+  const CampaignRunner per_fault(CampaignRunner::Options{});
+  CampaignRunner::Options opts;
+  opts.batched = true;
+  const CampaignRunner batched(opts);
+
+  for (const sram::Geometry geometry :
+       {sram::Geometry{8, 8, 1}, sram::Geometry{33, 17, 1}}) {
+    SessionConfig cfg;
+    cfg.geometry = geometry;
+    const auto library = faults::standard_fault_library(geometry, 11);
+    for (const auto& test :
+         {march::algorithms::march_c_minus(), march::algorithms::march_ss(),
+          march::algorithms::march_g_with_delays()}) {
+      const std::string where = std::to_string(geometry.rows) + "x" +
+                                std::to_string(geometry.cols) + " " +
+                                test.name();
+      const auto a = per_fault.run(cfg, test, library);
+      const auto b = batched.run(cfg, test, library);
+      expect_reports_identical(a, b, where);
+      EXPECT_EQ(a.session_pairs, library.size()) << where;
+      EXPECT_LT(b.session_pairs, library.size()) << where;
+      EXPECT_GT(b.batch_sessions, 0u) << where;
+    }
+  }
+}
+
+// Word-oriented arrays read whole groups per cycle; attribution must split
+// a word mismatch between the members owning each bad bit.
+TEST(BatchedCampaign, VerdictParityOnWordOrientedArrays) {
+  SessionConfig cfg;
+  cfg.geometry = {16, 32, 4};
+  const auto library = faults::standard_fault_library(cfg.geometry, 19);
+  const auto test = march::algorithms::march_c_minus();
+  const auto a = CampaignRunner(CampaignRunner::Options{}).run(
+      cfg, test, library);
+  CampaignRunner::Options opts;
+  opts.batched = true;
+  const auto b = CampaignRunner(opts).run(cfg, test, library);
+  expect_reports_identical(a, b, "16x32 w4");
+  EXPECT_LT(b.session_pairs, a.session_pairs);
+}
+
+// The attribution channel is engine-agnostic: the per-column reference
+// engine must produce the same batched report as the bitsliced default.
+TEST(BatchedCampaign, VerdictParityAcrossColumnEngines) {
+  SessionConfig cfg;
+  cfg.geometry = {8, 8, 1};
+  const auto library = faults::standard_fault_library(cfg.geometry, 11);
+  const auto test = march::algorithms::march_c_minus();
+  CampaignRunner::Options opts;
+  opts.batched = true;
+  const auto fast = CampaignRunner(opts).run(cfg, test, library);
+  cfg.column_model = sram::ColumnModel::kPerColumnReference;
+  const auto ref = CampaignRunner(opts).run(cfg, test, library);
+  expect_reports_identical(ref, fast, "reference engine");
+  EXPECT_EQ(ref.session_pairs, fast.session_pairs);
+}
+
+// With the Fig. 7 restore disabled, faulty swaps spread per-fault data
+// corruption across rows and batch members would interact: the runner must
+// fall back to one session pair per fault (and therefore stay identical).
+TEST(BatchedCampaign, RestoreDisabledFallsBackToPerFault) {
+  SessionConfig cfg;
+  cfg.geometry = {8, 8, 1};
+  cfg.row_transition_restore = false;
+  const auto library = faults::standard_fault_library(cfg.geometry, 11);
+  const auto test = march::algorithms::march_c_minus();
+  CampaignRunner::Options opts;
+  opts.batched = true;
+  const auto b = CampaignRunner(opts).run(cfg, test, library);
+  EXPECT_EQ(b.session_pairs, library.size());
+  EXPECT_EQ(b.batch_sessions, 0u);
+  const auto a = CampaignRunner(CampaignRunner::Options{}).run(
+      cfg, test, library);
+  expect_reports_identical(a, b, "restore-off");
+}
+
+}  // namespace

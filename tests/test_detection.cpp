@@ -27,32 +27,85 @@ SessionConfig config() {
   return cfg;
 }
 
-std::vector<FaultSpec> static_library() {
+// The standard library now spans the full space the paper's §4 argues
+// about: the static simple faults PLUS dynamic dRDF, RES-sensitive and
+// data-retention instances.
+std::vector<FaultSpec> expanded_library() {
   auto lib = faults::standard_fault_library({kRows, kCols, 1}, 11);
   return lib;
 }
 
 // March SS covers all static simple (single-cell and two-cell coupling)
-// faults — its defining property in the literature.
+// faults — its defining property in the literature — and, having
+// write-then-read pairs, the dynamic dRDF as well.  Only the delay-needing
+// retention faults escape it (March SS has no "Del" element).
 TEST(Detection, MarchSsDetectsEveryStaticFault) {
   const auto report = core::run_fault_campaign(
-      config(), march::algorithms::march_ss(), static_library());
+      config(), march::algorithms::march_ss(), expanded_library());
+  std::size_t retention = 0;
   for (const auto& e : report.entries) {
+    if (e.spec.kind == FaultKind::kDataRetention) {
+      ++retention;
+      EXPECT_FALSE(e.detected_functional) << e.spec.describe();
+      continue;
+    }
+    EXPECT_TRUE(e.detected_functional) << e.spec.describe();
+  }
+  EXPECT_GT(retention, 0u);
+  EXPECT_DOUBLE_EQ(
+      report.coverage_functional(),
+      static_cast<double>(report.entries.size() - retention) /
+          static_cast<double>(report.entries.size()));
+}
+
+// Only March G's delay elements sensitise the library's data-retention
+// faults — and both pauses matter (each polarity needs one).
+TEST(Detection, MarchGDelaysCoverTheRetentionFaults) {
+  const auto report = core::run_fault_campaign(
+      config(), march::algorithms::march_g_with_delays(),
+      expanded_library());
+  for (const auto& e : report.entries) {
+    if (e.spec.kind != FaultKind::kDataRetention) continue;
     EXPECT_TRUE(e.detected_functional) << e.spec.describe();
     EXPECT_TRUE(e.detected_low_power) << e.spec.describe();
   }
-  EXPECT_DOUBLE_EQ(report.coverage_functional(), 1.0);
-  EXPECT_TRUE(report.modes_agree());
 }
 
 // The paper's correctness requirement: switching to the low-power test
-// mode must not change any detection verdict, for any algorithm.
+// mode must not change any detection verdict, for any algorithm — with the
+// one documented exception (§4): RES-sensitive cells NEED functional-mode
+// stress, so their verdicts may legitimately differ.
 TEST(Detection, LowPowerModeDetectsExactlyWhatFunctionalDoes) {
   for (const auto& test : march::algorithms::table1()) {
     const auto report =
-        core::run_fault_campaign(config(), test, static_library());
-    EXPECT_TRUE(report.modes_agree()) << test.name();
+        core::run_fault_campaign(config(), test, expanded_library());
+    for (const auto& e : report.entries) {
+      if (e.spec.kind == FaultKind::kResSensitive) continue;
+      EXPECT_EQ(e.detected_functional, e.detected_low_power)
+          << test.name() << ": " << e.spec.describe();
+    }
   }
+}
+
+// §4 with the library's own parameters: on a wide row the RES threshold
+// (3x the column count) sits above the low-power exposure but below one
+// functional sweep, so the expanded library exhibits the paper's headline
+// separation out of the box.
+TEST(Detection, LibraryResFaultsSeparateModesOnWideRows) {
+  SessionConfig wide = config();
+  wide.geometry = {8, 64, 1};
+  const auto report = core::run_fault_campaign(
+      wide, march::algorithms::march_c_minus(),
+      faults::standard_fault_library(wide.geometry, 11));
+  std::size_t res = 0;
+  for (const auto& e : report.entries) {
+    if (e.spec.kind != FaultKind::kResSensitive) continue;
+    ++res;
+    EXPECT_TRUE(e.detected_functional) << e.spec.describe();
+    EXPECT_FALSE(e.detected_low_power) << e.spec.describe();
+  }
+  EXPECT_GT(res, 0u);
+  EXPECT_FALSE(report.modes_agree());  // the documented exception
 }
 
 // Every March algorithm at least detects stuck-at faults.
@@ -102,7 +155,7 @@ march::AddressOrder make_order(const std::string& kind) {
 }
 
 TEST_P(DetectionOrderIndependence, SameVerdictsAsCanonicalOrder) {
-  const auto library = static_library();
+  const auto library = expanded_library();
   const auto test = march::algorithms::march_ss();
 
   SessionConfig base = config();
@@ -112,6 +165,11 @@ TEST_P(DetectionOrderIndependence, SameVerdictsAsCanonicalOrder) {
   alt.order = make_order(GetParam());
 
   for (const auto& spec : library) {
+    // DOF-1's guarantee covers the static (and dynamic two-operation)
+    // fault space; a RES-sensitive flip is a timing event — WHEN the
+    // stress total crosses the threshold depends on the visit order, so
+    // its verdict legitimately may differ between orders.
+    if (spec.kind == FaultKind::kResSensitive) continue;
     const bool canonical = core::detects_fault(base, test, spec);
     const bool reordered = core::detects_fault(alt, test, spec);
     EXPECT_EQ(canonical, reordered)

@@ -256,6 +256,68 @@ TEST(FaultModels, LibraryIsDeterministicAndInBounds) {
   }
 }
 
+// Regression: on a single-column geometry the aggressor used to be drawn
+// at column - 1, wrapping to SIZE_MAX and throwing from CellArray::check
+// deep inside a run.  Single-column libraries now use row neighbours.
+TEST(FaultModels, LibraryHandlesSingleColumnGeometries) {
+  const sram::Geometry g{8, 1, 1};
+  const auto lib = faults::standard_fault_library(g, 3);
+  std::size_t coupling = 0;
+  for (const auto& f : lib) {
+    EXPECT_LT(f.victim.row, g.rows);
+    EXPECT_LT(f.victim.col, g.cols);
+    if (faults::is_coupling(f.kind)) {
+      ++coupling;
+      EXPECT_LT(f.aggressor.row, g.rows) << f.describe();
+      EXPECT_LT(f.aggressor.col, g.cols) << f.describe();
+      EXPECT_FALSE(f.aggressor == f.victim) << f.describe();
+    }
+  }
+  EXPECT_GT(coupling, 0u);
+}
+
+// A 1x1 array has no neighbour at all: the library simply skips the
+// two-cell kinds instead of fabricating an out-of-range aggressor.
+TEST(FaultModels, LibrarySkipsCouplingOnOneByOne) {
+  const auto lib = faults::standard_fault_library({1, 1, 1}, 3);
+  EXPECT_FALSE(lib.empty());
+  for (const auto& f : lib) {
+    EXPECT_FALSE(faults::is_coupling(f.kind)) << f.describe();
+    EXPECT_EQ(f.victim.row, 0u);
+    EXPECT_EQ(f.victim.col, 0u);
+  }
+}
+
+// Mis-specified coordinates fail fast at attach (for every fault kind),
+// not by silently never firing or by throwing mid-run from force().
+TEST(FaultModels, AttachRejectsOutOfRangeVictimsAndAggressors) {
+  SramConfig cfg;
+  cfg.geometry = {8, 8, 1};
+
+  FaultSpec victim_oob;
+  victim_oob.kind = FaultKind::kStuckAt0;
+  victim_oob.victim = {8, 0};  // row one past the end
+  FaultSet bad_victim({victim_oob});
+  SramArray a(cfg);
+  EXPECT_THROW(a.attach_fault_model(&bad_victim), Error);
+
+  FaultSpec aggr_oob;
+  aggr_oob.kind = FaultKind::kCouplingIdempotent;
+  aggr_oob.victim = {3, 7};
+  aggr_oob.aggressor = {3, 8};  // column one past the end
+  FaultSet bad_aggressor({aggr_oob});
+  SramArray b(cfg);
+  EXPECT_THROW(b.attach_fault_model(&bad_aggressor), Error);
+
+  FaultSpec fine;
+  fine.kind = FaultKind::kCouplingIdempotent;
+  fine.victim = {3, 7};
+  fine.aggressor = {3, 6};
+  FaultSet good({fine});
+  SramArray c(cfg);
+  EXPECT_NO_THROW(c.attach_fault_model(&good));
+}
+
 TEST(FaultModels, RejectsDegenerateSpecs) {
   FaultSpec f;
   f.kind = FaultKind::kCouplingInversion;
@@ -276,7 +338,8 @@ TEST(FaultModels, EveryKindHasAName) {
         FaultKind::kReadDestructive, FaultKind::kDeceptiveReadDestructive,
         FaultKind::kIncorrectRead, FaultKind::kCouplingInversion,
         FaultKind::kCouplingIdempotent, FaultKind::kCouplingState,
-        FaultKind::kResSensitive})
+        FaultKind::kDynamicReadDestructive, FaultKind::kResSensitive,
+        FaultKind::kDataRetention})
     EXPECT_FALSE(faults::to_string(kind).empty());
 }
 
