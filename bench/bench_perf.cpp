@@ -3,13 +3,18 @@
 // switch-level transient integrator, and the gate-level controller.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "circuit/subcircuits.h"
 #include "circuit/transient.h"
 #include "core/fault_campaign.h"
 #include "core/session.h"
 #include "ctrl/precharge_control.h"
+#include "dist/job.h"
+#include "dist/worker.h"
 #include "engine/analytic_backend.h"
 #include "faults/models.h"
+#include "io/serialize.h"
 #include "march/algorithms.h"
 
 namespace {
@@ -183,6 +188,73 @@ void BM_Campaign256_Batched(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign256_PerFault)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Campaign256_Batched)->Unit(benchmark::kMillisecond);
+
+// --- distributed-subsystem overheads ----------------------------------------
+// The dist/ layer's costs on top of the compute itself: JSON round-trips
+// of results (what every worker->coordinator point pays) and a whole
+// worker shard including protocol framing.  These bound the serialization
+// tax of going multi-process.
+
+dist::JobSpec bench_sweep_job() {
+  dist::JobSpec job;
+  job.kind = dist::JobSpec::Kind::kSweep;
+  job.grid.geometries = {{16, 32, 1}, {8, 64, 1}};
+  job.grid.backgrounds = {sram::DataBackground::solid0(),
+                          sram::DataBackground::checkerboard()};
+  job.grid.algorithms = {march::algorithms::mats_plus(),
+                         march::algorithms::march_c_minus()};
+  return job;  // 8 points
+}
+
+// One evaluated sweep point through the full emit -> parse -> rebuild
+// cycle — the per-result cost of the JSONL protocol.
+void BM_DistPointJsonRoundTrip(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = {16, 32, 1};
+  core::SweepPointResult point;
+  point.prr = core::TestSession::compare_modes(
+      cfg, march::algorithms::march_c_minus());
+  for (auto _ : state) {
+    const std::string text = io::to_json(point).dump();
+    benchmark::DoNotOptimize(
+        io::sweep_point_from_json(io::JsonValue::parse(text)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("sweep points serialized+parsed/s");
+}
+BENCHMARK(BM_DistPointJsonRoundTrip);
+
+// A whole job spec there and back — what `plan` pays per shard file and
+// every worker pays once at startup.
+void BM_DistJobSpecRoundTrip(benchmark::State& state) {
+  const dist::JobSpec job = bench_sweep_job();
+  for (auto _ : state) {
+    const std::string text = dist::to_json(job).dump();
+    benchmark::DoNotOptimize(
+        dist::job_from_json(io::JsonValue::parse(text)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("job specs serialized+parsed/s");
+}
+BENCHMARK(BM_DistJobSpecRoundTrip);
+
+// One worker shard end to end (compute + JSONL framing into memory):
+// compare against BM_SweepPoint-style numbers to see the protocol tax.
+void BM_DistWorkerShard(benchmark::State& state) {
+  const dist::JobSpec job = bench_sweep_job();
+  const dist::ShardPlan plan = dist::ShardPlan::contiguous(job.size(), 4);
+  const dist::ShardSpec spec{job, plan, 0};
+  const dist::Worker worker;
+  for (auto _ : state) {
+    std::ostringstream out;
+    worker.run(spec, out);
+    benchmark::DoNotOptimize(out.str());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan.size_of(0)));
+  state.SetLabel("shard points computed+streamed/s");
+}
+BENCHMARK(BM_DistWorkerShard)->Unit(benchmark::kMillisecond);
 
 void BM_TransientStep(benchmark::State& state) {
   circuit::ColumnConfig cfg;

@@ -2,32 +2,75 @@
 // algorithm — the tool a memory-BIST engineer would use to decide whether
 // the modified pre-charge control is worth the ten transistors per column.
 //
-//   $ ./examples/power_explorer [rows] [cols] [word_width]
+//   $ ./examples/power_explorer [rows] [cols] [word_width] [--json]
+//
+// --json replaces the table with a machine-readable document (one entry
+// per algorithm, full per-source meter breakdowns via power::to_json).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <vector>
 
 #include "core/session.h"
+#include "io/serialize.h"
 #include "march/algorithms.h"
 #include "power/analytic.h"
+#include "power/report.h"
 #include "util/table.h"
 #include "util/units.h"
 
 int main(int argc, char** argv) {
   using namespace sramlp;
   try {
+    bool json = false;
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0)
+        json = true;
+      else
+        positional.push_back(argv[i]);
+    }
     const std::size_t rows =
-        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 128;
+        positional.size() > 0
+            ? static_cast<std::size_t>(std::atoll(positional[0]))
+            : 128;
     const std::size_t cols =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+        positional.size() > 1
+            ? static_cast<std::size_t>(std::atoll(positional[1]))
+            : 256;
     const std::size_t width =
-        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 1;
+        positional.size() > 2
+            ? static_cast<std::size_t>(std::atoll(positional[2]))
+            : 1;
 
     core::SessionConfig config;
     config.geometry = {rows, cols, width};
     const auto tech = power::TechnologyParams::tech_0p13um();
     config.tech = tech;
     config.geometry.validate();
+
+    if (json) {
+      io::JsonValue doc = io::JsonValue::object();
+      doc.set("geometry", io::to_json(config.geometry));
+      io::JsonValue algorithms = io::JsonValue::array();
+      for (const auto& test : march::algorithms::all()) {
+        const auto cmp = core::TestSession::compare_modes(config, test);
+        io::JsonValue entry = io::JsonValue::object();
+        entry.set("algorithm", io::JsonValue::string(test.name()));
+        entry.set("operations",
+                  io::JsonValue::integer(static_cast<std::uint64_t>(
+                      test.stats().operations)));
+        entry.set("cycles", io::JsonValue::integer(cmp.functional.cycles));
+        entry.set("prr", io::JsonValue::number(cmp.prr));
+        entry.set("functional", power::to_json(cmp.functional.meter));
+        entry.set("low_power", power::to_json(cmp.low_power.meter));
+        algorithms.push_back(std::move(entry));
+      }
+      doc.set("algorithms", std::move(algorithms));
+      std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+      return 0;
+    }
 
     std::printf("array: %zux%zu, word width %zu, %s\n\n", rows, cols, width,
                 "0.13 um / 1.6 V / 3 ns");

@@ -143,6 +143,23 @@ CampaignReport CampaignRunner::run(
   return report;
 }
 
+std::vector<CampaignEntry> CampaignRunner::run_subset(
+    const SessionConfig& config, const march::MarchTest& test,
+    const std::vector<faults::FaultSpec>& faults,
+    const std::vector<std::size_t>& indices) const {
+  std::vector<faults::FaultSpec> subset;
+  subset.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    SRAMLP_REQUIRE(i < faults.size(), "campaign subset index out of range");
+    subset.push_back(faults[i]);
+  }
+  // Per-entry results are execution-shape independent (the batcher's
+  // regression-tested contract), so running the subset as its own
+  // campaign yields exactly the entries run() computes for these slots.
+  CampaignReport report = run(config, test, subset);
+  return std::move(report.entries);
+}
+
 CampaignReport run_fault_campaign(
     const SessionConfig& config, const march::MarchTest& test,
     const std::vector<faults::FaultSpec>& faults) {

@@ -81,6 +81,17 @@ class CampaignRunner {
   CampaignReport run(const SessionConfig& config, const march::MarchTest& test,
                      const std::vector<faults::FaultSpec>& faults) const;
 
+  /// Run an arbitrary subset of @p faults by index; the returned entries
+  /// parallel @p indices.  Each fault runs on its own fresh session pair
+  /// (or batch), so entry verdicts and mismatch counts are identical to
+  /// the slots a whole-library run() produces — a partition of the index
+  /// space evaluated shard by shard (the dist/ worker's entry point)
+  /// reassembles bit-identical to one run() call.
+  std::vector<CampaignEntry> run_subset(
+      const SessionConfig& config, const march::MarchTest& test,
+      const std::vector<faults::FaultSpec>& faults,
+      const std::vector<std::size_t>& indices) const;
+
  private:
   Options options_;
 };

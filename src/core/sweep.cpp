@@ -65,25 +65,50 @@ SessionResult SweepRunner::run_mode(const SessionConfig& config,
   return session.run(test);
 }
 
+namespace {
+
+/// The single-point arithmetic shared by run() and run_indices(): whoever
+/// computes grid point @p index — whatever thread, whatever process —
+/// performs exactly these operations.
+SweepPointResult evaluate_grid_point(const SweepGrid& grid, std::size_t index,
+                                     BackendChoice requested) {
+  SweepPointResult point;
+  point.index = index;
+  grid.split(index, &point.geometry, &point.background, &point.algorithm);
+  const SessionConfig config = grid.config_at(index);
+  // Resolve the backend once; the recorded choice IS the executed one.
+  point.backend = requested == BackendChoice::kAuto
+                      ? SweepRunner::route(config, /*has_faults=*/false)
+                      : requested;
+  point.prr = point.backend == BackendChoice::kAnalytic
+                  ? TestSession::compare_modes_analytic(
+                        config, grid.algorithms[point.algorithm])
+                  : TestSession::compare_modes(
+                        config, grid.algorithms[point.algorithm]);
+  return point;
+}
+
+}  // namespace
+
 std::vector<SweepPointResult> SweepRunner::run(const SweepGrid& grid) const {
   SRAMLP_REQUIRE(!grid.geometries.empty() && !grid.backgrounds.empty() &&
                      !grid.algorithms.empty(),
                  "sweep grid has an empty axis");
   std::vector<SweepPointResult> results(grid.size());
   engine::parallel_for(grid.size(), options_.threads, [&](std::size_t i) {
-    SweepPointResult& point = results[i];
-    point.index = i;
-    grid.split(i, &point.geometry, &point.background, &point.algorithm);
-    const SessionConfig config = grid.config_at(i);
-    // Resolve the backend once; the recorded choice IS the executed one.
-    point.backend = options_.backend == BackendChoice::kAuto
-                        ? route(config, /*has_faults=*/false)
-                        : options_.backend;
-    point.prr = point.backend == BackendChoice::kAnalytic
-                    ? TestSession::compare_modes_analytic(
-                          config, grid.algorithms[point.algorithm])
-                    : TestSession::compare_modes(
-                          config, grid.algorithms[point.algorithm]);
+    results[i] = evaluate_grid_point(grid, i, options_.backend);
+  });
+  return results;
+}
+
+std::vector<SweepPointResult> SweepRunner::run_indices(
+    const SweepGrid& grid, const std::vector<std::size_t>& indices) const {
+  SRAMLP_REQUIRE(!grid.geometries.empty() && !grid.backgrounds.empty() &&
+                     !grid.algorithms.empty(),
+                 "sweep grid has an empty axis");
+  std::vector<SweepPointResult> results(indices.size());
+  engine::parallel_for(indices.size(), options_.threads, [&](std::size_t i) {
+    results[i] = evaluate_grid_point(grid, indices[i], options_.backend);
   });
   return results;
 }

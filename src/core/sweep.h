@@ -87,6 +87,14 @@ class SweepRunner {
   /// Evaluate the whole grid; results[i] is grid point i.
   std::vector<SweepPointResult> run(const SweepGrid& grid) const;
 
+  /// Evaluate an arbitrary subset of grid points by flat index; the
+  /// returned vector parallels @p indices.  Every point goes through
+  /// exactly the arithmetic run() applies to its slot, so a partition of
+  /// the index space evaluated shard by shard (the dist/ worker's entry
+  /// point) reassembles bit-identical to one run() call.
+  std::vector<SweepPointResult> run_indices(
+      const SweepGrid& grid, const std::vector<std::size_t>& indices) const;
+
   /// Evaluate one point through the routing policy.  @p faults forces the
   /// cycle-accurate engine (the analytic backend cannot model faults) and
   /// is attached to both mode runs in sequence, like

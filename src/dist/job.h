@@ -1,0 +1,64 @@
+// The unit of distributed work: one whole sweep grid or fault campaign.
+//
+// A JobSpec is everything a worker process needs to recompute any flat
+// index of the job from scratch — the grid (or campaign config + test +
+// fault library) travels by value in JSON, never by reference to in-process
+// state.  Shard spec files pair a JobSpec with a ShardPlan and a shard
+// index; the fingerprint ties result files back to the exact job that
+// produced them so checkpoint/resume can never merge stale results from a
+// different job.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault_campaign.h"
+#include "core/sweep.h"
+#include "dist/shard.h"
+#include "io/serialize.h"
+
+namespace sramlp::dist {
+
+/// One distributed job: a sweep grid or a fault campaign.
+struct JobSpec {
+  enum class Kind { kSweep, kCampaign };
+
+  Kind kind = Kind::kSweep;
+
+  // --- kind == kSweep ----------------------------------------------------
+  core::SweepGrid grid;
+
+  // --- kind == kCampaign -------------------------------------------------
+  core::SessionConfig config;               ///< campaign session template
+  std::optional<march::MarchTest> test;     ///< campaign algorithm
+  std::vector<faults::FaultSpec> faults;    ///< campaign fault library
+
+  /// Flat work items: grid points or faults.
+  std::size_t size() const;
+
+  void validate() const;
+
+  /// Stable digest (FNV-1a over the canonical JSON form); result files
+  /// carry it so resume never merges results of a different job.
+  std::uint64_t fingerprint() const;
+};
+
+io::JsonValue to_json(const JobSpec& job);
+JobSpec job_from_json(const io::JsonValue& json);
+
+/// One shard assignment, as written to a shard spec file: the whole job
+/// plus the plan and the owned shard index.
+struct ShardSpec {
+  JobSpec job;
+  ShardPlan plan;
+  std::size_t shard = 0;
+
+  void validate() const;
+};
+
+io::JsonValue to_json(const ShardSpec& spec);
+ShardSpec shard_spec_from_json(const io::JsonValue& json);
+
+}  // namespace sramlp::dist

@@ -1,0 +1,98 @@
+#include "dist/shard.h"
+
+#include "util/error.h"
+
+namespace sramlp::dist {
+
+std::string to_slug(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kContiguous: return "contiguous";
+    case ShardStrategy::kStrided: return "strided";
+  }
+  throw Error("invalid ShardStrategy");
+}
+
+ShardStrategy shard_strategy_from_slug(const std::string& slug) {
+  for (const auto strategy :
+       {ShardStrategy::kContiguous, ShardStrategy::kStrided})
+    if (slug == to_slug(strategy)) return strategy;
+  throw Error("unknown shard strategy '" + slug + "'");
+}
+
+ShardPlan ShardPlan::make(std::size_t total, std::size_t shards,
+                          ShardStrategy strategy) {
+  ShardPlan plan{total, shards, strategy};
+  plan.validate();
+  return plan;
+}
+
+ShardPlan ShardPlan::contiguous(std::size_t total, std::size_t shards) {
+  return make(total, shards, ShardStrategy::kContiguous);
+}
+
+ShardPlan ShardPlan::strided(std::size_t total, std::size_t shards) {
+  return make(total, shards, ShardStrategy::kStrided);
+}
+
+void ShardPlan::validate() const {
+  SRAMLP_REQUIRE(shard_count >= 1, "a shard plan needs at least one shard");
+}
+
+std::size_t ShardPlan::owner_of(std::size_t flat_index) const {
+  SRAMLP_REQUIRE(flat_index < total, "flat index out of range");
+  if (strategy == ShardStrategy::kStrided) return flat_index % shard_count;
+  // Contiguous: the first `longer` shards own quota+1 items each.
+  const std::size_t quota = total / shard_count;
+  const std::size_t longer = total % shard_count;
+  const std::size_t boundary = longer * (quota + 1);
+  if (flat_index < boundary) return flat_index / (quota + 1);
+  SRAMLP_REQUIRE(quota > 0, "flat index out of range");
+  return longer + (flat_index - boundary) / quota;
+}
+
+std::size_t ShardPlan::size_of(std::size_t shard) const {
+  SRAMLP_REQUIRE(shard < shard_count, "shard index out of range");
+  if (strategy == ShardStrategy::kStrided)
+    return total / shard_count + (shard < total % shard_count ? 1 : 0);
+  const std::size_t quota = total / shard_count;
+  const std::size_t longer = total % shard_count;
+  return quota + (shard < longer ? 1 : 0);
+}
+
+std::vector<std::size_t> ShardPlan::indices_of(std::size_t shard) const {
+  SRAMLP_REQUIRE(shard < shard_count, "shard index out of range");
+  std::vector<std::size_t> indices;
+  indices.reserve(size_of(shard));
+  if (strategy == ShardStrategy::kStrided) {
+    for (std::size_t i = shard; i < total; i += shard_count)
+      indices.push_back(i);
+    return indices;
+  }
+  const std::size_t quota = total / shard_count;
+  const std::size_t longer = total % shard_count;
+  const std::size_t begin = shard < longer
+                                ? shard * (quota + 1)
+                                : longer * (quota + 1) + (shard - longer) * quota;
+  const std::size_t count = quota + (shard < longer ? 1 : 0);
+  for (std::size_t i = begin; i < begin + count; ++i) indices.push_back(i);
+  return indices;
+}
+
+io::JsonValue to_json(const ShardPlan& plan) {
+  io::JsonValue v = io::JsonValue::object();
+  v.set("total", io::JsonValue::integer(plan.total));
+  v.set("shard_count", io::JsonValue::integer(plan.shard_count));
+  v.set("strategy", io::JsonValue::string(to_slug(plan.strategy)));
+  return v;
+}
+
+ShardPlan shard_plan_from_json(const io::JsonValue& json) {
+  ShardPlan plan;
+  plan.total = json.at("total").as_size();
+  plan.shard_count = json.at("shard_count").as_size();
+  plan.strategy = shard_strategy_from_slug(json.at("strategy").as_string());
+  plan.validate();
+  return plan;
+}
+
+}  // namespace sramlp::dist

@@ -1,0 +1,67 @@
+// Deterministic partitioning of a flat work index space into K shards.
+//
+// Sweep grids and fault libraries are embarrassingly partitionable: every
+// flat index is an independent work item whose result slot is the index
+// itself.  A ShardPlan fixes the ownership function — which shard computes
+// which indices — once, deterministically, on both sides of the process
+// boundary: the coordinator and every worker derive identical plans from
+// the same (total, shard_count, strategy) triple, so no index list ever
+// needs to travel.
+//
+// Two strategies:
+//   * contiguous — shard s owns one balanced run of consecutive indices
+//     (the first total % K shards own one extra item).  Best cache/locality
+//     shape for grids whose neighbouring points share a geometry.
+//   * strided — shard s owns {s, s+K, s+2K, ...}.  Best load-balance shape
+//     when cost grows along the index axis (e.g. geometry-major grids whose
+//     late geometries are the big ones).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace sramlp::dist {
+
+/// How a ShardPlan assigns flat indices to shards.
+enum class ShardStrategy {
+  kContiguous,  ///< balanced runs of consecutive indices
+  kStrided,     ///< round-robin: shard s owns s, s+K, s+2K, ...
+};
+
+std::string to_slug(ShardStrategy strategy);
+ShardStrategy shard_strategy_from_slug(const std::string& slug);
+
+/// A deterministic partition of [0, total) into shard_count shards.
+/// Value-semantic and trivially serializable; equal fields = equal
+/// ownership on every host.
+struct ShardPlan {
+  std::size_t total = 0;        ///< number of flat work items
+  std::size_t shard_count = 1;  ///< K
+  ShardStrategy strategy = ShardStrategy::kContiguous;
+
+  static ShardPlan contiguous(std::size_t total, std::size_t shards);
+  static ShardPlan strided(std::size_t total, std::size_t shards);
+  static ShardPlan make(std::size_t total, std::size_t shards,
+                        ShardStrategy strategy);
+
+  /// The shard owning @p flat_index.
+  std::size_t owner_of(std::size_t flat_index) const;
+
+  /// Flat indices shard @p shard owns, in ascending order.
+  std::vector<std::size_t> indices_of(std::size_t shard) const;
+
+  /// Number of indices shard @p shard owns (without materializing them).
+  std::size_t size_of(std::size_t shard) const;
+
+  void validate() const;
+
+  friend bool operator==(const ShardPlan&, const ShardPlan&) = default;
+};
+
+io::JsonValue to_json(const ShardPlan& plan);
+ShardPlan shard_plan_from_json(const io::JsonValue& json);
+
+}  // namespace sramlp::dist

@@ -1,0 +1,126 @@
+#include "dist/worker.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.h"
+
+namespace sramlp::dist {
+
+namespace {
+
+void emit_line(std::ostream& out, const io::JsonValue& value) {
+  out << value.dump() << '\n';
+}
+
+}  // namespace
+
+void Worker::run(const ShardSpec& spec, std::ostream& out) const {
+  spec.validate();
+  const std::vector<std::size_t> owned = spec.plan.indices_of(spec.shard);
+
+  io::JsonValue header = io::JsonValue::object();
+  header.set("type", io::JsonValue::string("shard_header"));
+  header.set("fingerprint", io::JsonValue::integer(spec.job.fingerprint()));
+  header.set("shard", io::JsonValue::integer(spec.shard));
+  header.set("shard_count", io::JsonValue::integer(spec.plan.shard_count));
+  header.set("total", io::JsonValue::integer(spec.plan.total));
+  header.set("points", io::JsonValue::integer(owned.size()));
+  emit_line(out, header);
+
+  std::size_t points = 0;
+  if (spec.job.kind == JobSpec::Kind::kSweep) {
+    // SweepRunner::run_indices IS run()'s arithmetic applied to the owned
+    // subset, so these points are bit-identical to the single-process
+    // grid slots they merge into.
+    const core::SweepRunner runner(
+        core::SweepRunner::Options{options_.threads,
+                                   core::BackendChoice::kAuto});
+    const std::vector<core::SweepPointResult> results =
+        runner.run_indices(spec.job.grid, owned);
+    for (const core::SweepPointResult& point : results) {
+      io::JsonValue line = io::JsonValue::object();
+      line.set("type", io::JsonValue::string("sweep_point"));
+      line.set("data", io::to_json(point));
+      emit_line(out, line);
+      ++points;
+    }
+  } else {
+    // Campaign shard: CampaignRunner::run_subset computes exactly the
+    // entries a whole-library run() fills into these slots (entry results
+    // are execution-shape independent, so batching within the shard is
+    // purely a wall-time choice).
+    core::CampaignRunner::Options options;
+    options.threads = options_.threads;
+    options.batched = options_.batched_campaigns;
+    const std::vector<core::CampaignEntry> entries =
+        core::CampaignRunner(options).run_subset(
+            spec.job.config, *spec.job.test, spec.job.faults, owned);
+    SRAMLP_REQUIRE(entries.size() == owned.size(),
+                   "campaign shard produced a short report");
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      io::JsonValue line = io::JsonValue::object();
+      line.set("type", io::JsonValue::string("campaign_entry"));
+      line.set("index", io::JsonValue::integer(owned[j]));
+      line.set("data", io::to_json(entries[j]));
+      emit_line(out, line);
+      ++points;
+    }
+  }
+
+  io::JsonValue trailer = io::JsonValue::object();
+  trailer.set("type", io::JsonValue::string("shard_complete"));
+  trailer.set("shard", io::JsonValue::integer(spec.shard));
+  trailer.set("points", io::JsonValue::integer(points));
+  emit_line(out, trailer);
+  out.flush();
+}
+
+ShardResult parse_shard_results(std::istream& in, const JobSpec& job,
+                                const ShardPlan& plan, std::size_t shard) {
+  ShardResult result;
+  result.shard = shard;
+  const std::size_t expected = plan.size_of(shard);
+  bool header_ok = false;
+  bool trailer_ok = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    io::JsonValue value;
+    try {
+      value = io::JsonValue::parse(line);
+    } catch (const Error&) {
+      break;  // truncated / garbled line: stop, report incomplete
+    }
+    try {
+      const std::string& type = value.at("type").as_string();
+      if (type == "shard_header") {
+        header_ok = value.at("fingerprint").as_uint() == job.fingerprint() &&
+                    value.at("shard").as_size() == shard &&
+                    value.at("shard_count").as_size() == plan.shard_count &&
+                    value.at("total").as_size() == plan.total;
+        if (!header_ok) break;  // a different job's file: do not trust it
+      } else if (type == "sweep_point") {
+        result.sweep.push_back(io::sweep_point_from_json(value.at("data")));
+      } else if (type == "campaign_entry") {
+        result.entries.emplace_back(
+            value.at("index").as_size(),
+            io::campaign_entry_from_json(value.at("data")));
+      } else if (type == "shard_complete") {
+        trailer_ok = value.at("shard").as_size() == shard &&
+                     value.at("points").as_size() == expected;
+        break;
+      }
+    } catch (const Error&) {
+      break;  // structurally wrong record: report incomplete
+    }
+  }
+  const std::size_t points = job.kind == JobSpec::Kind::kSweep
+                                 ? result.sweep.size()
+                                 : result.entries.size();
+  result.complete = header_ok && trailer_ok && points == expected;
+  return result;
+}
+
+}  // namespace sramlp::dist

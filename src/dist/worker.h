@@ -1,0 +1,72 @@
+// Worker side of the distributed protocol: execute ONE shard of a job and
+// stream results as JSONL.
+//
+// A worker is a pure function of its ShardSpec: it derives the owned flat
+// indices from the plan, computes each through the exact same executors a
+// single-process run uses (core::SweepRunner::run_point for grids,
+// core::CampaignRunner for fault subsets), and writes one JSON document per
+// line:
+//
+//   {"type":"shard_header", "fingerprint":F, "shard":k, "shard_count":K,
+//    "total":N, "points":M}
+//   {"type":"sweep_point", "data":{...}}            (sweep jobs, M lines)
+//   {"type":"campaign_entry", "index":i, "data":{...}} (campaign jobs)
+//   {"type":"shard_complete", "shard":k, "points":M}
+//
+// The header fingerprint ties the file to the job that produced it; the
+// trailer is the completeness marker — a killed worker leaves a file
+// without one, which parse_shard_results reports as incomplete and the
+// coordinator's resume logic recomputes.
+#pragma once
+
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "dist/job.h"
+
+namespace sramlp::dist {
+
+/// One parsed shard result file.
+struct ShardResult {
+  std::size_t shard = 0;
+  bool complete = false;  ///< header + all points + matching trailer seen
+  /// Sweep jobs: the shard's points (flat index inside each result).
+  std::vector<core::SweepPointResult> sweep;
+  /// Campaign jobs: (flat index, entry) pairs.
+  std::vector<std::pair<std::size_t, core::CampaignEntry>> entries;
+};
+
+class Worker {
+ public:
+  struct Options {
+    /// Worker threads for the shard's own points; distributed runs default
+    /// to 1 and scale by process count instead.
+    unsigned threads = 1;
+    /// Batch victim-disjoint campaign faults within the shard.  Entry
+    /// verdicts are execution-shape independent, so this only changes the
+    /// shard's wall time.
+    bool batched_campaigns = true;
+  };
+
+  Worker() = default;
+  explicit Worker(const Options& options) : options_(options) {}
+
+  /// Execute @p spec's shard and stream the JSONL protocol to @p out.
+  /// Throws sramlp::Error on an invalid spec; the trailer is only written
+  /// after every point succeeded.
+  void run(const ShardSpec& spec, std::ostream& out) const;
+
+ private:
+  Options options_;
+};
+
+/// Parse one shard result stream against the job/plan/shard it should
+/// describe.  Returns complete = false (with whatever points parsed) when
+/// the file is truncated, the trailer is missing, the fingerprint belongs
+/// to a different job, or the point count disagrees with the plan — the
+/// caller treats any of those as "recompute this shard".
+ShardResult parse_shard_results(std::istream& in, const JobSpec& job,
+                                const ShardPlan& plan, std::size_t shard);
+
+}  // namespace sramlp::dist

@@ -20,12 +20,6 @@ BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
                        std::size_t max_batch) {
   BatchPlan plan;
 
-  // Victim rows of the whole campaign, for the aggressor-row collision
-  // rule (a coupling fault is independent of faults on other rows only).
-  std::vector<std::size_t> victim_rows;
-  victim_rows.reserve(specs.size());
-  for (const FaultSpec& f : specs) victim_rows.push_back(f.victim.row);
-
   // Per-batch victim-cell bookkeeping for the greedy first-fit pass.
   std::vector<std::vector<sram::CellCoord>> batch_victims;
 
@@ -36,13 +30,21 @@ BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
       continue;
     }
     if (is_coupling(f.kind)) {
-      // Any OTHER fault with a victim on the aggressor's row could corrupt
-      // the aggressor sample (CFst) or be corrupted by the strike ordering;
-      // same-row column-neighbour aggressors make this common on small
-      // arrays and rare on campaign-scale ones.
+      // Cell-level aggressor analysis: the only way another fault can
+      // perturb this coupling fault is by disturbing its aggressor CELL —
+      // corrupting the value CFst samples, or creating/suppressing the
+      // write transitions CFin/CFid trigger on (including through a forced
+      // strike, which lands on the other fault's victim cell).  A fault
+      // whose victim merely shares the aggressor's ROW touches a different
+      // cell and stays independent, so it no longer forces a fallback —
+      // the rule that used to send most coupling faults per-fault, since
+      // column-neighbour aggressors share their victim's row by
+      // construction.  (Hook delivery is unaffected: the batch's
+      // relevant_rows is the union over members, so widening a batch never
+      // hides a row.)
       bool collides = false;
       for (std::size_t j = 0; j < specs.size(); ++j) {
-        if (j != i && victim_rows[j] == f.aggressor.row) {
+        if (j != i && specs[j].victim == f.aggressor) {
           collides = true;
           break;
         }

@@ -14,12 +14,14 @@
 //       - dynamic dRDF<w;r> faults always fall back: they consume the
 //         global write-then-read history (FaultSet::relevant_rows returns
 //         nullopt for them), so their sensitisation cannot be localised;
-//       - a coupling fault whose aggressor ROW collides with any other
-//         fault's victim row falls back: its aggressor sampling/edge could
-//         otherwise see (or its row-level hook claim could overlap) another
-//         fault's corruption.  Row granularity mirrors
-//         CellFaultModel::relevant_rows, the promise the bitsliced engine
-//         optimises on.
+//       - a coupling fault whose aggressor CELL is any other fault's victim
+//         cell falls back: that other fault could corrupt the value CFst
+//         samples or create/suppress the transitions CFin/CFid trigger on.
+//         Cell granularity is exact — a victim that merely shares the
+//         aggressor's row touches a different cell and stays independent
+//         (hook delivery is row-granular via relevant_rows, but the rows a
+//         batch claims are the union over members, so widening a batch
+//         never hides a row);
 //     Batching additionally requires the Fig. 7 row-transition restore:
 //     with it disabled, faulty swaps copy whole rows of (per-fault
 //     different) data around and independence is gone — callers must run

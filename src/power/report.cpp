@@ -41,6 +41,31 @@ std::string to_markdown(const EnergyMeter& meter) {
   return out;
 }
 
+io::JsonValue to_json(const EnergyMeter& meter) {
+  io::JsonValue v = io::JsonValue::object();
+  v.set("cycles", io::JsonValue::integer(meter.cycles()));
+  v.set("supply_energy_j", io::JsonValue::number(meter.supply_total()));
+  v.set("supply_per_cycle_j", io::JsonValue::number(meter.supply_per_cycle()));
+  const double supply = meter.supply_total();
+  v.set("precharge_share",
+        io::JsonValue::number(
+            supply > 0.0 ? meter.precharge_total() / supply : 0.0));
+  io::JsonValue breakdown = io::JsonValue::array();
+  for (const auto& entry : meter.breakdown()) {
+    const auto& meta = info(entry.source);
+    io::JsonValue row = io::JsonValue::object();
+    row.set("source", io::JsonValue::string(meta.name));
+    row.set("energy_j", io::JsonValue::number(entry.energy_j));
+    row.set("energy_per_cycle_j",
+            io::JsonValue::number(per_cycle(meter, entry.energy_j)));
+    row.set("share", io::JsonValue::number(entry.share));
+    row.set("supply_drawn", io::JsonValue::boolean(meta.supply_drawn));
+    breakdown.push_back(std::move(row));
+  }
+  v.set("breakdown", std::move(breakdown));
+  return v;
+}
+
 std::string summary_line(const EnergyMeter& meter) {
   char buf[160];
   const double supply = meter.supply_total();

@@ -1,10 +1,11 @@
-// Export helpers for energy measurements: CSV and markdown renderings of
-// an EnergyMeter's per-source breakdown, used by benches and by downstream
-// tooling that wants machine-readable results.
+// Export helpers for energy measurements: CSV, markdown and JSON
+// renderings of an EnergyMeter's per-source breakdown, used by benches and
+// by downstream tooling that wants machine-readable results.
 #pragma once
 
 #include <string>
 
+#include "io/json.h"
 #include "power/meter.h"
 
 namespace sramlp::power {
@@ -15,6 +16,13 @@ std::string to_csv(const EnergyMeter& meter);
 
 /// GitHub-flavoured markdown table of the breakdown, energies in pJ/cycle.
 std::string to_markdown(const EnergyMeter& meter);
+
+/// JSON rendering of the same breakdown (largest supply share first, zero
+/// sources omitted) plus the meter totals, built on the io/ JSON writer:
+/// {"cycles", "supply_energy_j", "supply_per_cycle_j", "precharge_share",
+///  "breakdown": [{"source", "energy_j", "energy_per_cycle_j", "share",
+///                 "supply_drawn"}, ...]}.
+io::JsonValue to_json(const EnergyMeter& meter);
 
 /// One-line summary: "NN.NN pJ/cycle over C cycles (P% pre-charge-related)".
 std::string summary_line(const EnergyMeter& meter);

@@ -1,0 +1,390 @@
+// The distributed-execution subsystem: shard-plan ownership invariants,
+// the worker JSONL protocol, and the acceptance anchor — a sharded run
+// (any shard count, any worker count, including crash-retry and a resume
+// over a killed worker's partial file) merges to results bit-identical to
+// a single-process SweepRunner::run / CampaignRunner::run.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/fault_campaign.h"
+#include "core/sweep.h"
+#include "dist/coordinator.h"
+#include "dist/job.h"
+#include "dist/shard.h"
+#include "dist/worker.h"
+#include "march/algorithms.h"
+#include "util/error.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sramlp;
+using dist::JobSpec;
+using dist::ShardPlan;
+using dist::ShardStrategy;
+
+/// Fresh per-test scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("sramlp_dist_test_" + tag + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+JobSpec small_sweep_job() {
+  JobSpec job;
+  job.kind = JobSpec::Kind::kSweep;
+  job.grid.geometries = {{8, 16, 1}, {4, 32, 1}, {6, 24, 2}};
+  job.grid.backgrounds = {sram::DataBackground::solid0(),
+                          sram::DataBackground::checkerboard()};
+  job.grid.algorithms = {march::algorithms::mats_plus(),
+                         march::algorithms::march_c_minus()};
+  return job;  // 12 points
+}
+
+JobSpec small_campaign_job() {
+  JobSpec job;
+  job.kind = JobSpec::Kind::kCampaign;
+  job.config.geometry = {8, 8, 1};
+  job.test = march::algorithms::march_c_minus();
+  job.faults = faults::standard_fault_library(job.config.geometry, 11);
+  return job;
+}
+
+void expect_points_identical(const core::SweepPointResult& a,
+                             const core::SweepPointResult& b,
+                             const std::string& where) {
+  EXPECT_EQ(a.index, b.index) << where;
+  EXPECT_EQ(a.geometry, b.geometry) << where;
+  EXPECT_EQ(a.background, b.background) << where;
+  EXPECT_EQ(a.algorithm, b.algorithm) << where;
+  EXPECT_EQ(a.backend, b.backend) << where;
+  EXPECT_EQ(a.prr.prr, b.prr.prr) << where;
+  const auto expect_sessions_identical = [&](const core::SessionResult& x,
+                                             const core::SessionResult& y) {
+    EXPECT_EQ(x.algorithm, y.algorithm) << where;
+    EXPECT_EQ(x.mode, y.mode) << where;
+    EXPECT_EQ(x.fell_back_to_functional, y.fell_back_to_functional) << where;
+    EXPECT_EQ(x.cycles, y.cycles) << where;
+    EXPECT_EQ(x.supply_energy_j, y.supply_energy_j) << where;
+    EXPECT_EQ(x.energy_per_cycle_j, y.energy_per_cycle_j) << where;
+    EXPECT_EQ(x.mismatches, y.mismatches) << where;
+    EXPECT_EQ(x.meter.cycles(), y.meter.cycles()) << where;
+    for (std::size_t s = 0; s < power::kEnergySourceCount; ++s) {
+      const auto source = static_cast<power::EnergySource>(s);
+      EXPECT_EQ(x.meter.total(source), y.meter.total(source))
+          << where << " source " << power::to_string(source);
+    }
+    EXPECT_EQ(x.stats.reads, y.stats.reads) << where;
+    EXPECT_EQ(x.stats.writes, y.stats.writes) << where;
+    EXPECT_EQ(x.stats.restore_cycles, y.stats.restore_cycles) << where;
+    ASSERT_EQ(x.first_detections.size(), y.first_detections.size()) << where;
+    for (std::size_t d = 0; d < x.first_detections.size(); ++d) {
+      EXPECT_EQ(x.first_detections[d].row, y.first_detections[d].row);
+      EXPECT_EQ(x.first_detections[d].col, y.first_detections[d].col);
+    }
+  };
+  expect_sessions_identical(a.prr.functional, b.prr.functional);
+  expect_sessions_identical(a.prr.low_power, b.prr.low_power);
+}
+
+void expect_entries_identical(const core::CampaignEntry& a,
+                              const core::CampaignEntry& b,
+                              const std::string& where) {
+  EXPECT_EQ(a.spec.kind, b.spec.kind) << where;
+  EXPECT_TRUE(a.spec.victim == b.spec.victim) << where;
+  EXPECT_EQ(a.detected_functional, b.detected_functional) << where;
+  EXPECT_EQ(a.detected_low_power, b.detected_low_power) << where;
+  EXPECT_EQ(a.mismatches_functional, b.mismatches_functional) << where;
+  EXPECT_EQ(a.mismatches_low_power, b.mismatches_low_power) << where;
+}
+
+// --- ShardPlan ---------------------------------------------------------------
+
+TEST(ShardPlan, EveryIndexOwnedExactlyOnce) {
+  for (const auto strategy :
+       {ShardStrategy::kContiguous, ShardStrategy::kStrided}) {
+    for (const std::size_t total : {1u, 7u, 12u, 100u}) {
+      for (const std::size_t shards : {1u, 3u, 5u, 12u, 17u}) {
+        const ShardPlan plan = ShardPlan::make(total, shards, strategy);
+        std::vector<int> seen(total, 0);
+        std::size_t sizes = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+          const auto indices = plan.indices_of(s);
+          EXPECT_EQ(indices.size(), plan.size_of(s));
+          sizes += indices.size();
+          for (const std::size_t i : indices) {
+            ASSERT_LT(i, total);
+            ++seen[i];
+            EXPECT_EQ(plan.owner_of(i), s)
+                << dist::to_slug(strategy) << " total " << total << " shard "
+                << s << " index " << i;
+          }
+        }
+        EXPECT_EQ(sizes, total);
+        for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(seen[i], 1);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, ContiguousRunsAreConsecutiveAndBalanced) {
+  const ShardPlan plan = ShardPlan::contiguous(10, 4);  // 3+3+2+2
+  EXPECT_EQ(plan.indices_of(0), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(plan.indices_of(1), (std::vector<std::size_t>{3, 4, 5}));
+  EXPECT_EQ(plan.indices_of(2), (std::vector<std::size_t>{6, 7}));
+  EXPECT_EQ(plan.indices_of(3), (std::vector<std::size_t>{8, 9}));
+}
+
+TEST(ShardPlan, StridedInterleaves) {
+  const ShardPlan plan = ShardPlan::strided(7, 3);
+  EXPECT_EQ(plan.indices_of(0), (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(plan.indices_of(1), (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(plan.indices_of(2), (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(ShardPlan, JsonRoundTripAndValidation) {
+  const ShardPlan plan = ShardPlan::strided(99, 7);
+  const ShardPlan back = dist::shard_plan_from_json(
+      io::JsonValue::parse(dist::to_json(plan).dump()));
+  EXPECT_EQ(back, plan);
+  EXPECT_THROW(ShardPlan::make(5, 0, ShardStrategy::kContiguous), Error);
+  EXPECT_THROW(plan.owner_of(99), Error);
+  EXPECT_THROW(plan.indices_of(7), Error);
+}
+
+// --- job / shard spec round trips --------------------------------------------
+
+TEST(JobSpec, SweepJobRoundTripPreservesFingerprint) {
+  const JobSpec job = small_sweep_job();
+  const JobSpec back =
+      dist::job_from_json(io::JsonValue::parse(dist::to_json(job).dump(2)));
+  EXPECT_EQ(back.kind, JobSpec::Kind::kSweep);
+  EXPECT_EQ(back.size(), job.size());
+  EXPECT_EQ(back.fingerprint(), job.fingerprint());
+}
+
+TEST(JobSpec, CampaignJobRoundTripPreservesFingerprint) {
+  const JobSpec job = small_campaign_job();
+  const JobSpec back =
+      dist::job_from_json(io::JsonValue::parse(dist::to_json(job).dump()));
+  EXPECT_EQ(back.kind, JobSpec::Kind::kCampaign);
+  EXPECT_EQ(back.size(), job.size());
+  EXPECT_EQ(back.fingerprint(), job.fingerprint());
+  // Different jobs get different fingerprints.
+  JobSpec other = job;
+  other.faults.pop_back();
+  EXPECT_NE(other.fingerprint(), job.fingerprint());
+}
+
+TEST(ShardSpec, ValidatesShardAgainstPlan) {
+  const JobSpec job = small_sweep_job();
+  dist::ShardSpec spec{job, ShardPlan::contiguous(job.size(), 3), 3};
+  EXPECT_THROW(spec.validate(), Error);  // shard index == shard_count
+  spec.shard = 2;
+  spec.plan.total = 5;  // stale plan for a different job size
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+// --- worker protocol ---------------------------------------------------------
+
+TEST(Worker, ShardStreamsParseBackAndMatchDirectExecution) {
+  const JobSpec job = small_sweep_job();
+  const ShardPlan plan = ShardPlan::strided(job.size(), 4);
+  const auto reference = core::SweepRunner().run(job.grid);
+  for (std::size_t s = 0; s < plan.shard_count; ++s) {
+    std::ostringstream out;
+    dist::Worker().run(dist::ShardSpec{job, plan, s}, out);
+    std::istringstream in(out.str());
+    const dist::ShardResult result =
+        dist::parse_shard_results(in, job, plan, s);
+    EXPECT_TRUE(result.complete) << "shard " << s;
+    ASSERT_EQ(result.sweep.size(), plan.size_of(s));
+    for (const auto& point : result.sweep)
+      expect_points_identical(point, reference[point.index],
+                              "shard " + std::to_string(s));
+  }
+}
+
+TEST(Worker, TruncatedStreamReportsIncomplete) {
+  const JobSpec job = small_sweep_job();
+  const ShardPlan plan = ShardPlan::contiguous(job.size(), 2);
+  std::ostringstream out;
+  dist::Worker().run(dist::ShardSpec{job, plan, 0}, out);
+  const std::string full = out.str();
+  // Chop the trailer (and half a point line) off: a killed worker's file.
+  const std::string truncated = full.substr(0, full.size() * 2 / 3);
+  std::istringstream in(truncated);
+  const dist::ShardResult result =
+      dist::parse_shard_results(in, job, plan, 0);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(Worker, StreamOfDifferentJobReportsIncomplete) {
+  const JobSpec job = small_sweep_job();
+  const ShardPlan plan = ShardPlan::contiguous(job.size(), 2);
+  std::ostringstream out;
+  dist::Worker().run(dist::ShardSpec{job, plan, 0}, out);
+  JobSpec other = job;
+  other.grid.base.wordline_duty = 0.25;  // same size, different job
+  std::istringstream in(out.str());
+  EXPECT_FALSE(dist::parse_shard_results(in, other, plan, 0).complete);
+}
+
+// --- the acceptance anchor: sharded == single-process ------------------------
+
+TEST(Coordinator, SweepMergeBitIdenticalToSingleProcess) {
+  const JobSpec job = small_sweep_job();
+  const auto reference = core::SweepRunner().run(job.grid);
+  for (const auto strategy :
+       {ShardStrategy::kContiguous, ShardStrategy::kStrided}) {
+    // Shard counts around and past the point count; workers beyond shards.
+    for (const std::size_t shards : {1u, 5u, 16u}) {
+      TempDir dir("sweep_" + dist::to_slug(strategy) + "_" +
+                  std::to_string(shards));
+      dist::Coordinator::Options options;
+      options.shards = shards;
+      options.max_workers = 3;
+      options.strategy = strategy;
+      options.work_dir = dir.str();
+      const dist::MergedResult merged =
+          dist::Coordinator(options).run(job);
+      ASSERT_EQ(merged.sweep.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        expect_points_identical(merged.sweep[i], reference[i],
+                                dist::to_slug(strategy) + "/" +
+                                    std::to_string(shards) + " point " +
+                                    std::to_string(i));
+    }
+  }
+}
+
+TEST(Coordinator, CampaignMergeBitIdenticalToSingleProcess) {
+  const JobSpec job = small_campaign_job();
+  const auto reference = core::CampaignRunner().run(
+      job.config, *job.test, job.faults);
+  TempDir dir("campaign");
+  dist::Coordinator::Options options;
+  options.shards = 4;
+  options.max_workers = 4;
+  options.work_dir = dir.str();
+  const dist::MergedResult merged = dist::Coordinator(options).run(job);
+  ASSERT_EQ(merged.campaign.entries.size(), reference.entries.size());
+  EXPECT_EQ(merged.campaign.algorithm, reference.algorithm);
+  for (std::size_t i = 0; i < reference.entries.size(); ++i)
+    expect_entries_identical(merged.campaign.entries[i],
+                             reference.entries[i],
+                             "entry " + std::to_string(i));
+  EXPECT_EQ(merged.campaign.modes_agree(), reference.modes_agree());
+  EXPECT_EQ(merged.campaign.detected_functional(),
+            reference.detected_functional());
+}
+
+TEST(Coordinator, RetriesACrashedWorkerOnce) {
+  const JobSpec job = small_sweep_job();
+  const auto reference = core::SweepRunner().run(job.grid);
+  TempDir dir("retry");
+  dist::Coordinator::Options options;
+  options.shards = 3;
+  options.max_workers = 2;
+  options.work_dir = dir.str();
+  options.crash_first_attempt_of_shard = 1;  // first attempt dies silently
+  const dist::MergedResult merged = dist::Coordinator(options).run(job);
+  ASSERT_EQ(merged.sweep.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_points_identical(merged.sweep[i], reference[i],
+                            "point " + std::to_string(i));
+  // With retries exhausted the same crash is a hard error.
+  TempDir dir2("retry_exhausted");
+  options.work_dir = dir2.str();
+  options.retries = 0;
+  EXPECT_THROW(dist::Coordinator(options).run(job), Error);
+}
+
+TEST(Coordinator, ResumesOverAKilledWorkersPartialFile) {
+  const JobSpec job = small_sweep_job();
+  const auto reference = core::SweepRunner().run(job.grid);
+  const ShardPlan plan = ShardPlan::contiguous(job.size(), 4);
+  TempDir dir("resume");
+
+  // Simulate a run killed mid-flight: shards 0 and 2 completed, shard 1's
+  // worker died mid-write (truncated file), shard 3 never started.
+  for (const std::size_t s : {std::size_t{0}, std::size_t{2}}) {
+    std::ofstream out(dist::shard_result_path(dir.str(), s));
+    dist::Worker().run(dist::ShardSpec{job, plan, s}, out);
+  }
+  {
+    std::ostringstream full;
+    dist::Worker().run(dist::ShardSpec{job, plan, 1}, full);
+    std::ofstream out(dist::shard_result_path(dir.str(), 1));
+    out << full.str().substr(0, full.str().size() / 2);
+  }
+
+  dist::Coordinator::Options options;
+  options.shards = 4;
+  options.max_workers = 2;
+  options.work_dir = dir.str();
+  const dist::MergedResult merged = dist::Coordinator(options).run(job);
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_points_identical(merged.sweep[i], reference[i],
+                            "point " + std::to_string(i));
+}
+
+TEST(Coordinator, ResumeSkipsCompleteShardsEntirely) {
+  const JobSpec job = small_sweep_job();
+  TempDir dir("resume_skip");
+  dist::Coordinator::Options options;
+  options.shards = 4;
+  options.max_workers = 2;
+  options.work_dir = dir.str();
+  const dist::MergedResult first = dist::Coordinator(options).run(job);
+
+  // Second run: every shard's file is already complete, so no subprocess
+  // may launch — force the point by making any launch fail outright.
+  options.worker_command = {"/nonexistent/worker/binary"};
+  const dist::MergedResult second = dist::Coordinator(options).run(job);
+  for (std::size_t i = 0; i < first.sweep.size(); ++i)
+    expect_points_identical(second.sweep[i], first.sweep[i],
+                            "point " + std::to_string(i));
+
+  // With resume off the same options must actually try (and fail).
+  options.resume = false;
+  EXPECT_THROW(dist::Coordinator(options).run(job), Error);
+}
+
+TEST(MergeShardFiles, RefusesIncompleteAndForeignFiles) {
+  const JobSpec job = small_sweep_job();
+  const ShardPlan plan = ShardPlan::contiguous(job.size(), 2);
+  TempDir dir("merge_refuse");
+  {
+    std::ofstream out(dist::shard_result_path(dir.str(), 0));
+    dist::Worker().run(dist::ShardSpec{job, plan, 0}, out);
+  }
+  // Shard 1 missing entirely.
+  EXPECT_THROW(dist::merge_shard_files(job, plan, dir.str()), Error);
+  // Shard 1 present but written by a different job.
+  JobSpec other = job;
+  other.grid.base.wordline_duty = 0.25;
+  {
+    std::ofstream out(dist::shard_result_path(dir.str(), 1));
+    dist::Worker().run(dist::ShardSpec{other, plan, 1}, out);
+  }
+  EXPECT_THROW(dist::merge_shard_files(job, plan, dir.str()), Error);
+}
+
+}  // namespace

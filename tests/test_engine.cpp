@@ -5,11 +5,16 @@
 // serial path.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "core/fault_campaign.h"
 #include "core/session.h"
+#include "core/sweep.h"
 #include "engine/analytic_backend.h"
 #include "engine/command_stream.h"
 #include "engine/cycle_accurate_backend.h"
+#include "engine/parallel.h"
 #include "faults/models.h"
 #include "march/algorithms.h"
 #include "util/error.h"
@@ -269,6 +274,30 @@ TEST(CampaignRunner, ParallelReportBitIdenticalToSerial) {
   EXPECT_EQ(serial.modes_agree(), parallel.modes_agree());
 }
 
+// run_subset computes exactly the entries a whole-library run() fills into
+// the chosen slots — the property the distributed worker stands on.
+TEST(CampaignRunner, RunSubsetMatchesWholeLibrarySlots) {
+  SessionConfig cfg = make_config(Mode::kFunctional, 8, 8);
+  const auto test = march::algorithms::march_c_minus();
+  const auto faults = faults::standard_fault_library(cfg.geometry);
+  const core::CampaignRunner runner;
+  const auto whole = runner.run(cfg, test, faults);
+  const std::vector<std::size_t> subset = {faults.size() - 1, 0, 3};
+  const auto entries = runner.run_subset(cfg, test, faults, subset);
+  ASSERT_EQ(entries.size(), subset.size());
+  for (std::size_t j = 0; j < subset.size(); ++j) {
+    const auto& a = entries[j];
+    const auto& b = whole.entries[subset[j]];
+    EXPECT_EQ(a.spec.kind, b.spec.kind) << j;
+    EXPECT_TRUE(a.spec.victim == b.spec.victim) << j;
+    EXPECT_EQ(a.detected_functional, b.detected_functional) << j;
+    EXPECT_EQ(a.detected_low_power, b.detected_low_power) << j;
+    EXPECT_EQ(a.mismatches_functional, b.mismatches_functional) << j;
+    EXPECT_EQ(a.mismatches_low_power, b.mismatches_low_power) << j;
+  }
+  EXPECT_THROW(runner.run_subset(cfg, test, faults, {faults.size()}), Error);
+}
+
 TEST(CampaignRunner, MatchesLegacyEntryPoint) {
   SessionConfig cfg = make_config(Mode::kFunctional, 4, 8);
   const auto test = march::algorithms::mats_plus();
@@ -290,6 +319,98 @@ TEST(CampaignRunner, MatchesLegacyEntryPoint) {
               b.entries[i].detected_functional);
     EXPECT_EQ(a.entries[i].mismatches_functional,
               b.entries[i].mismatches_functional);
+  }
+}
+
+// --- parallel_for edge cases --------------------------------------------------
+
+TEST(ParallelFor, ResolveThreadCountNeverReturnsZero) {
+  // A hardware_concurrency() == 0 host resolves "0 = one per hardware
+  // thread" to 1 instead of 0; the explicit-count path clamps the same way.
+  EXPECT_GE(engine::resolve_thread_count(0, 100), 1u);
+  EXPECT_EQ(engine::resolve_thread_count(1, 100), 1u);
+  // Never more workers than jobs...
+  EXPECT_EQ(engine::resolve_thread_count(8, 3), 3u);
+  EXPECT_EQ(engine::resolve_thread_count(8, 1), 1u);
+  // ...and zero jobs still resolves to one worker, not zero (both for an
+  // explicit request and for the hardware default).
+  EXPECT_EQ(engine::resolve_thread_count(5, 0), 1u);
+  EXPECT_EQ(engine::resolve_thread_count(0, 0), 1u);
+}
+
+TEST(ParallelFor, FirstExceptionIsRethrownOnTheCaller) {
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      engine::parallel_for(64, 4,
+                           [&](std::size_t i) {
+                             executed.fetch_add(1);
+                             if (i == 5) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  EXPECT_GE(executed.load(), 1u);
+}
+
+TEST(ParallelFor, ExceptionCancelsRemainingWork) {
+  // The failure flag stops workers from pulling new indices: with far more
+  // jobs than threads, most of the queue must never run once job 0 throws.
+  const std::size_t jobs = 100000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(engine::parallel_for(jobs, 4,
+                                    [&](std::size_t i) {
+                                      executed.fetch_add(1);
+                                      if (i == 0) throw Error("cancel");
+                                    }),
+               Error);
+  EXPECT_LT(executed.load(), jobs);
+}
+
+TEST(ParallelFor, SerialPathAlsoCancelsAndRethrows) {
+  std::size_t executed = 0;
+  EXPECT_THROW(engine::parallel_for(100, 1,
+                                    [&](std::size_t i) {
+                                      ++executed;
+                                      if (i == 3) throw Error("stop");
+                                    }),
+               Error);
+  EXPECT_EQ(executed, 4u);
+}
+
+// The grid guarantee at an awkward size: a ragged grid built around the
+// 33x17 geometry (point count not divisible by the worker count) comes out
+// bit-identical at threads = 1 and threads = 8, every field.
+TEST(ParallelFor, SweepResultsBitIdenticalAcrossThreadCounts) {
+  core::SweepGrid grid;
+  grid.geometries = {{33, 17, 1}, {17, 33, 1}, {9, 40, 1}};
+  grid.backgrounds = {sram::DataBackground::solid0(),
+                      sram::DataBackground::row_stripes()};
+  grid.algorithms = {march::algorithms::mats_plus(),
+                     march::algorithms::march_c_minus()};
+  // Cycle-accurate everywhere so the comparison covers the simulator, not
+  // just the closed form.
+  const auto serial =
+      core::SweepRunner({1, core::BackendChoice::kCycleAccurate}).run(grid);
+  const auto parallel =
+      core::SweepRunner({8, core::BackendChoice::kCycleAccurate}).run(grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(parallel.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(serial[i].index, parallel[i].index) << i;
+    EXPECT_EQ(serial[i].backend, parallel[i].backend) << i;
+    EXPECT_EQ(serial[i].prr.prr, parallel[i].prr.prr) << i;
+    const auto expect_identical = [i](const core::SessionResult& a,
+                                      const core::SessionResult& b) {
+      EXPECT_EQ(a.cycles, b.cycles) << i;
+      EXPECT_EQ(a.supply_energy_j, b.supply_energy_j) << i;
+      EXPECT_EQ(a.energy_per_cycle_j, b.energy_per_cycle_j) << i;
+      EXPECT_EQ(a.mismatches, b.mismatches) << i;
+      for (std::size_t s = 0; s < power::kEnergySourceCount; ++s) {
+        const auto source = static_cast<power::EnergySource>(s);
+        EXPECT_EQ(a.meter.total(source), b.meter.total(source))
+            << i << " source " << power::to_string(source);
+      }
+    };
+    expect_identical(serial[i].prr.functional, parallel[i].prr.functional);
+    expect_identical(serial[i].prr.low_power, parallel[i].prr.low_power);
   }
 }
 

@@ -64,6 +64,37 @@ TEST(SweepRunner, ParallelGridBitIdenticalToSerial) {
   }
 }
 
+// run_indices is run()'s arithmetic applied to a subset: any partition of
+// the index space, evaluated piecewise and reassembled, must be
+// bit-identical to the whole-grid call — the property the distributed
+// worker stands on.
+TEST(SweepRunner, RunIndicesMatchesWholeGridSlots) {
+  const SweepGrid grid = small_grid();
+  const SweepRunner runner;
+  const auto whole = runner.run(grid);
+  // An awkward partition: strided pieces plus an out-of-order remainder.
+  const std::vector<std::vector<std::size_t>> pieces = {
+      {0, 3, 6, 9}, {11, 1, 7}, {2, 4, 5, 8, 10}};
+  for (const auto& piece : pieces) {
+    const auto part = runner.run_indices(grid, piece);
+    ASSERT_EQ(part.size(), piece.size());
+    for (std::size_t j = 0; j < piece.size(); ++j) {
+      const auto& a = part[j];
+      const auto& b = whole[piece[j]];
+      EXPECT_EQ(a.index, b.index);
+      EXPECT_EQ(a.backend, b.backend);
+      EXPECT_EQ(a.prr.prr, b.prr.prr) << piece[j];
+      EXPECT_EQ(a.prr.functional.supply_energy_j,
+                b.prr.functional.supply_energy_j)
+          << piece[j];
+      EXPECT_EQ(a.prr.low_power.supply_energy_j,
+                b.prr.low_power.supply_energy_j)
+          << piece[j];
+    }
+  }
+  EXPECT_THROW(runner.run_indices(grid, {grid.size()}), Error);
+}
+
 TEST(SweepRunner, RoutesFaultFreeRestoredPointsToAnalytic) {
   SessionConfig cfg;
   cfg.geometry = {8, 16, 1};

@@ -1,0 +1,328 @@
+// sramlp_dist — the distributed sweep/campaign CLI.
+//
+// One binary, four roles (plus helpers), so a multi-host run needs nothing
+// but this executable and scp:
+//
+//   example-job [--campaign]            emit a small demo job spec (stdout)
+//   plan   --job J --shards K --dir D   write per-shard spec files
+//   worker --spec S --out R             execute ONE shard, stream JSONL
+//   run    --job J --shards K --workers N --dir D --out M
+//                                       full local orchestration: spawns N
+//                                       `sramlp_dist worker` subprocesses of
+//                                       this very binary, retries crashes,
+//                                       resumes complete shards, merges
+//   merge  --job J --shards K --dir D --out M
+//                                       merge shard JSONL files (e.g. copied
+//                                       back from remote workers)
+//   single --job J --out M              single-process reference run emitting
+//                                       the identical merged document (CI
+//                                       diffs `run` against this, byte for
+//                                       byte)
+//
+// Multi-host recipe: `plan` here, scp one spec file per host, `worker`
+// there, scp the JSONL back, `merge` here.  The merged document is
+// bit-identical to `single` whatever the shard/worker/host split.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "dist/coordinator.h"
+#include "dist/job.h"
+#include "dist/worker.h"
+#include "io/serialize.h"
+#include "march/algorithms.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <subcommand> [options]\n"
+      "\n"
+      "  example-job [--campaign]                         demo job spec -> stdout\n"
+      "  plan   --job J --shards K --dir D [--strategy contiguous|strided]\n"
+      "  worker --spec S --out R [--threads N] [--per-fault]\n"
+      "  run    --job J --shards K --workers N --dir D --out M\n"
+      "         [--strategy ...] [--threads N] [--no-resume] [--fork]\n"
+      "         [--retries R]\n"
+      "  merge  --job J --shards K --dir D --out M [--strategy ...]\n"
+      "  single --job J --out M\n",
+      argv0);
+  std::exit(2);
+}
+
+/// Tiny flag scanner: --name value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool flag(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::string> value(const std::string& name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        std::string v = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                    args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string require(const std::string& name) {
+    auto v = value(name);
+    if (!v) throw Error("missing required option " + name);
+    return *v;
+  }
+
+  std::size_t number(const std::string& name, std::size_t fallback) {
+    auto v = value(name);
+    if (!v) return fallback;
+    // std::stoull accepts (and wraps) negative input; reject anything that
+    // is not a plain decimal count.
+    if (v->empty() ||
+        v->find_first_not_of("0123456789") != std::string::npos)
+      throw Error("option " + name + " needs a non-negative integer, got '" +
+                  *v + "'");
+    return static_cast<std::size_t>(std::stoull(*v));
+  }
+
+  void reject_leftovers() const {
+    if (!args_.empty()) throw Error("unrecognized argument '" + args_[0] + "'");
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) throw Error("cannot write " + path);
+  out << content;
+  if (!out.good()) throw Error("short write on " + path);
+}
+
+dist::JobSpec load_job(const std::string& path) {
+  return dist::job_from_json(io::JsonValue::parse(read_file(path)));
+}
+
+dist::ShardStrategy strategy_arg(Args& args) {
+  auto v = args.value("--strategy");
+  return v ? dist::shard_strategy_from_slug(*v)
+           : dist::ShardStrategy::kContiguous;
+}
+
+/// The canonical merged document `run`, `merge` and `single` all emit —
+/// the byte-level diff target.
+std::string merged_document(const dist::MergedResult& merged) {
+  io::JsonValue doc = io::JsonValue::object();
+  if (merged.kind == dist::JobSpec::Kind::kSweep) {
+    doc.set("kind", io::JsonValue::string("sweep"));
+    io::JsonValue points = io::JsonValue::array();
+    for (const core::SweepPointResult& p : merged.sweep)
+      points.push_back(io::to_json(p));
+    doc.set("points", std::move(points));
+  } else {
+    doc.set("kind", io::JsonValue::string("campaign"));
+    doc.set("algorithm", io::JsonValue::string(merged.campaign.algorithm));
+    io::JsonValue entries = io::JsonValue::array();
+    for (const core::CampaignEntry& e : merged.campaign.entries)
+      entries.push_back(io::to_json(e));
+    doc.set("entries", std::move(entries));
+  }
+  return doc.dump(2) + "\n";
+}
+
+/// Absolute path of this binary, for spawning `worker` subprocesses.
+std::string self_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+int cmd_example_job(Args& args) {
+  const bool campaign = args.flag("--campaign");
+  args.reject_leftovers();
+  dist::JobSpec job;
+  if (campaign) {
+    job.kind = dist::JobSpec::Kind::kCampaign;
+    job.config.geometry = {16, 32, 1};
+    job.test = march::algorithms::march_c_minus();
+    job.faults = faults::standard_fault_library(job.config.geometry, 7, 2);
+  } else {
+    job.kind = dist::JobSpec::Kind::kSweep;
+    job.grid.geometries = {{16, 32, 1}, {8, 64, 1}, {32, 16, 1}, {24, 48, 2}};
+    job.grid.backgrounds = {sram::DataBackground::solid0(),
+                            sram::DataBackground::checkerboard()};
+    job.grid.algorithms = {march::algorithms::mats_plus(),
+                           march::algorithms::march_c_minus()};
+  }
+  std::fputs((dist::to_json(job).dump(2) + "\n").c_str(), stdout);
+  return 0;
+}
+
+int cmd_plan(Args& args) {
+  const dist::JobSpec job = load_job(args.require("--job"));
+  const std::string dir = args.require("--dir");
+  const std::size_t shards = args.number("--shards", 4);
+  const dist::ShardStrategy strategy = strategy_arg(args);
+  args.reject_leftovers();
+  const dist::ShardPlan plan = dist::ShardPlan::make(job.size(), shards,
+                                                     strategy);
+  for (std::size_t s = 0; s < plan.shard_count; ++s)
+    dist::write_shard_spec(dir, dist::ShardSpec{job, plan, s});
+  std::printf("%zu work items -> %zu %s shard spec files in %s\n",
+              plan.total, plan.shard_count, to_slug(strategy).c_str(),
+              dir.c_str());
+  std::printf("next: sramlp_dist worker --spec %s --out %s   (per shard,\n"
+              "any host), then merge the result files back here\n",
+              dist::shard_spec_path(dir, 0).c_str(),
+              dist::shard_result_path(dir, 0).c_str());
+  return 0;
+}
+
+int cmd_worker(Args& args) {
+  const std::string spec_path = args.require("--spec");
+  const std::string out_path = args.require("--out");
+  dist::Worker::Options options;
+  options.threads =
+      static_cast<unsigned>(args.number("--threads", options.threads));
+  if (args.flag("--per-fault")) options.batched_campaigns = false;
+  args.reject_leftovers();
+  const dist::ShardSpec spec =
+      dist::shard_spec_from_json(io::JsonValue::parse(read_file(spec_path)));
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out.good()) throw Error("cannot write " + out_path);
+  dist::Worker(options).run(spec, out);
+  out.close();
+  if (!out.good()) throw Error("short write on " + out_path);
+  return 0;
+}
+
+int cmd_run(Args& args, const char* argv0) {
+  const std::string job_path = args.require("--job");
+  const dist::JobSpec job = load_job(job_path);
+  dist::Coordinator::Options options;
+  options.shards = args.number("--shards", 4);
+  options.max_workers =
+      static_cast<unsigned>(args.number("--workers", options.max_workers));
+  options.strategy = strategy_arg(args);
+  options.work_dir = args.require("--dir");
+  options.worker.threads =
+      static_cast<unsigned>(args.number("--threads", options.worker.threads));
+  options.retries = static_cast<unsigned>(args.number("--retries", 1));
+  if (args.flag("--no-resume")) options.resume = false;
+  const bool fork_mode = args.flag("--fork");
+  const std::string out_path = args.require("--out");
+  args.reject_leftovers();
+  if (!fork_mode) {
+    // The real protocol: subprocesses of this very binary via fork/exec.
+    // Per-shard options (threads) travel on the worker's own command line.
+    options.worker_command = {self_path(argv0),
+                              "worker",
+                              "--spec",
+                              "{spec}",
+                              "--out",
+                              "{out}",
+                              "--threads",
+                              std::to_string(options.worker.threads)};
+  }
+  const dist::MergedResult merged = dist::Coordinator(options).run(job);
+  write_file(out_path, merged_document(merged));
+  std::printf("%zu work items over %zu shards / %u workers -> %s\n",
+              job.size(), options.shards, options.max_workers,
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_merge(Args& args) {
+  const dist::JobSpec job = load_job(args.require("--job"));
+  const std::string dir = args.require("--dir");
+  const std::size_t shards = args.number("--shards", 4);
+  const dist::ShardStrategy strategy = strategy_arg(args);
+  const std::string out_path = args.require("--out");
+  args.reject_leftovers();
+  const dist::ShardPlan plan = dist::ShardPlan::make(job.size(), shards,
+                                                     strategy);
+  const dist::MergedResult merged = dist::merge_shard_files(job, plan, dir);
+  write_file(out_path, merged_document(merged));
+  std::printf("merged %zu shards -> %s\n", plan.shard_count,
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_single(Args& args) {
+  const dist::JobSpec job = load_job(args.require("--job"));
+  const std::string out_path = args.require("--out");
+  args.reject_leftovers();
+  dist::MergedResult merged;
+  merged.kind = job.kind;
+  if (job.kind == dist::JobSpec::Kind::kSweep) {
+    merged.sweep = core::SweepRunner().run(job.grid);
+  } else {
+    core::CampaignRunner::Options options;
+    options.batched = true;
+    core::CampaignReport report =
+        core::CampaignRunner(options).run(job.config, *job.test, job.faults);
+    merged.campaign.algorithm = report.algorithm;
+    merged.campaign.entries = std::move(report.entries);
+  }
+  write_file(out_path, merged_document(merged));
+  std::printf("single-process reference -> %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string subcommand = argv[1];
+  Args args(argc, argv, 2);
+  try {
+    if (subcommand == "example-job") return cmd_example_job(args);
+    if (subcommand == "plan") return cmd_plan(args);
+    if (subcommand == "worker") return cmd_worker(args);
+    if (subcommand == "run") return cmd_run(args, argv[0]);
+    if (subcommand == "merge") return cmd_merge(args);
+    if (subcommand == "single") return cmd_single(args);
+    usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sramlp_dist %s failed: %s\n", subcommand.c_str(),
+                 e.what());
+    return 1;
+  }
+}
