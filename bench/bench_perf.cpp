@@ -134,6 +134,42 @@ void BM_SweepPoint512_Analytic(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepPoint512_Analytic)->Unit(benchmark::kMillisecond);
 
+// Traced sweep point: the probe/sink layer end to end — per-cycle metering
+// path plus the PowerTrace window/element accumulation.  Compare against
+// BM_SweepPoint512_CycleAccurate (scaled by the cycle-count ratio) to see
+// the time-resolution tax.
+void BM_SweepPoint256_Traced(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = {256, 256, 1};
+  cfg.trace = power::TraceConfig{.window_cycles = 256};
+  const auto test = march::algorithms::march_c_minus();
+  for (auto _ : state) {
+    const auto cmp = core::TestSession::compare_modes(cfg, test);
+    benchmark::DoNotOptimize(cmp.low_power.trace->peak_power_w);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("256x256 March C- traced PRR points/s");
+}
+BENCHMARK(BM_SweepPoint256_Traced)->Unit(benchmark::kMillisecond);
+
+// The cohort engines' bulk meter accumulation: add(source, joules, count)
+// must stay a repeated-addition loop (bit-identity with the per-column
+// reference path), so its throughput bounds the cohort bulk paths.  The
+// arg is the column count of one bulk event.
+void BM_MeterBulkAdd(benchmark::State& state) {
+  power::EnergyMeter meter;
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    meter.add(power::EnergySource::kPrechargeResFight, 1e-13, count);
+    benchmark::DoNotOptimize(
+        meter.total(power::EnergySource::kPrechargeResFight));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_MeterBulkAdd)->Arg(512);
+
 // Fault-campaign throughput at the paper's full scale: one stuck-at fault
 // means two full cycle-accurate March C- runs (both modes) on a 512x512
 // array — the workload CampaignRunner fans out per library entry.

@@ -3,13 +3,19 @@
 // the modified pre-charge control is worth the ten transistors per column.
 //
 //   $ ./examples/power_explorer [rows] [cols] [word_width] [--json]
+//                               [--trace] [--window N]
 //
 // --json replaces the table with a machine-readable document (one entry
 // per algorithm, full per-source meter breakdowns via power::to_json).
+// --trace adds time-resolved accounting: peak-window power for both modes
+// and a per-March-element energy table (or, with --json, full
+// TraceSummary objects) — the peak-power view the scalar PRR table
+// cannot give.  --window sets the trace window in cycles (default 64).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <string>
 #include <vector>
 
 #include "core/session.h"
@@ -24,11 +30,29 @@ int main(int argc, char** argv) {
   using namespace sramlp;
   try {
     bool json = false;
+    bool trace = false;
+    std::size_t window = 64;
     std::vector<const char*> positional;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0)
         json = true;
-      else
+      else if (std::strcmp(argv[i], "--trace") == 0)
+        trace = true;
+      else if (std::strcmp(argv[i], "--window") == 0) {
+        // Strict parse: a wrapped negative or zero window would silently
+        // produce a plausible-looking but meaningless peak power.
+        const std::string value = i + 1 < argc ? argv[++i] : "";
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos ||
+            (window = static_cast<std::size_t>(
+                 std::stoull(value))) == 0) {
+          std::fprintf(stderr,
+                       "power_explorer: --window needs a positive cycle "
+                       "count, got '%s'\n",
+                       value.c_str());
+          return 2;
+        }
+      } else
         positional.push_back(argv[i]);
     }
     const std::size_t rows =
@@ -49,6 +73,7 @@ int main(int argc, char** argv) {
     const auto tech = power::TechnologyParams::tech_0p13um();
     config.tech = tech;
     config.geometry.validate();
+    if (trace) config.trace = power::TraceConfig{.window_cycles = window};
 
     if (json) {
       io::JsonValue doc = io::JsonValue::object();
@@ -65,6 +90,10 @@ int main(int argc, char** argv) {
         entry.set("prr", io::JsonValue::number(cmp.prr));
         entry.set("functional", power::to_json(cmp.functional.meter));
         entry.set("low_power", power::to_json(cmp.low_power.meter));
+        if (cmp.functional.trace)
+          entry.set("functional_trace", io::to_json(*cmp.functional.trace));
+        if (cmp.low_power.trace)
+          entry.set("low_power_trace", io::to_json(*cmp.low_power.trace));
         algorithms.push_back(std::move(entry));
       }
       doc.set("algorithms", std::move(algorithms));
@@ -77,8 +106,9 @@ int main(int argc, char** argv) {
 
     util::Table t({"algorithm", "ops", "test length [cycles]",
                    "PF [pJ/cyc]", "PLPT [pJ/cyc]", "PRR", "energy saved"});
+    std::vector<core::PrrComparison> comparisons;
     for (const auto& test : march::algorithms::all()) {
-      const auto cmp = core::TestSession::compare_modes(config, test);
+      auto cmp = core::TestSession::compare_modes(config, test);
       const double saved_j = cmp.functional.supply_energy_j -
                              cmp.low_power.supply_energy_j;
       t.add_row(
@@ -88,8 +118,49 @@ int main(int argc, char** argv) {
            util::fmt(units::as_pJ(cmp.low_power.energy_per_cycle_j)),
            util::fmt_percent(cmp.prr),
            util::fmt(saved_j * 1e9, 1) + " nJ"});
+      comparisons.push_back(std::move(cmp));
     }
     std::fputs(t.str("whole-library comparison").c_str(), stdout);
+
+    if (trace) {
+      const auto& all = march::algorithms::all();
+      for (std::size_t a = 0; a < all.size(); ++a) {
+        const core::PrrComparison& cmp = comparisons[a];
+        if (!cmp.functional.trace || !cmp.low_power.trace) continue;
+        const power::TraceSummary& ft = *cmp.functional.trace;
+        const power::TraceSummary& lt = *cmp.low_power.trace;
+        std::printf("\n%s — per-element energy (window %llu cycles)\n",
+                    all[a].name().c_str(),
+                    static_cast<unsigned long long>(ft.window_cycles));
+        util::Table et({"element", "cycles", "F [nJ]", "LP [nJ]",
+                        "LP precharge", "LP share"});
+        for (std::size_t e = 0; e < lt.elements.size(); ++e) {
+          const power::ElementEnergy& le = lt.elements[e];
+          const power::ElementEnergy& fe = ft.elements[e];
+          const double share = lt.supply_energy_j > 0.0
+                                   ? le.supply_energy_j / lt.supply_energy_j
+                                   : 0.0;
+          const double pre_share =
+              le.supply_energy_j > 0.0
+                  ? le.precharge_energy_j / le.supply_energy_j
+                  : 0.0;
+          et.add_row({all[a].elements()[le.element].str(),
+                      util::fmt_count(static_cast<long long>(le.cycles)),
+                      util::fmt(fe.supply_energy_j * 1e9, 2),
+                      util::fmt(le.supply_energy_j * 1e9, 2),
+                      util::fmt_percent(pre_share),
+                      util::fmt_percent(share)});
+        }
+        std::fputs(et.str("").c_str(), stdout);
+        std::printf("peak window: F %.1f uW (window %llu), LP %.1f uW "
+                    "(window %llu); avg F %.1f uW, LP %.1f uW\n",
+                    ft.peak_power_w * 1e6,
+                    static_cast<unsigned long long>(ft.peak_window),
+                    lt.peak_power_w * 1e6,
+                    static_cast<unsigned long long>(lt.peak_window),
+                    ft.average_power_w * 1e6, lt.average_power_w * 1e6);
+      }
+    }
 
     std::puts("\nrule of thumb (paper §5): the saving scales with "
               "(#col - 2w) * P_A;\nperipheral energy and the op itself set "

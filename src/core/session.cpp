@@ -67,6 +67,7 @@ engine::CommandStream TestSession::make_stream(
   options.row_transition_restore = config_.row_transition_restore;
   options.invert_background = config_.invert_background;
   options.background = config_.background;
+  options.trace = config_.trace;
   return engine::CommandStream(test, *order_, options);
 }
 
@@ -96,6 +97,7 @@ SessionResult TestSession::run(const march::MarchTest& test,
   result.stats = exec.stats;
   result.mismatches = exec.mismatches;
   result.first_detections = std::move(exec.first_detections);
+  result.trace = std::move(exec.trace);
   return result;
 }
 
@@ -145,8 +147,9 @@ PrrComparison TestSession::compare_modes_analytic(const SessionConfig& config,
     options.row_transition_restore = config.row_transition_restore;
     options.invert_background = config.invert_background;
     options.background = config.background;
+    options.trace = config.trace;
     engine::CommandStream stream(test, order, options);
-    const engine::ExecutionResult exec = backend.run(stream);
+    engine::ExecutionResult exec = backend.run(stream);
 
     SessionResult result;
     result.algorithm = test.name();
@@ -156,6 +159,7 @@ PrrComparison TestSession::compare_modes_analytic(const SessionConfig& config,
     result.supply_energy_j = exec.supply_energy_j;
     result.energy_per_cycle_j = exec.energy_per_cycle_j;
     result.stats = exec.stats;
+    result.trace = std::move(exec.trace);
     return result;
   };
 

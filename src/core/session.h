@@ -29,6 +29,7 @@
 #include "march/address_order.h"
 #include "march/test.h"
 #include "power/meter.h"
+#include "power/trace.h"
 #include "sram/array.h"
 
 namespace sramlp::core {
@@ -56,6 +57,12 @@ struct SessionConfig {
   /// cohort engine is bit-identical to the per-column reference
   /// (regression-tested); the reference exists for parity verification.
   sram::ColumnModel column_model = sram::ColumnModel::kBitslicedCohort;
+  /// Opt-in time-resolved power accounting: when set, every run carries a
+  /// power::TraceSummary (peak-window power, per-March-element breakdown)
+  /// in SessionResult::trace.  Energy totals are bit-identical to an
+  /// untraced run; cycle-accurate execution takes the per-cycle metering
+  /// path, so traced runs trade some speed for time resolution.
+  std::optional<power::TraceConfig> trace;
 };
 
 /// Location of a detected mismatch (the engine records the first
@@ -78,6 +85,8 @@ struct SessionResult {
   std::uint64_t mismatches = 0;
   bool detected() const { return mismatches > 0; }
   std::vector<Detection> first_detections;  ///< capped at kMaxFirstDetections
+  /// Time-resolved accounting; present iff SessionConfig::trace was set.
+  std::optional<power::TraceSummary> trace;
 };
 
 /// Functional vs low-power runs of the same algorithm plus the PRR.

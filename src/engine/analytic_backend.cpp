@@ -1,9 +1,34 @@
 #include "engine/analytic_backend.h"
 
 #include "power/analytic.h"
+#include "power/trace.h"
 #include "util/error.h"
 
 namespace sramlp::engine {
+
+namespace {
+
+/// Closed-form per-cycle supply expectation of ONE March element.  Every
+/// term of the model's pf()/plpt() scales with either nothing, #elm/#ops
+/// or the transition rate — all of which reduce to single-element counts —
+/// so evaluating the model on a one-element AlgorithmCounts IS the
+/// per-element rate, and the operation-weighted mean over elements
+/// recovers the whole-algorithm figure.
+double element_rate(const power::AnalyticModel& model,
+                    const march::MarchElement& element, bool low_power) {
+  power::AlgorithmCounts counts;
+  counts.elements = 1;
+  counts.operations = static_cast<int>(element.ops.size());
+  for (const march::Operation op : element.ops) {
+    if (march::is_read(op))
+      ++counts.reads;
+    else
+      ++counts.writes;
+  }
+  return low_power ? model.plpt(counts) : model.pf(counts);
+}
+
+}  // namespace
 
 ExecutionResult AnalyticBackend::run(CommandStream& stream) {
   SRAMLP_REQUIRE(!stream.done(),
@@ -45,6 +70,31 @@ ExecutionResult AnalyticBackend::run(CommandStream& stream) {
                        static_cast<std::uint64_t>(stream.order().size());
   result.stats.writes = static_cast<std::uint64_t>(counts.writes) *
                         static_cast<std::uint64_t>(stream.order().size());
+
+  // Closed-form trace: the per-element expectation, spread uniformly over
+  // each element's cycle span.  Cycle boundaries are exactly the ones a
+  // cycle-accurate traced run reports (MarchTest::element_cycles); the
+  // energies are the model's per-element rates, parity-tested against the
+  // measured per-element totals in test_engine.cpp.
+  if (stream.options().trace) {
+    power::PowerTrace trace(*stream.options().trace, tech_.clock_period);
+    const auto& elements = stream.test().elements();
+    const std::size_t words = stream.order().size();
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      const std::uint64_t span = stream.test().element_cycles(i, words);
+      trace.begin_element(i, cursor);
+      const double energy =
+          elements[i].is_pause()
+              ? static_cast<double>(span) * model.idle_energy_per_cycle()
+              : static_cast<double>(span) *
+                    element_rate(model, elements[i],
+                                 stream.options().low_power);
+      trace.add_supply_block(energy, cursor, span);
+      cursor += span;
+    }
+    result.trace = trace.summarize(cursor);
+  }
 
   stream.skip_to_end();
   return result;

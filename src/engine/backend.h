@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "engine/command_stream.h"
 #include "power/meter.h"
+#include "power/trace.h"
 #include "sram/array.h"
 
 namespace sramlp::engine {
@@ -46,6 +48,11 @@ struct ExecutionResult {
   sram::ArrayStats stats;    ///< run counters (cycle-accurate only)
   std::uint64_t mismatches = 0;
   std::vector<Detection> first_detections;
+  /// Time-resolved accounting; present iff the stream's options requested
+  /// a trace and the backend supports tracing (both shipped backends do:
+  /// the cycle-accurate one measures, the analytic one emits its
+  /// closed-form per-element expectation).
+  std::optional<power::TraceSummary> trace;
   bool detected() const { return mismatches > 0; }
 };
 

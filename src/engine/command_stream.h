@@ -27,6 +27,7 @@
 
 #include "march/address_order.h"
 #include "march/test.h"
+#include "power/trace.h"
 #include "sram/background.h"
 #include "sram/command.h"
 
@@ -73,6 +74,11 @@ struct StreamOptions {
   bool invert_background = false;
   /// Data background carried verbatim on every command.
   sram::DataBackground background;
+  /// Opt-in time-resolved power accounting: when set, trace-capable
+  /// backends accumulate a power::PowerTrace over the run — element
+  /// boundaries come from the stream's element indices — and attach its
+  /// TraceSummary to the ExecutionResult.  Run totals are unaffected.
+  std::optional<power::TraceConfig> trace;
 };
 
 class CommandStream {

@@ -1,14 +1,40 @@
 #include "engine/cycle_accurate_backend.h"
 
+#include <optional>
 #include <vector>
 
 namespace sramlp::engine {
+
+namespace {
+
+/// Detaches the sink from the meter on scope exit, so an exception mid-run
+/// never leaves the array's meter pointing at a destroyed trace.
+struct SinkGuard {
+  power::EnergyMeter* meter = nullptr;
+  ~SinkGuard() {
+    if (meter != nullptr) meter->attach_sink(nullptr);
+  }
+};
+
+}  // namespace
 
 ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
   array_->reset_measurements();
 
   static_assert(kMaxFirstDetections <= sram::RunResult::kDetectionCap,
                 "RunResult cannot carry enough detections per run");
+
+  // Opt-in probe/sink wiring: the trace subscribes to the array's meter
+  // for the duration of this run.  The array routes batched runs through
+  // its per-cycle path while a sink is attached (bit-identical totals),
+  // and the stream's element indices mark the attribution boundaries.
+  std::optional<power::PowerTrace> trace;
+  SinkGuard guard;
+  if (stream.options().trace) {
+    trace.emplace(*stream.options().trace, array_->config().tech.clock_period);
+    array_->meter().attach_sink(&*trace);
+    guard.meter = &array_->meter();
+  }
 
   ExecutionResult result;
   // Operation list of the current element, translated once per element.
@@ -18,6 +44,7 @@ ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
   for (;;) {
     StreamRun srun;
     if (batch_runs_ && stream.peek_run(&srun)) {
+      if (trace) trace->begin_element(srun.element, array_->meter().cycles());
       if (ops_element != srun.element) {
         ops.clear();
         for (const march::Operation op :
@@ -50,6 +77,7 @@ ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
 
     const StreamStep* step = stream.peek();
     if (step == nullptr) break;
+    if (trace) trace->begin_element(step->element, array_->meter().cycles());
     if (step->kind == StreamStep::Kind::kIdle) {
       array_->idle(step->idle_cycles);
     } else {
@@ -63,6 +91,12 @@ ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
       }
     }
     stream.pop();
+  }
+
+  if (trace) {
+    result.trace = trace->summarize(array_->meter().cycles());
+    array_->meter().attach_sink(nullptr);
+    guard.meter = nullptr;
   }
 
   result.cycles = array_->meter().cycles();

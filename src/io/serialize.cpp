@@ -257,6 +257,67 @@ power::EnergyMeter meter_from_json(const JsonValue& json) {
   return meter;
 }
 
+JsonValue to_json(const power::TraceSummary& trace) {
+  JsonValue v = JsonValue::object();
+  v.set("window_cycles", JsonValue::integer(trace.window_cycles));
+  v.set("total_cycles", JsonValue::integer(trace.total_cycles));
+  v.set("windows", JsonValue::integer(trace.windows));
+  v.set("peak_window", JsonValue::integer(trace.peak_window));
+  v.set("peak_window_energy_j", JsonValue::number(trace.peak_window_energy_j));
+  v.set("peak_power_w", JsonValue::number(trace.peak_power_w));
+  v.set("supply_energy_j", JsonValue::number(trace.supply_energy_j));
+  v.set("average_power_w", JsonValue::number(trace.average_power_w));
+  JsonValue elements = JsonValue::array();
+  for (const power::ElementEnergy& e : trace.elements) {
+    JsonValue el = JsonValue::object();
+    el.set("element", JsonValue::integer(e.element));
+    el.set("start_cycle", JsonValue::integer(e.start_cycle));
+    el.set("cycles", JsonValue::integer(e.cycles));
+    el.set("supply_energy_j", JsonValue::number(e.supply_energy_j));
+    el.set("precharge_energy_j", JsonValue::number(e.precharge_energy_j));
+    elements.push_back(std::move(el));
+  }
+  v.set("elements", std::move(elements));
+  if (!trace.window_supply_j.empty()) {
+    JsonValue windows = JsonValue::array();
+    for (const double w : trace.window_supply_j)
+      windows.push_back(JsonValue::number(w));
+    v.set("window_supply_j", std::move(windows));
+  }
+  return v;
+}
+
+power::TraceSummary trace_summary_from_json(const JsonValue& json) {
+  power::TraceSummary trace;
+  trace.window_cycles = json.at("window_cycles").as_uint();
+  trace.total_cycles = json.at("total_cycles").as_uint();
+  trace.windows = json.at("windows").as_uint();
+  trace.peak_window = json.at("peak_window").as_uint();
+  trace.peak_window_energy_j = json.at("peak_window_energy_j").as_double();
+  trace.peak_power_w = json.at("peak_power_w").as_double();
+  trace.supply_energy_j = json.at("supply_energy_j").as_double();
+  trace.average_power_w = json.at("average_power_w").as_double();
+  const JsonValue& elements = json.at("elements");
+  trace.elements.reserve(elements.size());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const JsonValue& el = elements.at(i);
+    power::ElementEnergy e;
+    e.element = el.at("element").as_size();
+    e.start_cycle = el.at("start_cycle").as_uint();
+    e.cycles = el.at("cycles").as_uint();
+    e.supply_energy_j = el.at("supply_energy_j").as_double();
+    e.precharge_energy_j = el.at("precharge_energy_j").as_double();
+    trace.elements.push_back(e);
+  }
+  if (json.has("window_supply_j")) {
+    const JsonValue& windows = json.at("window_supply_j");
+    trace.window_supply_j.reserve(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i)
+      trace.window_supply_j.push_back(windows.at(i).as_double());
+  }
+  return trace;
+}
+
 // --- core configuration ------------------------------------------------------
 
 std::string to_slug(sram::Mode mode) {
@@ -320,6 +381,12 @@ JsonValue to_json(const core::SessionConfig& config) {
   v.set("swap_threshold_frac", JsonValue::number(config.swap_threshold_frac));
   v.set("column_model",
         JsonValue::string(column_model_slug(config.column_model)));
+  if (config.trace) {
+    JsonValue trace = JsonValue::object();
+    trace.set("window_cycles", JsonValue::integer(config.trace->window_cycles));
+    trace.set("keep_windows", JsonValue::boolean(config.trace->keep_windows));
+    v.set("trace", std::move(trace));
+  }
   return v;
 }
 
@@ -351,6 +418,13 @@ core::SessionConfig session_config_from_json(const JsonValue& json) {
   config.swap_threshold_frac = json.at("swap_threshold_frac").as_double();
   config.column_model =
       column_model_from_slug(json.at("column_model").as_string());
+  if (json.has("trace")) {
+    const JsonValue& trace = json.at("trace");
+    power::TraceConfig tc;
+    tc.window_cycles = trace.at("window_cycles").as_uint();
+    tc.keep_windows = trace.at("keep_windows").as_bool();
+    config.trace = tc;
+  }
   return config;
 }
 
@@ -464,6 +538,7 @@ JsonValue to_json(const core::SessionResult& result) {
     detections.push_back(std::move(det));
   }
   v.set("first_detections", std::move(detections));
+  if (result.trace) v.set("trace", to_json(*result.trace));
   return v;
 }
 
@@ -503,6 +578,8 @@ core::SessionResult session_result_from_json(const JsonValue& json) {
     d.col = det.at("col").as_size();
     result.first_detections.push_back(d);
   }
+  if (json.has("trace"))
+    result.trace = trace_summary_from_json(json.at("trace"));
   return result;
 }
 

@@ -43,6 +43,11 @@ power::TechnologyParams technology_from_json(const JsonValue& json);
 JsonValue to_json(const power::EnergyMeter& meter);
 power::EnergyMeter meter_from_json(const JsonValue& json);
 
+/// TraceSummary round-trips every double to the bit (the dist/ contract:
+/// traced sharded runs must merge byte-identical to single-process runs).
+JsonValue to_json(const power::TraceSummary& trace);
+power::TraceSummary trace_summary_from_json(const JsonValue& json);
+
 // --- core configuration ------------------------------------------------------
 JsonValue to_json(const core::SessionConfig& config);
 /// Note: a custom/non-factory address order round-trips by sequence (its

@@ -87,6 +87,19 @@ class MarchTest {
   /// operation per address plus the idle cycles of any delay elements.
   std::uint64_t cycle_count(std::size_t addresses) const;
 
+  /// Clock cycles element @p index alone spans over @p addresses words:
+  /// one per operation per address, or the element's pause length.
+  /// cycle_count() is the sum of these over all elements — the element
+  /// boundary arithmetic traced runs and the analytic per-element
+  /// expectation share.
+  std::uint64_t element_cycles(std::size_t index,
+                               std::size_t addresses) const {
+    const MarchElement& e = elements_.at(index);
+    return e.is_pause()
+               ? e.pause_cycles
+               : static_cast<std::uint64_t>(e.ops.size()) * addresses;
+  }
+
   /// Full notation, e.g. "{ B(w0); U(r0,w1); ... }".
   std::string str() const;
 

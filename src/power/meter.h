@@ -1,4 +1,15 @@
-// Per-source energy accounting for the cycle simulator.
+// Per-source energy accounting for the cycle simulator — the PROBE half of
+// the probe/sink metering layer.
+//
+// The meter is the single point every simulated energy event passes
+// through: the SramArray engines call add()/add_spread() and the meter (a)
+// accumulates the scalar per-source totals and (b) forwards the event —
+// (source, joules, count, cycle) — to an optionally attached MeterSink.
+// power::PowerTrace (power/trace.h) is the shipped sink: it folds the
+// event stream into fixed time windows and per-March-element accumulators
+// for peak-power analysis.  Attaching a sink never changes the scalar
+// totals: the accumulation arithmetic is identical with and without one
+// (regression-tested in test_bitsliced_parity.cpp).
 #pragma once
 
 #include <array>
@@ -18,32 +29,101 @@ struct BreakdownEntry {
   double share;  ///< fraction of supply energy (0 for non-supply sinks)
 };
 
+/// Subscriber to an EnergyMeter's event stream (the sink half of the
+/// probe/sink layer).  Implementations must not touch the meter they are
+/// attached to (no re-entrancy).
+class MeterSink {
+ public:
+  virtual ~MeterSink() = default;
+
+  /// @p count events of @p joules each, all at clock cycle @p cycle (the
+  /// meter's cycle counter at accumulation time).
+  virtual void on_add(EnergySource source, double joules, std::uint64_t count,
+                      std::uint64_t cycle) = 0;
+
+  /// A block accumulation of @p joules total spread uniformly over the
+  /// @p cycles cycles starting at @p first_cycle (idle windows).
+  virtual void on_spread(EnergySource source, double joules,
+                         std::uint64_t first_cycle,
+                         std::uint64_t cycles) = 0;
+};
+
 /// Accumulates energy per source and counts clock cycles.
 ///
 /// "Supply energy" is what the paper's PF / PLPT measure: everything drawn
 /// from VDD.  Bit-line decay stress is tracked too (for the α analysis and
 /// Fig. 6b) but spends charge that the supply already paid for at pre-charge
 /// time, so it is excluded from supply totals.
+///
+/// Copy/move semantics: the measurements (totals, cycle count) are copied;
+/// the attached sink is NOT.  A sink subscribes to one live meter — result
+/// snapshots (SessionResult::meter) must not carry a pointer to a trace
+/// whose run has ended.
 class EnergyMeter {
  public:
+  EnergyMeter() = default;
+  EnergyMeter(const EnergyMeter& other)
+      : totals_(other.totals_), cycles_(other.cycles_) {}
+  EnergyMeter(EnergyMeter&& other) noexcept
+      : totals_(other.totals_), cycles_(other.cycles_) {}
+  EnergyMeter& operator=(const EnergyMeter& other) {
+    totals_ = other.totals_;
+    cycles_ = other.cycles_;
+    return *this;
+  }
+  EnergyMeter& operator=(EnergyMeter&& other) noexcept {
+    totals_ = other.totals_;
+    cycles_ = other.cycles_;
+    return *this;
+  }
+
   /// Attribute @p joules to @p source. Negative amounts are rejected.
   void add(EnergySource source, double joules) {
     SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
     SRAMLP_REQUIRE(joules >= 0.0, "energy contributions must be non-negative");
     totals_[static_cast<std::size_t>(source)] += joules;
+    if (sink_ != nullptr) sink_->on_add(source, joules, 1, cycles_);
   }
 
-  /// Attribute @p joules to @p source, @p count times.  The accumulation is
-  /// performed as @p count successive additions, so the result is
-  /// bit-identical to calling add(source, joules) @p count times — the
-  /// identity the cohort-bulk metering of the bitsliced SramArray path
-  /// depends on for exact parity with the per-column reference path.
+  /// Attribute @p joules to @p source, @p count times.
+  ///
+  /// The accumulation is performed as @p count successive additions — NOT
+  /// as a single `joules * count` fused product.  IEEE-754 addition is not
+  /// distributive: 0.1 added ten times is 0.9999999999999999, 10 * 0.1 is
+  /// 1.0.  The bitsliced SramArray engine meters whole decay cohorts with
+  /// one bulk add where the per-column reference engine performs one add
+  /// per column; the repeated-addition identity is what keeps the two
+  /// engines' totals bit-identical (the parity contract of
+  /// test_bitsliced_parity.cpp, pinned directly by
+  /// test_power.cpp:BulkAddBitIdenticalToScalarAdds).  Do not "optimise"
+  /// this into a multiplication.
   void add(EnergySource source, double joules, std::uint64_t count) {
     SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
     SRAMLP_REQUIRE(joules >= 0.0, "energy contributions must be non-negative");
     double& total = totals_[static_cast<std::size_t>(source)];
     for (std::uint64_t i = 0; i < count; ++i) total += joules;
+    if (sink_ != nullptr) sink_->on_add(source, joules, count, cycles_);
   }
+
+  /// Attribute `cycles * joules_per_cycle` to @p source as one addition,
+  /// telling an attached sink the energy covers the @p cycles cycles
+  /// starting NOW (idle blocks: the scalar total is one multiply-add — the
+  /// exact arithmetic the idle paths always used — while the trace spreads
+  /// it across the windows the block spans).
+  void add_spread(EnergySource source, double joules_per_cycle,
+                  std::uint64_t cycles) {
+    SRAMLP_REQUIRE(source != EnergySource::kCount, "not a real source");
+    SRAMLP_REQUIRE(joules_per_cycle >= 0.0,
+                   "energy contributions must be non-negative");
+    const double joules = static_cast<double>(cycles) * joules_per_cycle;
+    totals_[static_cast<std::size_t>(source)] += joules;
+    if (sink_ != nullptr) sink_->on_spread(source, joules, cycles_, cycles);
+  }
+
+  /// Subscribe @p sink to subsequent events (nullptr detaches).  Wiring,
+  /// not measurement: reset() keeps the sink, copies drop it.
+  void attach_sink(MeterSink* sink) { sink_ = sink; }
+  bool has_sink() const { return sink_ != nullptr; }
 
   /// Advance the cycle counter (call once per simulated clock cycle).
   void tick_cycle() { ++cycles_; }
@@ -62,7 +142,15 @@ class EnergyMeter {
   /// block executor: it copies them into registers for the duration of a
   /// run and writes them back, performing exactly the additions add()
   /// would have — same values, same order, same totals to the bit.
-  std::array<double, kEnergySourceCount>& raw_totals() { return totals_; }
+  /// Unavailable while a sink is attached: raw accumulation would bypass
+  /// the event stream (SramArray routes traced runs through the per-cycle
+  /// path instead).
+  std::array<double, kEnergySourceCount>& raw_totals() {
+    SRAMLP_REQUIRE(sink_ == nullptr,
+                   "raw accumulator access would bypass the attached "
+                   "trace sink; use the per-cycle metering path");
+    return totals_;
+  }
 
   /// Total energy drawn from the supply (all supply_drawn sources).
   double supply_total() const;
@@ -77,12 +165,13 @@ class EnergyMeter {
   /// are omitted.
   std::vector<BreakdownEntry> breakdown() const;
 
-  /// Reset all totals and the cycle count.
+  /// Reset all totals and the cycle count (the attached sink stays).
   void reset();
 
  private:
   std::array<double, kEnergySourceCount> totals_{};
   std::uint64_t cycles_ = 0;
+  MeterSink* sink_ = nullptr;
 };
 
 }  // namespace sramlp::power

@@ -528,9 +528,10 @@ void SramArray::idle(std::uint64_t cycles) {
 void SramArray::reference_idle(std::uint64_t cycles) {
   if (cycles == 0) return;
   const auto& t = config_.tech;
-  const double n = static_cast<double>(cycles);
-  meter_.add(EnergySource::kClockTree, n * t.e_clock_tree);
-  meter_.add(EnergySource::kMemoryControl, n * t.e_control_base);
+  // add_spread performs the same double(cycles) * e multiply-add these
+  // paths always did; an attached trace additionally sees the block span.
+  meter_.add_spread(EnergySource::kClockTree, t.e_clock_tree, cycles);
+  meter_.add_spread(EnergySource::kMemoryControl, t.e_control_base, cycles);
   // Word lines are low during the idle window: connected bit-lines stop
   // discharging.  Fold the decay accrued so far into the capture points
   // (clearing the active row below disables further lazy decay until the
@@ -963,9 +964,8 @@ CycleResult SramArray::fast_cycle(const CycleCommand& command) {
 void SramArray::fast_idle(std::uint64_t cycles) {
   if (cycles == 0) return;
   const auto& t = config_.tech;
-  const double n = static_cast<double>(cycles);
-  meter_.add(EnergySource::kClockTree, n * t.e_clock_tree);
-  meter_.add(EnergySource::kMemoryControl, n * t.e_control_base);
+  meter_.add_spread(EnergySource::kClockTree, t.e_clock_tree, cycles);
+  meter_.add_spread(EnergySource::kMemoryControl, t.e_control_base, cycles);
   // Word lines are low during the idle window: connected bit-lines stop
   // discharging.  Fold cohort decay in bulk; members keeping a partial
   // voltage across the window become materialized (their frozen state is
@@ -1015,7 +1015,12 @@ RunResult SramArray::execute_run(const RunCommand& run) {
     SRAMLP_REQUIRE(run.first_group + run.group_count <= g.col_groups(),
                    "column run out of range");
   }
-  return fast_ ? fast_run(run) : run_per_cycle(run);
+  // fast_run accumulates meter totals in registers via raw_totals(), which
+  // bypasses the probe's event stream; with a trace sink attached the run
+  // takes the per-cycle path instead — bit-identical totals (the batch
+  // executor's documented contract, pinned by test_bitsliced_parity.cpp),
+  // every event delivered.
+  return fast_ && !meter_.has_sink() ? fast_run(run) : run_per_cycle(run);
 }
 
 RunResult SramArray::run_per_cycle(const RunCommand& run) {
@@ -1033,7 +1038,7 @@ RunResult SramArray::run_per_cycle(const RunCommand& run) {
       cmd.restore_row_transition = run.restore_last &&
                                    k + 1 == run.group_count &&
                                    o + 1 == run.op_count;
-      const CycleResult r = reference_cycle(cmd);
+      const CycleResult r = fast_ ? fast_cycle(cmd) : reference_cycle(cmd);
       rr.faulty_swaps += r.faulty_swaps;
       if (cmd.is_read && r.mismatch) {
         ++rr.mismatches;

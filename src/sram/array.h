@@ -250,8 +250,11 @@ class SramArray {
   /// The Fig. 7 all-column restore cycle's column work (recharge + RES +
   /// the everything-pre-charged tail), shared by fast_cycle and fast_run.
   void fast_restore_cycle(std::size_t row, std::size_t first_col);
-  /// Per-cycle fallback for execute_run (reference engine, or whenever
-  /// the batch preconditions do not hold).
+  /// Per-cycle fallback for execute_run: the reference engine always, and
+  /// the bitsliced engine whenever a meter sink is attached (the batched
+  /// fast_run accumulates in registers and would bypass the probe's event
+  /// stream).  Dispatches to the active engine's cycle path, which is
+  /// bit-identical to the batch executor.
   RunResult run_per_cycle(const RunCommand& run);
   RunResult fast_run(const RunCommand& run);
   CohortEval eval_cohort(const Cohort& cohort) const;

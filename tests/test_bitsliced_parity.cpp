@@ -17,6 +17,7 @@
 #include "faults/models.h"
 #include "march/algorithms.h"
 #include "power/energy_source.h"
+#include "power/trace.h"
 #include "sram/array.h"
 
 namespace {
@@ -374,6 +375,121 @@ TEST(BitslicedParity, DirectDriveWithSwapsIdleAndModeSwitch) {
         << "column " << c;
     EXPECT_EQ(ref.precharge_was_active(c), fast.precharge_was_active(c))
         << "column " << c;
+  }
+}
+
+// --- probe/sink tracing: totals invariant, traces engine-identical -----------
+
+void expect_traces_identical(const power::TraceSummary& a,
+                             const power::TraceSummary& b,
+                             const std::string& where) {
+  EXPECT_EQ(a.window_cycles, b.window_cycles) << where;
+  EXPECT_EQ(a.total_cycles, b.total_cycles) << where;
+  EXPECT_EQ(a.windows, b.windows) << where;
+  EXPECT_EQ(a.peak_window, b.peak_window) << where;
+  EXPECT_EQ(a.peak_window_energy_j, b.peak_window_energy_j) << where;
+  EXPECT_EQ(a.peak_power_w, b.peak_power_w) << where;
+  EXPECT_EQ(a.supply_energy_j, b.supply_energy_j) << where;
+  EXPECT_EQ(a.average_power_w, b.average_power_w) << where;
+  ASSERT_EQ(a.elements.size(), b.elements.size()) << where;
+  for (std::size_t e = 0; e < a.elements.size(); ++e) {
+    EXPECT_EQ(a.elements[e].element, b.elements[e].element) << where;
+    EXPECT_EQ(a.elements[e].start_cycle, b.elements[e].start_cycle) << where;
+    EXPECT_EQ(a.elements[e].cycles, b.elements[e].cycles) << where;
+    EXPECT_EQ(a.elements[e].supply_energy_j, b.elements[e].supply_energy_j)
+        << where << " element " << e;
+    EXPECT_EQ(a.elements[e].precharge_energy_j,
+              b.elements[e].precharge_energy_j)
+        << where << " element " << e;
+  }
+  EXPECT_EQ(a.window_supply_j, b.window_supply_j) << where;
+}
+
+// Attaching a trace sink must not move a single bit of the scalar totals
+// (the cycle-accurate path switches from the register-accumulator batch
+// executor to the per-cycle path — the documented-identical route), and
+// the two column engines, which emit the same per-source event sequences
+// at the same cycles, must produce bit-identical traces.
+TEST(BitslicedParity, TracingKeepsTotalsBitIdenticalAndTracesEngineEqual) {
+  struct Case {
+    const char* name;
+    march::MarchTest test;
+    Mode mode;
+    bool restore;
+  };
+  const Case cases[] = {
+      {"C- F", march::algorithms::march_c_minus(), Mode::kFunctional, true},
+      {"C- LP", march::algorithms::march_c_minus(), Mode::kLowPowerTest,
+       true},
+      {"C- LP no-restore", march::algorithms::march_c_minus(),
+       Mode::kLowPowerTest, false},
+      {"G delays LP", march::algorithms::march_g_with_delays(),
+       Mode::kLowPowerTest, true},
+  };
+  for (const Case& c : cases) {
+    SessionResult traced[2];
+    for (int m = 0; m < 2; ++m) {
+      SessionConfig cfg = grid_config(c.mode, 12, 24);
+      cfg.row_transition_restore = c.restore;
+      cfg.column_model = m == 0 ? ColumnModel::kPerColumnReference
+                                : ColumnModel::kBitslicedCohort;
+      const SessionResult untraced = TestSession(cfg).run(c.test);
+      cfg.trace = power::TraceConfig{.window_cycles = 16,
+                                     .keep_windows = true};
+      traced[m] = TestSession(cfg).run(c.test);
+      const std::string where = std::string(c.name) +
+                                (m == 0 ? " ref" : " fast") +
+                                " traced-vs-untraced";
+      expect_results_identical(untraced, traced[m], where);
+      ASSERT_TRUE(traced[m].trace.has_value()) << where;
+    }
+    expect_results_identical(traced[0], traced[1],
+                             std::string(c.name) + " cross-engine");
+    expect_traces_identical(*traced[0].trace, *traced[1].trace,
+                            std::string(c.name) + " trace");
+  }
+}
+
+// Same invariants with a fault model attached: the hooked per-cell data
+// path and the RES-sensitive materialized columns must meter identically
+// through the probe.
+TEST(BitslicedParity, TracingWithFaultsKeepsTotalsBitIdentical) {
+  const std::vector<faults::FaultSpec> specs = {
+      {.kind = faults::FaultKind::kStuckAt1, .victim = {3, 5}},
+      {.kind = faults::FaultKind::kResSensitive,
+       .victim = {6, 10},
+       .res_threshold = 10.0},
+  };
+  for (const Mode mode : {Mode::kFunctional, Mode::kLowPowerTest}) {
+    SessionResult traced[2];
+    for (int m = 0; m < 2; ++m) {
+      SessionConfig cfg = grid_config(mode, 12, 20);
+      cfg.column_model = m == 0 ? ColumnModel::kPerColumnReference
+                                : ColumnModel::kBitslicedCohort;
+      SessionResult untraced;
+      {
+        TestSession session(cfg);
+        faults::FaultSet set(specs);
+        session.attach_fault_model(&set);
+        untraced = session.run(march::algorithms::march_c_minus());
+      }
+      cfg.trace = power::TraceConfig{.window_cycles = 16,
+                                     .keep_windows = true};
+      {
+        TestSession session(cfg);
+        faults::FaultSet set(specs);
+        session.attach_fault_model(&set);
+        traced[m] = session.run(march::algorithms::march_c_minus());
+      }
+      const std::string where = std::string(mode == Mode::kFunctional
+                                                ? "faulty F"
+                                                : "faulty LP") +
+                                (m == 0 ? " ref" : " fast");
+      expect_results_identical(untraced, traced[m], where);
+    }
+    expect_traces_identical(*traced[0].trace, *traced[1].trace,
+                            mode == Mode::kFunctional ? "faulty F trace"
+                                                      : "faulty LP trace");
   }
 }
 

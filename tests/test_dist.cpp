@@ -18,6 +18,7 @@
 #include "dist/job.h"
 #include "dist/shard.h"
 #include "dist/worker.h"
+#include "io/serialize.h"
 #include "march/algorithms.h"
 #include "util/error.h"
 
@@ -365,6 +366,36 @@ TEST(Coordinator, ResumeSkipsCompleteShardsEntirely) {
   // With resume off the same options must actually try (and fail).
   options.resume = false;
   EXPECT_THROW(dist::Coordinator(options).run(job), Error);
+}
+
+// Traced jobs cross the process boundary too: the TraceSummary must
+// survive the JSONL protocol bit-exactly, so a sharded traced run merges
+// identical to the single-process reference (the CI byte-diff covers the
+// full CLI path on top of this).
+TEST(Coordinator, TracedSweepMergeBitIdenticalToSingleProcess) {
+  JobSpec job = small_sweep_job();
+  job.grid.base.trace =
+      power::TraceConfig{.window_cycles = 16, .keep_windows = true};
+  const auto reference = core::SweepRunner().run(job.grid);
+  TempDir dir("traced_sweep");
+  dist::Coordinator::Options options;
+  options.shards = 5;
+  options.max_workers = 3;
+  options.work_dir = dir.str();
+  const dist::MergedResult merged = dist::Coordinator(options).run(job);
+  ASSERT_EQ(merged.sweep.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const std::string where = "traced point " + std::to_string(i);
+    expect_points_identical(merged.sweep[i], reference[i], where);
+    // The serialized documents — traces included — must match byte for
+    // byte, which subsumes every double of the summary.
+    EXPECT_EQ(io::to_json(merged.sweep[i]).dump(),
+              io::to_json(reference[i]).dump())
+        << where;
+    ASSERT_TRUE(merged.sweep[i].prr.low_power.trace.has_value()) << where;
+    EXPECT_GT(merged.sweep[i].prr.low_power.trace->peak_window_energy_j, 0.0)
+        << where;
+  }
 }
 
 TEST(MergeShardFiles, RefusesIncompleteAndForeignFiles) {

@@ -160,6 +160,43 @@ TEST(AnalyticBackend, ParityWithCycleAccurateAcrossGrid) {
   }
 }
 
+// The closed-form per-element expectation (AnalyticBackend's trace) must
+// tie out against the measured per-element attribution of a traced
+// cycle-accurate run: identical cycle boundaries, energies within the
+// model's usual accuracy.
+TEST(AnalyticBackend, PerElementTraceParityWithCycleAccurate) {
+  SessionConfig cfg = make_config(Mode::kFunctional, 16, 64);
+  cfg.trace = power::TraceConfig{.window_cycles = 64};
+  const auto test = march::algorithms::march_c_minus();
+  const auto sim = TestSession::compare_modes(cfg, test);
+  const auto ana = TestSession::compare_modes_analytic(cfg, test);
+
+  const auto compare_leg = [&](const core::SessionResult& s,
+                               const core::SessionResult& a,
+                               double tolerance, const std::string& where) {
+    ASSERT_TRUE(s.trace.has_value()) << where;
+    ASSERT_TRUE(a.trace.has_value()) << where;
+    ASSERT_EQ(a.trace->elements.size(), s.trace->elements.size()) << where;
+    ASSERT_EQ(a.trace->elements.size(), test.elements().size()) << where;
+    for (std::size_t e = 0; e < s.trace->elements.size(); ++e) {
+      const auto& se = s.trace->elements[e];
+      const auto& ae = a.trace->elements[e];
+      EXPECT_EQ(ae.element, se.element) << where << " element " << e;
+      EXPECT_EQ(ae.start_cycle, se.start_cycle) << where << " element " << e;
+      EXPECT_EQ(ae.cycles, se.cycles) << where << " element " << e;
+      EXPECT_NEAR(ae.supply_energy_j, se.supply_energy_j,
+                  tolerance * se.supply_energy_j)
+          << where << " element " << e;
+    }
+    EXPECT_EQ(a.trace->total_cycles, s.trace->total_cycles) << where;
+  };
+  // Per-element rates separate the read/write op mixes the whole-run
+  // averages blur, so the functional legs agree tightly; the LP legs add
+  // the same decay second-order effects as the aggregate parity above.
+  compare_leg(sim.functional, ana.functional, 1e-2, "functional");
+  compare_leg(sim.low_power, ana.low_power, 5e-2, "low power");
+}
+
 TEST(AnalyticBackend, WordOrientedParity) {
   SessionConfig cfg = make_config(Mode::kFunctional, 8, 128, 4);
   const auto test = march::algorithms::march_c_minus();

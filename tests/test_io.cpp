@@ -286,6 +286,83 @@ TEST(Serialize, SessionResultAndPrrRoundTripExactly) {
   }
 }
 
+TEST(Serialize, TraceSummaryRoundTripIsExact) {
+  core::SessionConfig config;
+  config.geometry = {8, 16, 1};
+  config.mode = sram::Mode::kLowPowerTest;
+  config.trace = power::TraceConfig{.window_cycles = 16, .keep_windows = true};
+  core::TestSession session(config);
+  const auto result = session.run(march::algorithms::march_c_minus());
+  ASSERT_TRUE(result.trace.has_value());
+  const power::TraceSummary& trace = *result.trace;
+
+  const auto back = io::trace_summary_from_json(
+      JsonValue::parse(io::to_json(trace).dump()));
+  EXPECT_EQ(back.window_cycles, trace.window_cycles);
+  EXPECT_EQ(back.total_cycles, trace.total_cycles);
+  EXPECT_EQ(back.windows, trace.windows);
+  EXPECT_EQ(back.peak_window, trace.peak_window);
+  EXPECT_EQ(back.peak_window_energy_j, trace.peak_window_energy_j);
+  EXPECT_EQ(back.peak_power_w, trace.peak_power_w);
+  EXPECT_EQ(back.supply_energy_j, trace.supply_energy_j);
+  EXPECT_EQ(back.average_power_w, trace.average_power_w);
+  ASSERT_EQ(back.elements.size(), trace.elements.size());
+  for (std::size_t e = 0; e < trace.elements.size(); ++e) {
+    EXPECT_EQ(back.elements[e].element, trace.elements[e].element);
+    EXPECT_EQ(back.elements[e].start_cycle, trace.elements[e].start_cycle);
+    EXPECT_EQ(back.elements[e].cycles, trace.elements[e].cycles);
+    EXPECT_EQ(back.elements[e].supply_energy_j,
+              trace.elements[e].supply_energy_j);
+    EXPECT_EQ(back.elements[e].precharge_energy_j,
+              trace.elements[e].precharge_energy_j);
+  }
+  EXPECT_EQ(back.window_supply_j, trace.window_supply_j);
+
+  // The emitted document is byte-stable through a parse cycle — the
+  // property the dist/ merge diff stands on.
+  EXPECT_EQ(io::to_json(back).dump(),
+            io::to_json(trace).dump());
+}
+
+TEST(Serialize, SessionResultCarriesTheTrace) {
+  core::SessionConfig config;
+  config.geometry = {4, 8, 1};
+  config.trace = power::TraceConfig{.window_cycles = 8};
+  core::TestSession session(config);
+  const auto result = session.run(march::algorithms::mats_plus());
+  ASSERT_TRUE(result.trace.has_value());
+  const auto back = io::session_result_from_json(
+      JsonValue::parse(io::to_json(result).dump()));
+  ASSERT_TRUE(back.trace.has_value());
+  EXPECT_EQ(back.trace->peak_window_energy_j,
+            result.trace->peak_window_energy_j);
+  EXPECT_EQ(io::to_json(back).dump(), io::to_json(result).dump());
+
+  // An untraced result stays trace-free through the round trip.
+  core::SessionConfig bare = config;
+  bare.trace.reset();
+  const auto untraced =
+      core::TestSession(bare).run(march::algorithms::mats_plus());
+  const auto untraced_back = io::session_result_from_json(
+      JsonValue::parse(io::to_json(untraced).dump()));
+  EXPECT_FALSE(untraced_back.trace.has_value());
+}
+
+TEST(Serialize, SessionConfigTraceRoundTrips) {
+  core::SessionConfig config;
+  config.geometry = {4, 8, 1};
+  config.trace = power::TraceConfig{.window_cycles = 96, .keep_windows = true};
+  const auto back = io::session_config_from_json(
+      JsonValue::parse(io::to_json(config).dump()));
+  ASSERT_TRUE(back.trace.has_value());
+  EXPECT_EQ(back.trace->window_cycles, 96u);
+  EXPECT_TRUE(back.trace->keep_windows);
+  config.trace.reset();
+  const auto bare = io::session_config_from_json(
+      JsonValue::parse(io::to_json(config).dump()));
+  EXPECT_FALSE(bare.trace.has_value());
+}
+
 // --- power::to_json (report flavour) -----------------------------------------
 
 TEST(PowerReport, JsonBreakdownMatchesMeter) {

@@ -1,0 +1,297 @@
+// The probe/sink metering layer: PowerTrace window/element accounting,
+// the EnergyMeter's event forwarding (which must never change the scalar
+// totals), and the end-to-end traced session surface.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "power/trace.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sramlp;
+using power::EnergySource;
+using power::PowerTrace;
+using power::TraceConfig;
+using power::TraceSummary;
+
+// --- PowerTrace accumulation -------------------------------------------------
+
+TEST(PowerTrace, WindowAccumulationPeakAndPowerConversion) {
+  PowerTrace trace(TraceConfig{.window_cycles = 10, .keep_windows = true},
+                   2e-9);
+  trace.begin_element(0, 0);
+  trace.on_add(EnergySource::kClockTree, 1e-12, 1, 0);    // window 0
+  trace.on_add(EnergySource::kClockTree, 1e-12, 3, 25);   // window 2, bulk
+  trace.on_add(EnergySource::kSenseAmp, 2e-12, 1, 29);    // window 2
+  const TraceSummary s = trace.summarize(40);
+  EXPECT_EQ(s.window_cycles, 10u);
+  EXPECT_EQ(s.total_cycles, 40u);
+  EXPECT_EQ(s.windows, 4u);
+  ASSERT_EQ(s.window_supply_j.size(), 4u);
+  EXPECT_EQ(s.window_supply_j[0], 1e-12);
+  EXPECT_EQ(s.window_supply_j[1], 0.0);
+  EXPECT_EQ(s.window_supply_j[2], ((1e-12 + 1e-12) + 1e-12) + 2e-12);
+  EXPECT_EQ(s.window_supply_j[3], 0.0);
+  EXPECT_EQ(s.peak_window, 2u);
+  EXPECT_EQ(s.peak_window_energy_j, s.window_supply_j[2]);
+  EXPECT_DOUBLE_EQ(s.peak_power_w, s.window_supply_j[2] / (10 * 2e-9));
+  EXPECT_DOUBLE_EQ(s.average_power_w, s.supply_energy_j / (40 * 2e-9));
+}
+
+TEST(PowerTrace, SpreadSplitsUniformlyAcrossWindows) {
+  PowerTrace trace(TraceConfig{.window_cycles = 8, .keep_windows = true},
+                   0.0);
+  // 20 cycles starting at cycle 4: the three windows overlap 4, 8, 8
+  // cycles at 1 J per cycle.
+  trace.on_spread(EnergySource::kClockTree, 20.0, 4, 20);
+  const TraceSummary s = trace.summarize(24);
+  ASSERT_EQ(s.window_supply_j.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.window_supply_j[0], 4.0);
+  EXPECT_DOUBLE_EQ(s.window_supply_j[1], 8.0);
+  EXPECT_DOUBLE_EQ(s.window_supply_j[2], 8.0);
+  EXPECT_EQ(s.peak_window, 1u);  // ties keep the FIRST peak window
+  EXPECT_EQ(s.peak_power_w, 0.0);  // no clock period given
+  ASSERT_EQ(s.elements.size(), 1u);  // implicit element 0
+  EXPECT_EQ(s.elements[0].supply_energy_j, 20.0);
+}
+
+TEST(PowerTrace, NonSupplySourcesStayOutside) {
+  PowerTrace trace(TraceConfig{.window_cycles = 4}, 1e-9);
+  // Bit-line decay stress spends stored charge, not supply current.
+  trace.on_add(EnergySource::kBitlineDecayStress, 5e-12, 7, 0);
+  trace.on_spread(EnergySource::kBitlineDecayStress, 1e-12, 0, 4);
+  const TraceSummary s = trace.summarize(4);
+  EXPECT_EQ(s.supply_energy_j, 0.0);
+  EXPECT_EQ(s.peak_window_energy_j, 0.0);
+  EXPECT_TRUE(s.elements.empty());
+}
+
+TEST(PowerTrace, ElementAttributionAndCycleSpans) {
+  PowerTrace trace(TraceConfig{.window_cycles = 16}, 1e-9);
+  trace.begin_element(0, 0);
+  trace.on_add(EnergySource::kPrechargeResFight, 1e-12, 2, 3);
+  trace.begin_element(1, 10);
+  trace.on_add(EnergySource::kSenseAmp, 3e-12, 1, 12);
+  trace.begin_element(1, 10);  // idempotent while unchanged
+  const TraceSummary s = trace.summarize(30);
+  ASSERT_EQ(s.elements.size(), 2u);
+  EXPECT_EQ(s.elements[0].element, 0u);
+  EXPECT_EQ(s.elements[0].start_cycle, 0u);
+  EXPECT_EQ(s.elements[0].cycles, 10u);
+  EXPECT_EQ(s.elements[0].supply_energy_j, 1e-12 + 1e-12);
+  EXPECT_EQ(s.elements[0].precharge_energy_j, 1e-12 + 1e-12);
+  EXPECT_EQ(s.elements[1].element, 1u);
+  EXPECT_EQ(s.elements[1].cycles, 20u);
+  EXPECT_EQ(s.elements[1].supply_energy_j, 3e-12);
+  EXPECT_EQ(s.elements[1].precharge_energy_j, 0.0);
+}
+
+TEST(PowerTrace, RejectsBadConfiguration) {
+  EXPECT_THROW(PowerTrace(TraceConfig{.window_cycles = 0}, 1e-9), Error);
+  EXPECT_THROW(PowerTrace(TraceConfig{}, -1.0), Error);
+  PowerTrace trace(TraceConfig{}, 1e-9);
+  EXPECT_THROW(trace.add_supply_block(-1.0, 0, 4), Error);
+}
+
+// --- EnergyMeter event forwarding --------------------------------------------
+
+struct RecordingSink final : power::MeterSink {
+  struct Event {
+    EnergySource source;
+    double joules;
+    std::uint64_t count;
+    std::uint64_t cycle;
+    bool spread;
+    std::uint64_t cycles;
+  };
+  std::vector<Event> events;
+  void on_add(EnergySource source, double joules, std::uint64_t count,
+              std::uint64_t cycle) override {
+    events.push_back({source, joules, count, cycle, false, 0});
+  }
+  void on_spread(EnergySource source, double joules,
+                 std::uint64_t first_cycle, std::uint64_t cycles) override {
+    events.push_back({source, joules, 0, first_cycle, true, cycles});
+  }
+};
+
+TEST(EnergyMeterSink, ForwardsEventsWithoutChangingTotals) {
+  power::EnergyMeter plain;
+  power::EnergyMeter probed;
+  RecordingSink sink;
+  probed.attach_sink(&sink);
+  const auto drive = [](power::EnergyMeter& m) {
+    m.add(EnergySource::kSenseAmp, 0.1);
+    m.tick_cycle();
+    m.add(EnergySource::kSenseAmp, 0.1, 7);
+    m.add_spread(EnergySource::kClockTree, 0.25, 8);
+    m.tick_cycles(8);
+  };
+  drive(plain);
+  drive(probed);
+  // The probe is transparent: attaching a sink changes no accumulator bit.
+  EXPECT_EQ(plain.cycles(), probed.cycles());
+  for (std::size_t i = 0; i < power::kEnergySourceCount; ++i) {
+    const auto source = static_cast<EnergySource>(i);
+    EXPECT_EQ(plain.total(source), probed.total(source))
+        << power::to_string(source);
+  }
+  ASSERT_EQ(sink.events.size(), 3u);
+  EXPECT_EQ(sink.events[0].source, EnergySource::kSenseAmp);
+  EXPECT_EQ(sink.events[0].joules, 0.1);
+  EXPECT_EQ(sink.events[0].count, 1u);
+  EXPECT_EQ(sink.events[0].cycle, 0u);
+  EXPECT_EQ(sink.events[1].count, 7u);
+  EXPECT_EQ(sink.events[1].cycle, 1u);
+  EXPECT_TRUE(sink.events[2].spread);
+  EXPECT_EQ(sink.events[2].joules, 8.0 * 0.25);
+  EXPECT_EQ(sink.events[2].cycle, 1u);   // block starts at the current cycle
+  EXPECT_EQ(sink.events[2].cycles, 8u);
+}
+
+TEST(EnergyMeterSink, CopiesAndMovesDropTheSink) {
+  power::EnergyMeter meter;
+  RecordingSink sink;
+  meter.attach_sink(&sink);
+  meter.add(EnergySource::kSenseAmp, 1.0);
+  ASSERT_TRUE(meter.has_sink());
+
+  const power::EnergyMeter copied(meter);
+  EXPECT_FALSE(copied.has_sink());
+  EXPECT_EQ(copied.total(EnergySource::kSenseAmp), 1.0);
+
+  power::EnergyMeter assigned;
+  assigned = meter;
+  EXPECT_FALSE(assigned.has_sink());
+
+  const power::EnergyMeter moved(std::move(meter));
+  EXPECT_FALSE(moved.has_sink());
+  EXPECT_EQ(moved.total(EnergySource::kSenseAmp), 1.0);
+}
+
+TEST(EnergyMeterSink, RawTotalsRefusedWhileSinkAttached) {
+  power::EnergyMeter meter;
+  EXPECT_NO_THROW(meter.raw_totals());
+  RecordingSink sink;
+  meter.attach_sink(&sink);
+  EXPECT_THROW(meter.raw_totals(), Error);
+  meter.attach_sink(nullptr);
+  EXPECT_NO_THROW(meter.raw_totals());
+}
+
+TEST(EnergyMeterSink, ResetKeepsTheSink) {
+  power::EnergyMeter meter;
+  RecordingSink sink;
+  meter.attach_sink(&sink);
+  meter.add(EnergySource::kSenseAmp, 1.0);
+  meter.reset();
+  EXPECT_TRUE(meter.has_sink());
+  meter.add(EnergySource::kSenseAmp, 1.0);
+  EXPECT_EQ(sink.events.size(), 2u);
+}
+
+// --- end-to-end traced sessions ----------------------------------------------
+
+TEST(SessionTrace, TracedRunReportsWindowsAndElements) {
+  core::SessionConfig cfg;
+  cfg.geometry = {8, 16, 1};
+  cfg.mode = sram::Mode::kLowPowerTest;
+  cfg.trace = power::TraceConfig{.window_cycles = 32, .keep_windows = true};
+  core::TestSession session(cfg);
+  const auto test = march::algorithms::march_c_minus();
+  const auto result = session.run(test);
+
+  ASSERT_TRUE(result.trace.has_value());
+  const TraceSummary& trace = *result.trace;
+  EXPECT_EQ(trace.window_cycles, 32u);
+  EXPECT_EQ(trace.total_cycles, result.cycles);
+  EXPECT_EQ(trace.windows, (result.cycles + 31) / 32);
+  EXPECT_EQ(trace.window_supply_j.size(), trace.windows);
+
+  // One attribution entry per March element, spanning exactly the cycles
+  // the sequencer assigns to it.
+  const std::size_t words = 8 * 16;
+  ASSERT_EQ(trace.elements.size(), test.elements().size());
+  std::uint64_t cursor = 0;
+  double element_sum = 0.0;
+  for (std::size_t e = 0; e < trace.elements.size(); ++e) {
+    EXPECT_EQ(trace.elements[e].element, e);
+    EXPECT_EQ(trace.elements[e].start_cycle, cursor);
+    EXPECT_EQ(trace.elements[e].cycles, test.element_cycles(e, words));
+    EXPECT_GT(trace.elements[e].supply_energy_j, 0.0) << "element " << e;
+    EXPECT_GE(trace.elements[e].supply_energy_j,
+              trace.elements[e].precharge_energy_j);
+    element_sum += trace.elements[e].supply_energy_j;
+    cursor += trace.elements[e].cycles;
+  }
+  EXPECT_EQ(cursor, result.cycles);
+
+  // The trace redistributes the run's supply energy without inventing or
+  // losing any (association differs, so compare within a few ulps' worth).
+  const double tol = 1e-9 * result.supply_energy_j;
+  EXPECT_NEAR(trace.supply_energy_j, result.supply_energy_j, tol);
+  EXPECT_NEAR(element_sum, result.supply_energy_j, tol);
+
+  EXPECT_LT(trace.peak_window, trace.windows);
+  EXPECT_GT(trace.peak_window_energy_j, 0.0);
+  // The peak window can be no cooler than the average window.
+  EXPECT_GE(trace.peak_window_energy_j,
+            trace.supply_energy_j / static_cast<double>(trace.windows) -
+                tol);
+  EXPECT_GT(trace.peak_power_w, 0.0);
+  EXPECT_GE(trace.peak_power_w, trace.average_power_w - 1e-12);
+}
+
+TEST(SessionTrace, UntracedRunsCarryNoTrace) {
+  core::SessionConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  const auto result =
+      core::TestSession(cfg).run(march::algorithms::mats_plus());
+  EXPECT_FALSE(result.trace.has_value());
+}
+
+TEST(SessionTrace, DelayElementsSpreadIdleEnergy) {
+  core::SessionConfig cfg;
+  cfg.geometry = {4, 8, 1};
+  cfg.mode = sram::Mode::kLowPowerTest;
+  cfg.trace = power::TraceConfig{.window_cycles = 64, .keep_windows = true};
+  const auto test = march::algorithms::march_g_with_delays();
+  const auto result = core::TestSession(cfg).run(test);
+  ASSERT_TRUE(result.trace.has_value());
+  const TraceSummary& trace = *result.trace;
+
+  bool saw_pause = false;
+  for (const power::ElementEnergy& e : trace.elements) {
+    if (!test.elements()[e.element].is_pause()) continue;
+    saw_pause = true;
+    EXPECT_EQ(e.cycles, test.elements()[e.element].pause_cycles);
+    // An idle window burns exactly the clock tree and the control FSM.
+    const double n = static_cast<double>(e.cycles);
+    EXPECT_DOUBLE_EQ(e.supply_energy_j,
+                     n * cfg.tech.e_clock_tree + n * cfg.tech.e_control_base);
+    EXPECT_EQ(e.precharge_energy_j, 0.0);
+  }
+  EXPECT_TRUE(saw_pause);
+
+  // The idle spread reaches the windows inside the pause: every window
+  // fully inside an idle block holds the idle rate, not zero.
+  const power::ElementEnergy* pause = nullptr;
+  for (const auto& e : trace.elements)
+    if (test.elements()[e.element].is_pause()) pause = &e;
+  ASSERT_NE(pause, nullptr);
+  const std::uint64_t mid_window =
+      (pause->start_cycle + pause->cycles / 2) / trace.window_cycles;
+  const double idle_window_energy =
+      static_cast<double>(trace.window_cycles) *
+      (cfg.tech.e_clock_tree + cfg.tech.e_control_base);
+  EXPECT_NEAR(trace.window_supply_j[mid_window], idle_window_energy,
+              1e-9 * idle_window_energy);
+}
+
+}  // namespace

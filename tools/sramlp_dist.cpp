@@ -50,7 +50,7 @@ using namespace sramlp;
       stderr,
       "usage: %s <subcommand> [options]\n"
       "\n"
-      "  example-job [--campaign]                         demo job spec -> stdout\n"
+      "  example-job [--campaign] [--trace]               demo job spec -> stdout\n"
       "  plan   --job J --shards K --dir D [--strategy contiguous|strided]\n"
       "  worker --spec S --out R [--threads N] [--per-fault]\n"
       "  run    --job J --shards K --workers N --dir D --out M\n"
@@ -176,7 +176,17 @@ std::string self_path(const char* argv0) {
 
 int cmd_example_job(Args& args) {
   const bool campaign = args.flag("--campaign");
+  // --trace: time-resolved power accounting on every run of the sweep
+  // job; the sharded merge stays byte-identical to `single` (CI diffs
+  // it).  Campaign reports reduce to per-fault verdicts, which carry no
+  // trace — combining the flags would buy the traced-run cost for no
+  // output, so it is an error rather than a silent no-op.
+  const bool trace = args.flag("--trace");
   args.reject_leftovers();
+  if (campaign && trace)
+    throw Error("--trace applies to sweep jobs only: campaign entries "
+                "reduce to per-fault verdicts and would pay the traced-run "
+                "cost without reporting a trace");
   dist::JobSpec job;
   if (campaign) {
     job.kind = dist::JobSpec::Kind::kCampaign;
@@ -190,6 +200,9 @@ int cmd_example_job(Args& args) {
                             sram::DataBackground::checkerboard()};
     job.grid.algorithms = {march::algorithms::mats_plus(),
                            march::algorithms::march_c_minus()};
+    if (trace)
+      job.grid.base.trace =
+          power::TraceConfig{.window_cycles = 32, .keep_windows = true};
   }
   std::fputs((dist::to_json(job).dump(2) + "\n").c_str(), stdout);
   return 0;
