@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "circuit/subcircuits.h"
 #include "circuit/transient.h"
@@ -16,6 +18,7 @@
 #include "faults/models.h"
 #include "io/serialize.h"
 #include "march/algorithms.h"
+#include "sram/simd.h"
 
 namespace {
 
@@ -134,10 +137,25 @@ void BM_SweepPoint512_Analytic(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepPoint512_Analytic)->Unit(benchmark::kMillisecond);
 
-// Traced sweep point: the probe/sink layer end to end — per-cycle metering
-// path plus the PowerTrace window/element accumulation.  Compare against
-// BM_SweepPoint512_CycleAccurate (scaled by the cycle-count ratio) to see
-// the time-resolution tax.
+// Untraced twin of BM_SweepPoint256_Traced: the same sweep point with no
+// sink attached.  The ratio between the two is the cost of time-resolved
+// power accounting; with the bulk-window traced fast path it must stay
+// small (acceptance: traced <= 1.3x untraced).
+void BM_SweepPoint256_CycleAccurate(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = {256, 256, 1};
+  const auto test = march::algorithms::march_c_minus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TestSession::compare_modes(cfg, test));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("256x256 March C- PRR points/s (cycle-accurate)");
+}
+BENCHMARK(BM_SweepPoint256_CycleAccurate)->Unit(benchmark::kMillisecond);
+
+// Traced sweep point: the probe/sink layer end to end — bulk-window fold
+// into the PowerTrace plus element attribution.  Compare against
+// BM_SweepPoint256_CycleAccurate to see the time-resolution tax.
 void BM_SweepPoint256_Traced(benchmark::State& state) {
   core::SessionConfig cfg;
   cfg.geometry = {256, 256, 1};
@@ -151,6 +169,38 @@ void BM_SweepPoint256_Traced(benchmark::State& state) {
   state.SetLabel("256x256 March C- traced PRR points/s");
 }
 BENCHMARK(BM_SweepPoint256_Traced)->Unit(benchmark::kMillisecond);
+
+// The SIMD dispatch seam's cohort-evaluation kernel at each level the host
+// supports (arg = Level: 0 scalar, 1 AVX2, 2 AVX-512).  Levels beyond the
+// host's capability are clamped by set_level_for_testing, so the label
+// records which kernel actually ran.
+void BM_CohortEvalSimd(benchmark::State& state) {
+  sram::simd::set_level_for_testing(
+      static_cast<sram::simd::Level>(state.range(0)));
+  constexpr std::size_t kBatch = 1024;
+  std::vector<double> factors(kBatch), v_low(kBatch), stress(kBatch),
+      dv(kBatch), equiv(kBatch), recharge(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    factors[i] = 1.0 / static_cast<double>(i + 1);
+  sram::simd::CohortEvalConstants k;
+  k.vdd = 1.0;
+  k.half_c = 0.5 * 250e-15;
+  k.c_vdd = 250e-15;
+  k.tau_over_duty = 1.0e4;
+  for (auto _ : state) {
+    sram::simd::cohort_eval_batch(factors.data(), kBatch, k, v_low.data(),
+                                  stress.data(), dv.data(), equiv.data(),
+                                  recharge.data());
+    benchmark::DoNotOptimize(v_low.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  state.SetLabel(std::string("cohort evals/s (") +
+                 sram::simd::level_name(sram::simd::active_level()) + ")");
+  sram::simd::reset_level_for_testing();
+}
+BENCHMARK(BM_CohortEvalSimd)->Arg(0)->Arg(1)->Arg(2);
 
 // The cohort engines' bulk meter accumulation: add(source, joules, count)
 // must stay a repeated-addition loop (bit-identity with the per-column

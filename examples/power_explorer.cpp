@@ -4,6 +4,7 @@
 //
 //   $ ./examples/power_explorer [rows] [cols] [word_width] [--json]
 //                               [--trace] [--window N]
+//                               [--waveform FILE] [--waveform-format csv|jsonl]
 //
 // --json replaces the table with a machine-readable document (one entry
 // per algorithm, full per-source meter breakdowns via power::to_json).
@@ -11,10 +12,15 @@
 // and a per-March-element energy table (or, with --json, full
 // TraceSummary objects) — the peak-power view the scalar PRR table
 // cannot give.  --window sets the trace window in cycles (default 64).
+// --waveform streams the per-cycle energy waveform of every run into FILE
+// (power::WaveformWriter).  Runs are numbered in file order: for each
+// algorithm of the library, the functional run first, then the low-power
+// run.  --waveform-format picks CSV (default) or JSONL records.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +29,7 @@
 #include "march/algorithms.h"
 #include "power/analytic.h"
 #include "power/report.h"
+#include "power/waveform.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -32,13 +39,35 @@ int main(int argc, char** argv) {
     bool json = false;
     bool trace = false;
     std::size_t window = 64;
+    std::string waveform_path;
+    power::WaveformFormat waveform_format = power::WaveformFormat::kCsv;
     std::vector<const char*> positional;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0)
         json = true;
       else if (std::strcmp(argv[i], "--trace") == 0)
         trace = true;
-      else if (std::strcmp(argv[i], "--window") == 0) {
+      else if (std::strcmp(argv[i], "--waveform") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "power_explorer: --waveform needs an output file\n");
+          return 2;
+        }
+        waveform_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--waveform-format") == 0) {
+        const std::string value = i + 1 < argc ? argv[++i] : "";
+        if (value == "csv")
+          waveform_format = power::WaveformFormat::kCsv;
+        else if (value == "jsonl")
+          waveform_format = power::WaveformFormat::kJsonl;
+        else {
+          std::fprintf(stderr,
+                       "power_explorer: --waveform-format must be csv or "
+                       "jsonl, got '%s'\n",
+                       value.c_str());
+          return 2;
+        }
+      } else if (std::strcmp(argv[i], "--window") == 0) {
         // Strict parse: a wrapped negative or zero window would silently
         // produce a plausible-looking but meaningless peak power.
         const std::string value = i + 1 < argc ? argv[++i] : "";
@@ -74,6 +103,12 @@ int main(int argc, char** argv) {
     config.tech = tech;
     config.geometry.validate();
     if (trace) config.trace = power::TraceConfig{.window_cycles = window};
+    std::unique_ptr<power::WaveformWriter> waveform;
+    if (!waveform_path.empty()) {
+      waveform = std::make_unique<power::WaveformWriter>(waveform_path,
+                                                         waveform_format);
+      config.waveform_sink = waveform.get();
+    }
 
     if (json) {
       io::JsonValue doc = io::JsonValue::object();
@@ -160,6 +195,14 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(lt.peak_window),
                     ft.average_power_w * 1e6, lt.average_power_w * 1e6);
       }
+    }
+
+    if (waveform) {
+      waveform->finish();
+      std::printf("\nwaveform: %llu records -> %s\n",
+                  static_cast<unsigned long long>(
+                      waveform->records_written()),
+                  waveform_path.c_str());
     }
 
     std::puts("\nrule of thumb (paper §5): the saving scales with "

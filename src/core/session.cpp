@@ -68,6 +68,7 @@ engine::CommandStream TestSession::make_stream(
   options.invert_background = config_.invert_background;
   options.background = config_.background;
   options.trace = config_.trace;
+  options.waveform_sink = config_.waveform_sink;
   return engine::CommandStream(test, *order_, options);
 }
 

@@ -63,6 +63,12 @@ struct SessionConfig {
   /// untraced run; cycle-accurate execution takes the per-cycle metering
   /// path, so traced runs trade some speed for time resolution.
   std::optional<power::TraceConfig> trace;
+  /// Opt-in per-cycle waveform export (borrowed, may be nullptr): a
+  /// power::WaveformWriter (or any raw-event MeterSink) subscribed to
+  /// every cycle-accurate run of this session — including both runs of a
+  /// compare_modes pair.  Needs the raw event stream, so it forces the
+  /// per-cycle execution path; totals stay bit-identical.
+  power::MeterSink* waveform_sink = nullptr;
 };
 
 /// Location of a detected mismatch (the engine records the first

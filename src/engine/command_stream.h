@@ -79,6 +79,12 @@ struct StreamOptions {
   /// boundaries come from the stream's element indices — and attach its
   /// TraceSummary to the ExecutionResult.  Run totals are unaffected.
   std::optional<power::TraceConfig> trace;
+  /// Optional per-event export sink (borrowed; e.g. a
+  /// power::WaveformWriter).  Trace-capable backends subscribe it to the
+  /// meter for the run — alongside the trace when both are requested.  A
+  /// sink that needs the raw event stream forces per-cycle execution, so
+  /// expect waveform runs to be slower than traced ones.
+  power::MeterSink* waveform_sink = nullptr;
 };
 
 class CommandStream {

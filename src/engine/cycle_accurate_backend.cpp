@@ -16,6 +16,25 @@ struct SinkGuard {
   }
 };
 
+/// Fan-out for runs that request both a trace and a waveform export.  It
+/// keeps the default bulk_fold_supported() == false: the waveform side
+/// needs every event, so the array must stay on its per-cycle path even
+/// though the trace alone could fold.
+struct TeeSink final : power::MeterSink {
+  power::MeterSink* a = nullptr;
+  power::MeterSink* b = nullptr;
+  void on_add(power::EnergySource source, double joules, std::uint64_t count,
+              std::uint64_t cycle) override {
+    a->on_add(source, joules, count, cycle);
+    b->on_add(source, joules, count, cycle);
+  }
+  void on_spread(power::EnergySource source, double joules,
+                 std::uint64_t first_cycle, std::uint64_t cycles) override {
+    a->on_spread(source, joules, first_cycle, cycles);
+    b->on_spread(source, joules, first_cycle, cycles);
+  }
+};
+
 }  // namespace
 
 ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
@@ -29,10 +48,20 @@ ExecutionResult CycleAccurateBackend::run(CommandStream& stream) {
   // its per-cycle path while a sink is attached (bit-identical totals),
   // and the stream's element indices mark the attribution boundaries.
   std::optional<power::PowerTrace> trace;
+  TeeSink tee;
   SinkGuard guard;
   if (stream.options().trace) {
     trace.emplace(*stream.options().trace, array_->config().tech.clock_period);
-    array_->meter().attach_sink(&*trace);
+    if (stream.options().waveform_sink != nullptr) {
+      tee.a = &*trace;
+      tee.b = stream.options().waveform_sink;
+      array_->meter().attach_sink(&tee);
+    } else {
+      array_->meter().attach_sink(&*trace);
+    }
+    guard.meter = &array_->meter();
+  } else if (stream.options().waveform_sink != nullptr) {
+    array_->meter().attach_sink(stream.options().waveform_sink);
     guard.meter = &array_->meter();
   }
 

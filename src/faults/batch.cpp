@@ -8,8 +8,14 @@ namespace sramlp::faults {
 
 namespace {
 
-/// True when the model's dynamic sensitisation depends on global operation
-/// history rather than its own cells.
+/// True when the model's dynamic sensitisation consumes the global
+/// write-then-read operation history (FaultSet::relevant_rows returns
+/// nullopt, hooking every row).  That history is keyed purely on operation
+/// COORDINATES — write_result records the cell, read_result/on_idle clear
+/// the pair — and other batch members only ever change operation VALUES on
+/// their own (disjoint) victim cells, never the operation sequence, so
+/// such faults batch safely.  They get batches of their own only so the
+/// every-row hooking cost stays off the word-parallel batches.
 bool needs_global_history(FaultKind kind) {
   return kind == FaultKind::kDynamicReadDestructive;
 }
@@ -20,15 +26,13 @@ BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
                        std::size_t max_batch) {
   BatchPlan plan;
 
-  // Per-batch victim-cell bookkeeping for the greedy first-fit pass.
+  // Per-batch victim-cell bookkeeping for the greedy first-fit pass, plus
+  // each batch's history class (see needs_global_history).
   std::vector<std::vector<sram::CellCoord>> batch_victims;
+  std::vector<bool> batch_global;
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const FaultSpec& f = specs[i];
-    if (needs_global_history(f.kind)) {
-      plan.fallback.push_back(i);
-      continue;
-    }
     if (is_coupling(f.kind)) {
       // Cell-level aggressor analysis: the only way another fault can
       // perturb this coupling fault is by disturbing its aggressor CELL —
@@ -54,9 +58,12 @@ BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
         continue;
       }
     }
-    // First batch whose victims miss this fault's victim cell.
+    // First batch of the fault's history class whose victims miss this
+    // fault's victim cell.
+    const bool global = needs_global_history(f.kind);
     bool placed = false;
     for (std::size_t b = 0; b < plan.batches.size() && !placed; ++b) {
+      if (batch_global[b] != global) continue;
       if (max_batch != 0 && plan.batches[b].size() >= max_batch) continue;
       const auto& victims = batch_victims[b];
       if (std::find(victims.begin(), victims.end(), f.victim) ==
@@ -69,6 +76,7 @@ BatchPlan plan_batches(const std::vector<FaultSpec>& specs,
     if (!placed) {
       plan.batches.push_back({i});
       batch_victims.push_back({f.victim});
+      batch_global.push_back(global);
     }
   }
   return plan;

@@ -11,9 +11,16 @@
 //     that is not.  The rules (conservative by design):
 //       - victim cells within a batch are pairwise disjoint: every fault's
 //         observable misbehaviour stays on its own cell;
-//       - dynamic dRDF<w;r> faults always fall back: they consume the
-//         global write-then-read history (FaultSet::relevant_rows returns
-//         nullopt for them), so their sensitisation cannot be localised;
+//       - dynamic dRDF<w;r> faults batch too, but only with each other:
+//         their sensitisation consumes the global write-then-read history,
+//         which is keyed purely on operation coordinates (write_result
+//         records the cell; read_result and on_idle clear the pair), and
+//         victim-disjoint co-members only ever alter operation values on
+//         their own cells — including coupling strikes, which land through
+//         force() and never touch write_result — so the history sequence
+//         every member sees is exactly the per-fault one.  Segregating
+//         them keeps the every-row hook cost (relevant_rows == nullopt)
+//         off the word-parallel batches;
 //       - a coupling fault whose aggressor CELL is any other fault's victim
 //         cell falls back: that other fault could corrupt the value CFst
 //         samples or create/suppress the transitions CFin/CFid trigger on.

@@ -46,6 +46,41 @@ class MeterSink {
   virtual void on_spread(EnergySource source, double joules,
                          std::uint64_t first_cycle,
                          std::uint64_t cycles) = 0;
+
+  // --- bulk-fold contract (the traced batch fast path) ----------------------
+  //
+  // A sink whose accumulators are per (source, window) and per
+  // (source, element) blocks of repeated additions may opt into bulk
+  // folding: the simulator's batch executor then keeps working copies of
+  // the current window/element blocks in registers — exactly like it holds
+  // the meter's raw totals — performs on each copy the additions on_add
+  // would have performed, and writes the blocks back at window boundaries
+  // and spill points.  Because each (source, window/element) accumulator
+  // receives the identical addition sequence, the folded result is
+  // bit-identical to the per-cycle event stream.  Sinks that need the
+  // events themselves (waveform writers) simply keep the default: the
+  // executor falls back to per-cycle delivery.
+
+  /// Opt in to bulk folding.  Returning true promises the three methods
+  /// below are implemented and that skipping per-event on_add delivery in
+  /// favour of direct slot accumulation is observationally equivalent.
+  virtual bool bulk_fold_supported() const { return false; }
+
+  /// Window width in cycles (>= 1); window index = cycle / width.
+  virtual std::uint64_t bulk_window_cycles() const { return 1; }
+
+  /// Writable per-source accumulator block (kEnergySourceCount doubles,
+  /// indexed by EnergySource) of window @p window.  Requesting a window
+  /// finalizes all earlier ones, so requests must be monotone; the pointer
+  /// is invalidated by any other call into the sink.
+  virtual double* bulk_window_slots(std::uint64_t window) {
+    (void)window;
+    return nullptr;
+  }
+
+  /// Writable per-source accumulator block of the current element.
+  /// Invalidated by any other call into the sink.
+  virtual double* bulk_element_slots() { return nullptr; }
 };
 
 /// Accumulates energy per source and counts clock cycles.
@@ -124,6 +159,7 @@ class EnergyMeter {
   /// not measurement: reset() keeps the sink, copies drop it.
   void attach_sink(MeterSink* sink) { sink_ = sink; }
   bool has_sink() const { return sink_ != nullptr; }
+  MeterSink* sink() { return sink_; }
 
   /// Advance the cycle counter (call once per simulated clock cycle).
   void tick_cycle() { ++cycles_; }
@@ -142,11 +178,13 @@ class EnergyMeter {
   /// block executor: it copies them into registers for the duration of a
   /// run and writes them back, performing exactly the additions add()
   /// would have — same values, same order, same totals to the bit.
-  /// Unavailable while a sink is attached: raw accumulation would bypass
-  /// the event stream (SramArray routes traced runs through the per-cycle
-  /// path instead).
+  /// Available with no sink, or with a bulk-fold-capable sink (whose
+  /// window/element blocks the executor folds the same way — see
+  /// MeterSink::bulk_fold_supported).  A sink that needs the event stream
+  /// itself keeps this unavailable: raw accumulation would bypass it
+  /// (SramArray routes such runs through the per-cycle path instead).
   std::array<double, kEnergySourceCount>& raw_totals() {
-    SRAMLP_REQUIRE(sink_ == nullptr,
+    SRAMLP_REQUIRE(sink_ == nullptr || sink_->bulk_fold_supported(),
                    "raw accumulator access would bypass the attached "
                    "trace sink; use the per-cycle metering path");
     return totals_;

@@ -96,6 +96,13 @@ void PowerTrace::on_add(EnergySource source, double joules,
   }
 }
 
+double* PowerTrace::bulk_window_slots(std::uint64_t window) {
+  fold_below(window);
+  return window_at(window).data();
+}
+
+double* PowerTrace::bulk_element_slots() { return element_now().slots.data(); }
+
 void PowerTrace::on_spread(EnergySource source, double joules,
                            std::uint64_t first_cycle, std::uint64_t cycles) {
   if (joules == 0.0 || cycles == 0 || !info(source).supply_drawn) return;

@@ -93,6 +93,19 @@ class PowerTrace final : public MeterSink {
   void on_spread(EnergySource source, double joules, std::uint64_t first_cycle,
                  std::uint64_t cycles) override;
 
+  // Bulk-fold contract: every trace accumulator is a per (source, window)
+  // or (source, element) chain of repeated additions, so the batch
+  // executor may fold whole runs directly into the slot blocks — the
+  // addition sequences (and therefore the bits) match per-cycle on_add
+  // delivery exactly.  This is what keeps traced runs on the engine's
+  // batched fast path instead of forcing per-cycle execution.
+  bool bulk_fold_supported() const override { return true; }
+  std::uint64_t bulk_window_cycles() const override {
+    return config_.window_cycles;
+  }
+  double* bulk_window_slots(std::uint64_t window) override;
+  double* bulk_element_slots() override;
+
   /// Closed-form entry point (no meter involved): spread @p joules of
   /// supply energy uniformly over [first_cycle, first_cycle + cycles),
   /// attributed to the current element.  The AnalyticBackend emits its

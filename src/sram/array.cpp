@@ -73,6 +73,14 @@ SramArray::SramArray(const SramConfig& config)
   e_.write_driver = t.e_write_driver_per_bit;
   e_.write_restore = t.e_write_restore();
 
+  // Hoisted cohort closed-form constants: each is the exact left-to-right
+  // subtree eval_cohort's scalar expressions compute from the config, so
+  // table entries built from them carry identical bits.
+  eval_k_.vdd = vdd;
+  eval_k_.half_c = 0.5 * t.c_bitline;
+  eval_k_.c_vdd = t.c_bitline * vdd;
+  eval_k_.tau_over_duty = t.decay_tau_cycles / config_.wordline_duty;
+
   fast_ = config_.column_model == ColumnModel::kBitslicedCohort;
   if (fast_) {
     cohort_of_.assign(g.cols, kColPrecharged);
@@ -552,19 +560,55 @@ void SramArray::reference_idle(std::uint64_t cycles) {
 SramArray::CohortEval SramArray::eval_cohort(const Cohort& cohort) const {
   // Cohort members hold both lines at VDD at the capture point; only the
   // side driven by the active row's cell decays, and every energy term is
-  // side-symmetric, so one evaluation covers the whole cohort.  Each
-  // expression mirrors settle()/recharge() exactly (the untouched side
-  // contributes an exact 0.0 there).
-  const double vdd = config_.tech.vdd;
+  // side-symmetric, so one evaluation covers the whole cohort.  The
+  // evaluation depends only on the elapsed connected cycles (plus fixed
+  // config), so it is served from the grow-only table; every entry
+  // mirrors settle()/recharge() exactly (the untouched side contributes
+  // an exact 0.0 there), and elapsed 0 — no active row, or a decay
+  // scheduled to start now or later — reproduces the undecayed case
+  // bitwise (factor exp(-0.0) == 1.0).
+  const std::uint64_t elapsed =
+      (!active_row_ || cohort.start >= cycle_) ? 0 : cycle_ - cohort.start;
+  return eval_elapsed(elapsed);
+}
+
+SramArray::CohortEval SramArray::eval_elapsed(std::uint64_t elapsed) const {
+  constexpr std::uint64_t kTableCap = 4096;  // matches the decay-memo cap
   CohortEval e;
-  e.v_low = active_row_ ? decayed(vdd, cohort.start) : vdd;
-  const double c = config_.tech.c_bitline;
-  e.stress_j = 0.5 * c * (vdd * vdd - e.v_low * e.v_low);
-  e.dv = vdd - e.v_low;
-  e.equiv = (config_.tech.decay_tau_cycles / config_.wordline_duty) * e.dv /
-            config_.tech.vdd;
-  e.recharge_e = config_.tech.c_bitline * vdd * e.dv;
+  if (elapsed >= kTableCap) {
+    // Past the memo horizon: evaluate the closed form directly (the batch
+    // kernel with n = 1 is the scalar expression tree).
+    const double factor = decay_factor(elapsed);
+    simd::cohort_eval_batch(&factor, 1, eval_k_, &e.v_low, &e.stress_j,
+                            &e.dv, &e.equiv, &e.recharge_e);
+    return e;
+  }
+  if (elapsed >= eval_table_.size()) grow_eval_table(elapsed);
+  e.v_low = eval_table_.v_low[elapsed];
+  e.stress_j = eval_table_.stress_j[elapsed];
+  e.dv = eval_table_.dv[elapsed];
+  e.equiv = eval_table_.equiv[elapsed];
+  e.recharge_e = eval_table_.recharge_e[elapsed];
   return e;
+}
+
+void SramArray::grow_eval_table(std::uint64_t elapsed) const {
+  const std::size_t old = eval_table_.size();
+  std::size_t next = std::max<std::size_t>(
+      {static_cast<std::size_t>(elapsed) + 1, 2 * old, 64});
+  next = std::min<std::size_t>(next, 4096);
+  decay_factor_slow(next - 1);  // the factor memo now covers [0, next)
+  eval_table_.v_low.resize(next);
+  eval_table_.stress_j.resize(next);
+  eval_table_.dv.resize(next);
+  eval_table_.equiv.resize(next);
+  eval_table_.recharge_e.resize(next);
+  simd::cohort_eval_batch(decay_memo_.data() + old, next - old, eval_k_,
+                          eval_table_.v_low.data() + old,
+                          eval_table_.stress_j.data() + old,
+                          eval_table_.dv.data() + old,
+                          eval_table_.equiv.data() + old,
+                          eval_table_.recharge_e.data() + old);
 }
 
 void SramArray::cohort_settle_bulk(const CohortEval& eval, bool pre_op,
@@ -658,10 +702,7 @@ std::uint32_t SramArray::fast_enter_row(std::size_t row) {
         // Exactly one side of every member is below threshold, and its
         // implied value is the old row's stored bit (that cell drove the
         // decay): overpowering copies the old row's data onto the new row.
-        for (std::size_t c = col; c < col + n; c += 64) {
-          const std::size_t chunk = std::min<std::size_t>(64, col + n - c);
-          swaps += cells_.copy_row_bits(row, old_row, c, chunk);
-        }
+        swaps += cells_.copy_row_range(row, old_row, col, n);
       }
       if (e.v_low < vdd) {
         // Partial voltage survives the hand-over: per-column state from
@@ -761,25 +802,35 @@ CycleResult SramArray::fast_execute_op(const CycleCommand& command) {
         cells_.set_unchecked(command.row, first_col, physical);
       }
     } else {
-      for (std::size_t c0 = first_col; c0 < first_col + w; c0 += 64) {
-        const std::size_t n = std::min<std::size_t>(64, first_col + w - c0);
-        const std::uint64_t value_bits =
-            command.value ? low_bit_mask(n) : std::uint64_t{0};
-        const std::uint64_t physical =
-            value_bits ^ command.background.bits(command.row, c0, n);
-        if (command.is_read) {
-          const std::uint64_t sensed = cells_.row_bits(command.row, c0, n);
-          if (sensed != physical) {
-            if (!result.mismatch)
-              result.first_bad_col =
-                  c0 + static_cast<std::size_t>(
-                           std::countr_zero(sensed ^ physical));
-            result.mismatch = true;
-          }
-          result.read_value = ((sensed >> (n - 1)) & 1u) != 0;
+      // One 64-periodic word describes the whole group's expected physical
+      // data (every background's column period divides 64), so the
+      // fault-free data path compares / writes the full slice word-parallel;
+      // only a mismatching read decomposes per 64-bit chunk.
+      const std::uint64_t pattern =
+          (command.value ? ~std::uint64_t{0} : std::uint64_t{0}) ^
+          command.background.bits(command.row, first_col,
+                                  std::min<std::size_t>(64, w));
+      if (command.is_read) {
+        if (cells_.row_matches_pattern(command.row, first_col, w, pattern)) {
+          result.read_value = ((pattern >> ((w - 1) & 63)) & 1u) != 0;
         } else {
-          cells_.set_row_bits(command.row, c0, n, physical);
+          for (std::size_t c0 = first_col; c0 < first_col + w; c0 += 64) {
+            const std::size_t n =
+                std::min<std::size_t>(64, first_col + w - c0);
+            const std::uint64_t physical = pattern & low_bit_mask(n);
+            const std::uint64_t sensed = cells_.row_bits(command.row, c0, n);
+            if (sensed != physical) {
+              if (!result.mismatch)
+                result.first_bad_col =
+                    c0 + static_cast<std::size_t>(
+                             std::countr_zero(sensed ^ physical));
+              result.mismatch = true;
+            }
+            result.read_value = ((sensed >> (n - 1)) & 1u) != 0;
+          }
         }
+      } else {
+        cells_.fill_row_pattern(command.row, first_col, w, pattern);
       }
     }
     if (command.is_read) {
@@ -1015,12 +1066,16 @@ RunResult SramArray::execute_run(const RunCommand& run) {
     SRAMLP_REQUIRE(run.first_group + run.group_count <= g.col_groups(),
                    "column run out of range");
   }
-  // fast_run accumulates meter totals in registers via raw_totals(), which
-  // bypasses the probe's event stream; with a trace sink attached the run
-  // takes the per-cycle path instead — bit-identical totals (the batch
-  // executor's documented contract, pinned by test_bitsliced_parity.cpp),
-  // every event delivered.
-  return fast_ && !meter_.has_sink() ? fast_run(run) : run_per_cycle(run);
+  // fast_run accumulates meter totals in registers via raw_totals().  A
+  // bulk-fold-capable sink (PowerTrace) keeps the batch path: its window /
+  // element blocks fold through the identical addition sequences, so both
+  // totals and traces stay bit-identical to per-cycle delivery (the batch
+  // executor's documented contract, pinned by test_bitsliced_parity.cpp).
+  // A sink that needs the raw event stream (waveform writers) forces the
+  // per-cycle path — every event delivered.
+  const bool bulk_ok =
+      !meter_.has_sink() || meter_.sink()->bulk_fold_supported();
+  return fast_ && bulk_ok ? fast_run(run) : run_per_cycle(run);
 }
 
 RunResult SramArray::run_per_cycle(const RunCommand& run) {
@@ -1052,6 +1107,15 @@ RunResult SramArray::run_per_cycle(const RunCommand& run) {
 }
 
 RunResult SramArray::fast_run(const RunCommand& run) {
+  // A sink can only be attached here when it supports bulk folding
+  // (execute_run routes other sinks per-cycle); pick the matching
+  // instantiation once per run.
+  return meter_.has_sink() ? fast_run_impl<true>(run)
+                           : fast_run_impl<false>(run);
+}
+
+template <bool kTraced>
+RunResult SramArray::fast_run_impl(const RunCommand& run) {
   const Geometry& g = config_.geometry;
   const std::size_t w = g.word_width;
   const bool lp = config_.mode == Mode::kLowPowerTest;
@@ -1090,18 +1154,50 @@ RunResult SramArray::fast_run(const RunCommand& run) {
     return static_cast<std::size_t>(s);
   };
   auto& totals = meter_.raw_totals();
-  std::array<double, power::kEnergySourceCount> t{};
+  // Traced runs additionally fold the sink's current-window and
+  // current-element slot blocks: local copies receive the identical
+  // per-slot addition sequences on_add would have performed, and are
+  // written back at window boundaries and spill points — bit-identical
+  // traces at batch speed (MeterSink::bulk_fold_supported contract).
+  // The three mirrored accumulators of one source are interleaved as a
+  // {window, element, total, pad} quad so one event's additions land in
+  // one cache line and the window/element pair runs as a single lanewise
+  // two-wide add; untraced runs keep the dense one-total-per-source
+  // block.  Interleaving only regroups independent per-slot chains, so
+  // the bits are unchanged.
+  constexpr std::size_t kStride = kTraced ? 4 : 1;
+  alignas(16) std::array<double, power::kEnergySourceCount * kStride> t{};
+  power::MeterSink* const sink = kTraced ? meter_.sink() : nullptr;
+  std::uint64_t win_cycles = 1;
+  if constexpr (kTraced) win_cycles = sink->bulk_window_cycles();
+  double* winp = nullptr;
+  double* elemp = nullptr;
+  std::uint64_t cur_window = 0;
   double equiv_post = 0.0;
   double equiv_pre = 0.0;
   std::uint64_t d_full_res = 0, d_reads = 0, d_writes = 0, d_mismatch = 0,
                 d_cycles = 0;
   const auto load = [&] {
-    t = totals;
     equiv_post = stats_.decay_stress_equiv_post_op;
     equiv_pre = stats_.decay_stress_equiv_pre_op;
+    if constexpr (kTraced) {
+      // (Re-)acquire the sink's blocks: direct meter adds during a spill
+      // fold windows and may reallocate the sink's slot storage.  The
+      // meter's cycle counter equals cycle_ at every spill point, so the
+      // current window is cycle_ / width on both paths.
+      cur_window = cycle_ / win_cycles;
+      winp = sink->bulk_window_slots(cur_window);
+      elemp = sink->bulk_element_slots();
+      for (std::size_t i = 0; i < power::kEnergySourceCount; ++i) {
+        t[i * 4] = winp[i];
+        t[i * 4 + 1] = elemp[i];
+        t[i * 4 + 2] = totals[i];
+      }
+    } else {
+      t = totals;
+    }
   };
   const auto store = [&] {
-    totals = t;
     stats_.decay_stress_equiv_post_op = equiv_post;
     stats_.decay_stress_equiv_pre_op = equiv_pre;
     stats_.full_res_column_cycles += d_full_res;
@@ -1111,6 +1207,34 @@ RunResult SramArray::fast_run(const RunCommand& run) {
     stats_.cycles += d_cycles;
     meter_.tick_cycles(d_cycles);
     d_full_res = d_reads = d_writes = d_mismatch = d_cycles = 0;
+    if constexpr (kTraced) {
+      for (std::size_t i = 0; i < power::kEnergySourceCount; ++i) {
+        winp[i] = t[i * 4];
+        elemp[i] = t[i * 4 + 1];
+        totals[i] = t[i * 4 + 2];
+      }
+    } else {
+      totals = t;
+    }
+  };
+  // One metered event: the totals always; the trace's window / element
+  // chains only for supply-drawn sources (the per-cycle sink skips
+  // stored-charge stress the same way).  Mirroring an exact 0.0 is a
+  // bitwise no-op on the non-negative accumulators, matching the sink's
+  // zero-event skip.
+  using V2 = double __attribute__((vector_size(16), may_alias));
+  const auto acc = [&](EnergySource s, double e) {
+    if constexpr (kTraced) {
+      double* const p = t.data() + I(s) * 4;
+      if (power::info(s).supply_drawn) {
+        // Lanewise two-wide add: each lane is the identical scalar IEEE
+        // addition, just issued as one aligned instruction.
+        *reinterpret_cast<V2*>(p) += V2{e, e};
+      }
+      p[2] += e;
+    } else {
+      t[I(s)] += e;
+    }
   };
   load();
 
@@ -1161,12 +1285,29 @@ RunResult SramArray::fast_run(const RunCommand& run) {
       const bool restore = run.restore_last && k + 1 == run.group_count &&
                            o + 1 == run.op_count;
 
+      if constexpr (kTraced) {
+        if (cycle_ / win_cycles != cur_window) {
+          // Entering a new window with a cycle still to run: finish the
+          // old block, acquire the new one (acquisition finalizes every
+          // window below it).  Doing this before the cycle's first event
+          // — rather than right after ++cycle_ — means a window past the
+          // run's final event never materializes, matching the per-cycle
+          // sink, which only creates a window when an add lands in it.
+          for (std::size_t i = 0; i < power::kEnergySourceCount; ++i)
+            winp[i] = t[i * 4];
+          cur_window = cycle_ / win_cycles;
+          winp = sink->bulk_window_slots(cur_window);
+          for (std::size_t i = 0; i < power::kEnergySourceCount; ++i)
+            t[i * 4] = winp[i];
+        }
+      }
+
       // --- peripheral (charge_peripheral) -----------------------------
-      t[I(EnergySource::kWordline)] += e_.wordline;
-      t[I(EnergySource::kDecoder)] += e_.decoder;
-      t[I(EnergySource::kAddressBus)] += e_.address_bus;
-      t[I(EnergySource::kClockTree)] += e_.clock_tree;
-      t[I(EnergySource::kMemoryControl)] += e_.control_base;
+      acc(EnergySource::kWordline, e_.wordline);
+      acc(EnergySource::kDecoder, e_.decoder);
+      acc(EnergySource::kAddressBus, e_.address_bus);
+      acc(EnergySource::kClockTree, e_.clock_tree);
+      acc(EnergySource::kMemoryControl, e_.control_base);
 
       // --- selected column state (fast_execute_op phase 1) ------------
       // Virtual mode: the selected group is provably exempt or
@@ -1225,18 +1366,18 @@ RunResult SramArray::fast_run(const RunCommand& run) {
               mismatch = true;
               faults_->on_read_mismatch(cell);
             }
-            t[I(EnergySource::kSenseAmp)] += e_.sense_amp;
-            t[I(EnergySource::kDataIo)] += e_.data_io;
-            t[I(EnergySource::kPrechargeRestoreRead)] += e_.read_restore;
-            t[I(EnergySource::kCellRes)] += e_.cell_res;
+            acc(EnergySource::kSenseAmp, e_.sense_amp);
+            acc(EnergySource::kDataIo, e_.data_io);
+            acc(EnergySource::kPrechargeRestoreRead, e_.read_restore);
+            acc(EnergySource::kCellRes, e_.cell_res);
           } else {
             const bool effective =
                 faults_->write_result(cell, stored_v, physical);
             cells_.set_unchecked(cell.row, cell.col, effective);
             faults_->after_write(*this, cell, stored_v, effective);
-            t[I(EnergySource::kWriteDriver)] += e_.write_driver;
-            t[I(EnergySource::kDataIo)] += e_.data_io;
-            t[I(EnergySource::kPrechargeRestoreWrite)] += e_.write_restore;
+            acc(EnergySource::kWriteDriver, e_.write_driver);
+            acc(EnergySource::kDataIo, e_.data_io);
+            acc(EnergySource::kPrechargeRestoreWrite, e_.write_restore);
           }
         }
       } else {
@@ -1257,44 +1398,53 @@ RunResult SramArray::fast_run(const RunCommand& run) {
             cells_.set_unchecked(run.row, first_col, physical);
           }
         } else {
-          for (std::size_t c0 = first_col; c0 < first_col + w; c0 += 64) {
-            const std::size_t nb = std::min<std::size_t>(64, first_col + w - c0);
-            const std::uint64_t value_bits =
-                op.value ? low_bit_mask(nb) : std::uint64_t{0};
-            const std::uint64_t physical =
-                value_bits ^ run.background.bits(run.row, c0, nb);
-            if (op.is_read) {
-              std::uint64_t diff =
-                  cells_.row_bits(run.row, c0, nb) ^ physical;
-              if (diff != 0) {
-                if (!mismatch)
-                  first_bad_col =
-                      c0 + static_cast<std::size_t>(std::countr_zero(diff));
-                mismatch = true;
-                if (faults_ != nullptr) {
-                  for (; diff != 0; diff &= diff - 1)
-                    faults_->on_read_mismatch(
-                        {run.row, c0 + static_cast<std::size_t>(
-                                           std::countr_zero(diff))});
+          // Word-parallel data path: one 64-periodic pattern word covers
+          // the whole group (see fast_execute_op); mismatching reads —
+          // the rare case — decompose per 64-bit chunk.
+          const std::uint64_t pattern =
+              (op.value ? ~std::uint64_t{0} : std::uint64_t{0}) ^
+              run.background.bits(run.row, first_col,
+                                  std::min<std::size_t>(64, w));
+          if (op.is_read) {
+            if (!cells_.row_matches_pattern(run.row, first_col, w,
+                                            pattern)) {
+              for (std::size_t c0 = first_col; c0 < first_col + w;
+                   c0 += 64) {
+                const std::size_t nb =
+                    std::min<std::size_t>(64, first_col + w - c0);
+                std::uint64_t diff = cells_.row_bits(run.row, c0, nb) ^
+                                     (pattern & low_bit_mask(nb));
+                if (diff != 0) {
+                  if (!mismatch)
+                    first_bad_col =
+                        c0 +
+                        static_cast<std::size_t>(std::countr_zero(diff));
+                  mismatch = true;
+                  if (faults_ != nullptr) {
+                    for (; diff != 0; diff &= diff - 1)
+                      faults_->on_read_mismatch(
+                          {run.row, c0 + static_cast<std::size_t>(
+                                             std::countr_zero(diff))});
+                  }
                 }
               }
-            } else {
-              cells_.set_row_bits(run.row, c0, nb, physical);
             }
+          } else {
+            cells_.fill_row_pattern(run.row, first_col, w, pattern);
           }
         }
         if (op.is_read) {
           for (std::size_t b = 0; b < w; ++b) {
-            t[I(EnergySource::kSenseAmp)] += e_.sense_amp;
-            t[I(EnergySource::kDataIo)] += e_.data_io;
-            t[I(EnergySource::kPrechargeRestoreRead)] += e_.read_restore;
-            t[I(EnergySource::kCellRes)] += e_.cell_res;
+            acc(EnergySource::kSenseAmp, e_.sense_amp);
+            acc(EnergySource::kDataIo, e_.data_io);
+            acc(EnergySource::kPrechargeRestoreRead, e_.read_restore);
+            acc(EnergySource::kCellRes, e_.cell_res);
           }
         } else {
           for (std::size_t b = 0; b < w; ++b) {
-            t[I(EnergySource::kWriteDriver)] += e_.write_driver;
-            t[I(EnergySource::kDataIo)] += e_.data_io;
-            t[I(EnergySource::kPrechargeRestoreWrite)] += e_.write_restore;
+            acc(EnergySource::kWriteDriver, e_.write_driver);
+            acc(EnergySource::kDataIo, e_.data_io);
+            acc(EnergySource::kPrechargeRestoreWrite, e_.write_restore);
           }
         }
       }
@@ -1307,8 +1457,8 @@ RunResult SramArray::fast_run(const RunCommand& run) {
 
       // --- unselected columns -----------------------------------------
       if (!lp) {
-        t[I(EnergySource::kPrechargeResFight)] += e_.others_res_fight;
-        t[I(EnergySource::kCellRes)] += e_.others_cell_res;
+        acc(EnergySource::kPrechargeResFight, e_.others_res_fight);
+        acc(EnergySource::kCellRes, e_.others_cell_res);
         d_full_res += g.cols - w;
         if (faults_ != nullptr) {
           for (std::size_t col : sensitive_by_row_[run.row]) {
@@ -1317,11 +1467,15 @@ RunResult SramArray::fast_run(const RunCommand& run) {
           }
         }
       } else if (restore) {
-        store();
         if (virt) {
           // Everything the restore recharges is a post-op cohort whose
           // decay start is arithmetic in its scan position; walk groups
           // in column order, exactly like the tag-driven path would.
+          // Folded through the local accumulators (the unrolled
+          // cohort_recharge_bulk + full_res_bulk repeated-addition
+          // sequence) rather than spilling: a traced run would otherwise
+          // pay one sink dispatch per bulk add for every group of the
+          // row, which dominates the whole traced sweep.
           for (std::size_t gi = 0; gi < groups; ++gi) {
             if (gi == group) continue;
             const std::size_t scan_index =
@@ -1330,18 +1484,26 @@ RunResult SramArray::fast_run(const RunCommand& run) {
                 row_entry_cycle + run.op_count * (scan_index + 1),
                 /*pre_op=*/false};
             const CohortEval ev = eval_cohort(kc);
-            cohort_recharge_bulk(ev, kc, w,
-                                 EnergySource::kRowTransitionRestore);
-            full_res_bulk(w);
+            for (std::size_t b = 0; b < w; ++b) {
+              if (ev.stress_j > 0.0)
+                acc(EnergySource::kBitlineDecayStress, ev.stress_j);
+              equiv_post += ev.equiv;
+              if (ev.dv > 0.0)
+                acc(EnergySource::kRowTransitionRestore, ev.recharge_e);
+              acc(EnergySource::kPrechargeResFight, e_.res_fight);
+              acc(EnergySource::kCellRes, e_.cell_res);
+              ++d_full_res;
+            }
           }
-          meter_.add(EnergySource::kLpTestDriver, e_.lptest_driver);
+          acc(EnergySource::kLpTestDriver, e_.lptest_driver);
           ++stats_.restore_cycles;
           std::fill(cohort_of_.begin(), cohort_of_.end(), kColPrecharged);
           cohorts_.clear();
         } else {
+          store();
           fast_restore_cycle(run.row, first_col);
+          load();
         }
-        load();
       } else {
         if (has_follower) {
           if (virt) {
@@ -1352,18 +1514,18 @@ RunResult SramArray::fast_run(const RunCommand& run) {
               const CohortEval ev = eval_cohort(kc);
               for (std::size_t b = 0; b < w; ++b) {
                 if (ev.stress_j > 0.0)
-                  t[I(EnergySource::kBitlineDecayStress)] += ev.stress_j;
+                  acc(EnergySource::kBitlineDecayStress, ev.stress_j);
                 equiv_pre += ev.equiv;
                 if (ev.dv > 0.0)
-                  t[I(EnergySource::kPrechargeNextColumn)] += ev.recharge_e;
-                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
-                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                  acc(EnergySource::kPrechargeNextColumn, ev.recharge_e);
+                acc(EnergySource::kPrechargeResFight, e_.res_fight);
+                acc(EnergySource::kCellRes, e_.cell_res);
                 ++d_full_res;
               }
             } else {
               for (std::size_t b = 0; b < w; ++b) {
-                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
-                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                acc(EnergySource::kPrechargeResFight, e_.res_fight);
+                acc(EnergySource::kCellRes, e_.cell_res);
                 ++d_full_res;
               }
             }
@@ -1372,8 +1534,8 @@ RunResult SramArray::fast_run(const RunCommand& run) {
               const std::size_t col = follower_first + b;
               const std::uint32_t tag = cohort_of_[col];
               if (tag == kColPrecharged) {
-                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
-                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                acc(EnergySource::kPrechargeResFight, e_.res_fight);
+                acc(EnergySource::kCellRes, e_.cell_res);
                 ++d_full_res;
               } else if (tag == kColMaterialized) {
                 store();
@@ -1386,15 +1548,15 @@ RunResult SramArray::fast_run(const RunCommand& run) {
                 const Cohort& kc = cohorts_[tag];
                 const CohortEval ev = eval_cohort(kc);
                 if (ev.stress_j > 0.0)
-                  t[I(EnergySource::kBitlineDecayStress)] += ev.stress_j;
+                  acc(EnergySource::kBitlineDecayStress, ev.stress_j);
                 if (kc.pre_op)
                   equiv_pre += ev.equiv;
                 else
                   equiv_post += ev.equiv;
                 if (ev.dv > 0.0)
-                  t[I(EnergySource::kPrechargeNextColumn)] += ev.recharge_e;
-                t[I(EnergySource::kPrechargeResFight)] += e_.res_fight;
-                t[I(EnergySource::kCellRes)] += e_.cell_res;
+                  acc(EnergySource::kPrechargeNextColumn, ev.recharge_e);
+                acc(EnergySource::kPrechargeResFight, e_.res_fight);
+                acc(EnergySource::kCellRes, e_.cell_res);
                 ++d_full_res;
                 cohort_of_[col] = kColPrecharged;
               }
@@ -1402,7 +1564,7 @@ RunResult SramArray::fast_run(const RunCommand& run) {
           }
         }
         if (o == 0 && group_advance)
-          t[I(EnergySource::kControlLogic)] += e_.control_element_group;
+          acc(EnergySource::kControlLogic, e_.control_element_group);
 
         // Selected group: post-operation decay from the next cycle on.
         // (Virtual mode defers the whole row's cohort write-out.)

@@ -64,6 +64,7 @@
 #include "sram/command.h"
 #include "sram/fault_hooks.h"
 #include "sram/geometry.h"
+#include "sram/simd.h"
 
 namespace sramlp::sram {
 
@@ -251,13 +252,24 @@ class SramArray {
   /// the everything-pre-charged tail), shared by fast_cycle and fast_run.
   void fast_restore_cycle(std::size_t row, std::size_t first_col);
   /// Per-cycle fallback for execute_run: the reference engine always, and
-  /// the bitsliced engine whenever a meter sink is attached (the batched
-  /// fast_run accumulates in registers and would bypass the probe's event
-  /// stream).  Dispatches to the active engine's cycle path, which is
-  /// bit-identical to the batch executor.
+  /// the bitsliced engine when the attached meter sink needs the raw event
+  /// stream (no bulk-fold support — e.g. a waveform writer).  Bulk-capable
+  /// sinks (PowerTrace) stay on the batched fast path, which folds their
+  /// window/element accumulators exactly like the meter totals.
+  /// Dispatches to the active engine's cycle path, which is bit-identical
+  /// to the batch executor.
   RunResult run_per_cycle(const RunCommand& run);
   RunResult fast_run(const RunCommand& run);
+  /// The batch executor, compiled twice: untraced (meter totals only) and
+  /// traced (additionally folding the sink's per-window / per-element
+  /// accumulator blocks through the identical addition sequences).
+  template <bool kTraced>
+  RunResult fast_run_impl(const RunCommand& run);
   CohortEval eval_cohort(const Cohort& cohort) const;
+  /// eval_cohort keyed by elapsed decay cycles, served from the grow-only
+  /// SIMD-filled table below (scalar closed form past the table cap).
+  CohortEval eval_elapsed(std::uint64_t elapsed) const;
+  void grow_eval_table(std::uint64_t elapsed) const;
   /// Meter the settle of @p count cohort members (stress + α bookkeeping).
   void cohort_settle_bulk(const CohortEval& eval, bool pre_op,
                           std::uint64_t count);
@@ -345,6 +357,23 @@ class SramArray {
   };
   PrechargeSnapshot snap_;
   mutable std::vector<double> decay_memo_;  ///< exp factor per elapsed cycle
+  /// Grow-only structure-of-arrays memo of eval_cohort by elapsed cycle:
+  /// cohort evaluations depend only on (elapsed, fixed config), so one
+  /// table serves every cohort of every run.  Filled in SIMD batches
+  /// (simd::cohort_eval_batch) from the decay-factor memo; each entry is
+  /// bit-identical to the scalar closed form.  Capped like decay_memo_.
+  struct CohortEvalTable {
+    std::vector<double> v_low;
+    std::vector<double> stress_j;
+    std::vector<double> dv;
+    std::vector<double> equiv;
+    std::vector<double> recharge_e;
+    std::size_t size() const { return v_low.size(); }
+  };
+  mutable CohortEvalTable eval_table_;
+  /// Hoisted constants of the cohort closed form (exact subtrees of the
+  /// scalar expressions; see simd::CohortEvalConstants).
+  simd::CohortEvalConstants eval_k_;
 };
 
 }  // namespace sramlp::sram

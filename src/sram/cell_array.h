@@ -67,6 +67,27 @@ class CellArray {
   std::uint32_t copy_row_bits(std::size_t dst_row, std::size_t src_row,
                               std::size_t col, std::size_t count);
 
+  /// copy_row_bits over an arbitrarily wide slice (any @p count): when the
+  /// two rows' word alignment matches, the interior runs word-at-a-time
+  /// with a SIMD xor-popcount; otherwise it falls back to 64-bit chunks.
+  /// Cell results are identical to chunked copy_row_bits either way.
+  std::uint32_t copy_row_range(std::size_t dst_row, std::size_t src_row,
+                               std::size_t col, std::size_t count);
+
+  /// True when the @p count cells starting at (@p row, @p col) equal the
+  /// 64-periodic bitstream whose bit at slice offset s is
+  /// (pattern >> (s & 63)) & 1.  All March data backgrounds have column
+  /// period 1 or 2, so a whole word group's expected physical data is one
+  /// such stream; this is the word-parallel read-compare of the bitsliced
+  /// engine's unhooked data path (SIMD over the interior words).
+  bool row_matches_pattern(std::size_t row, std::size_t col,
+                           std::size_t count, std::uint64_t pattern) const;
+
+  /// Overwrite @p count cells starting at (@p row, @p col) with the same
+  /// 64-periodic bitstream (word-parallel write of the unhooked path).
+  void fill_row_pattern(std::size_t row, std::size_t col, std::size_t count,
+                        std::uint64_t pattern);
+
   void fill(bool value);
 
   /// Number of cells currently holding 1.

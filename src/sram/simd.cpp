@@ -1,0 +1,355 @@
+#include "sram/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+// The vector kernels are compiled with per-function target attributes and
+// guarded by runtime dispatch, so the library still builds and runs on any
+// x86-64 (or, scalar-only, on any architecture) regardless of -march.
+#if !defined(SRAMLP_DISABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SRAMLP_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace sramlp::sram::simd {
+
+namespace {
+
+int rank(Level level) { return static_cast<int>(level); }
+
+Level min_level(Level a, Level b) { return rank(a) <= rank(b) ? a : b; }
+
+/// SRAMLP_SIMD caps (never raises) the hardware level: "scalar" pins the
+/// fallback, "avx2" disables the AVX-512 variants on capable machines.
+Level cap_from_env(Level hw) {
+  const char* env = std::getenv("SRAMLP_SIMD");
+  if (env == nullptr || env[0] == '\0') return hw;
+  if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "0") == 0)
+    return Level::kScalar;
+  if (std::strcmp(env, "avx2") == 0) return min_level(hw, Level::kAvx2);
+  if (std::strcmp(env, "avx512") == 0) return min_level(hw, Level::kAvx512);
+  return hw;  // unknown value: keep the detected level
+}
+
+Level detect() {
+  Level hw = Level::kScalar;
+#ifdef SRAMLP_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) hw = Level::kAvx2;
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512vpopcntdq"))
+    hw = Level::kAvx512;
+#endif
+  return cap_from_env(hw);
+}
+
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+Level detected_level() {
+  static const Level level = detect();
+  return level;
+}
+
+Level active_level() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  const Level detected = detected_level();
+  if (forced < 0) return detected;
+  return min_level(static_cast<Level>(forced), detected);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+void set_level_for_testing(Level level) {
+  g_forced.store(rank(min_level(level, detected_level())),
+                 std::memory_order_relaxed);
+}
+
+void reset_level_for_testing() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+// --- cohort evaluation -------------------------------------------------------
+
+namespace {
+
+/// The executable specification: the exact expression tree of
+/// SramArray::eval_cohort, one factor at a time.  Also the remainder loop
+/// of the vector variants.
+void cohort_eval_scalar(const double* factors, std::size_t n,
+                        const CohortEvalConstants& k, double* v_low,
+                        double* stress_j, double* dv, double* equiv,
+                        double* recharge_e) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = k.vdd * factors[i];
+    const double d = k.vdd - v;
+    v_low[i] = v;
+    stress_j[i] = k.half_c * (k.vdd * k.vdd - v * v);
+    dv[i] = d;
+    equiv[i] = k.tau_over_duty * d / k.vdd;
+    recharge_e[i] = k.c_vdd * d;
+  }
+}
+
+#ifdef SRAMLP_SIMD_X86
+
+// Lane-exact: vmulpd/vsubpd/vdivpd are correctly-rounded IEEE-754 per
+// lane, exactly like the scalar *, -, / above; the explicit intrinsics
+// also make FMA contraction impossible whatever the target flags.
+__attribute__((target("avx2"))) void cohort_eval_avx2(
+    const double* factors, std::size_t n, const CohortEvalConstants& k,
+    double* v_low, double* stress_j, double* dv, double* equiv,
+    double* recharge_e) {
+  const __m256d vdd = _mm256_set1_pd(k.vdd);
+  const __m256d vdd2 = _mm256_mul_pd(vdd, vdd);
+  const __m256d half_c = _mm256_set1_pd(k.half_c);
+  const __m256d tau = _mm256_set1_pd(k.tau_over_duty);
+  const __m256d c_vdd = _mm256_set1_pd(k.c_vdd);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d f = _mm256_loadu_pd(factors + i);
+    const __m256d v = _mm256_mul_pd(vdd, f);
+    const __m256d d = _mm256_sub_pd(vdd, v);
+    _mm256_storeu_pd(v_low + i, v);
+    _mm256_storeu_pd(
+        stress_j + i,
+        _mm256_mul_pd(half_c, _mm256_sub_pd(vdd2, _mm256_mul_pd(v, v))));
+    _mm256_storeu_pd(dv + i, d);
+    _mm256_storeu_pd(equiv + i, _mm256_div_pd(_mm256_mul_pd(tau, d), vdd));
+    _mm256_storeu_pd(recharge_e + i, _mm256_mul_pd(c_vdd, d));
+  }
+  cohort_eval_scalar(factors + i, n - i, k, v_low + i, stress_j + i, dv + i,
+                     equiv + i, recharge_e + i);
+}
+
+__attribute__((target("avx512f"))) void cohort_eval_avx512(
+    const double* factors, std::size_t n, const CohortEvalConstants& k,
+    double* v_low, double* stress_j, double* dv, double* equiv,
+    double* recharge_e) {
+  const __m512d vdd = _mm512_set1_pd(k.vdd);
+  const __m512d vdd2 = _mm512_mul_pd(vdd, vdd);
+  const __m512d half_c = _mm512_set1_pd(k.half_c);
+  const __m512d tau = _mm512_set1_pd(k.tau_over_duty);
+  const __m512d c_vdd = _mm512_set1_pd(k.c_vdd);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d f = _mm512_loadu_pd(factors + i);
+    const __m512d v = _mm512_mul_pd(vdd, f);
+    const __m512d d = _mm512_sub_pd(vdd, v);
+    _mm512_storeu_pd(v_low + i, v);
+    _mm512_storeu_pd(
+        stress_j + i,
+        _mm512_mul_pd(half_c, _mm512_sub_pd(vdd2, _mm512_mul_pd(v, v))));
+    _mm512_storeu_pd(dv + i, d);
+    _mm512_storeu_pd(equiv + i, _mm512_div_pd(_mm512_mul_pd(tau, d), vdd));
+    _mm512_storeu_pd(recharge_e + i, _mm512_mul_pd(c_vdd, d));
+  }
+  cohort_eval_scalar(factors + i, n - i, k, v_low + i, stress_j + i, dv + i,
+                     equiv + i, recharge_e + i);
+}
+
+#endif  // SRAMLP_SIMD_X86
+
+}  // namespace
+
+void cohort_eval_batch(const double* factors, std::size_t n,
+                       const CohortEvalConstants& k, double* v_low,
+                       double* stress_j, double* dv, double* equiv,
+                       double* recharge_e) {
+#ifdef SRAMLP_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512:
+      cohort_eval_avx512(factors, n, k, v_low, stress_j, dv, equiv,
+                         recharge_e);
+      return;
+    case Level::kAvx2:
+      cohort_eval_avx2(factors, n, k, v_low, stress_j, dv, equiv, recharge_e);
+      return;
+    case Level::kScalar: break;
+  }
+#endif
+  cohort_eval_scalar(factors, n, k, v_low, stress_j, dv, equiv, recharge_e);
+}
+
+// --- word kernels ------------------------------------------------------------
+
+namespace {
+
+std::uint64_t popcount_scalar(const std::uint64_t* words, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(words[i]));
+  return total;
+}
+
+#ifdef SRAMLP_SIMD_X86
+
+/// In-register nibble-LUT popcount (Mula): per-byte counts via PSHUFB,
+/// horizontally summed with PSADBW.  Exact, like any popcount.
+__attribute__((target("avx2"))) inline __m256i popcount_bytes_avx2(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+__attribute__((target("avx2"))) std::uint64_t horizontal_sum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum)));
+}
+
+__attribute__((target("avx2"))) std::uint64_t popcount_avx2(
+    const std::uint64_t* words, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(popcount_bytes_avx2(v), _mm256_setzero_si256()));
+  }
+  return horizontal_sum_epi64(acc) + popcount_scalar(words + i, n - i);
+}
+
+__attribute__((target("avx2"))) std::uint64_t xor_popcount_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(popcount_bytes_avx2(v), _mm256_setzero_si256()));
+  }
+  std::uint64_t total = horizontal_sum_epi64(acc);
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+__attribute__((target("avx2"))) bool all_words_equal_avx2(
+    const std::uint64_t* words, std::size_t n, std::uint64_t pattern) {
+  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(pattern));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi64(v, p)) != -1) return false;
+  }
+  for (; i < n; ++i)
+    if (words[i] != pattern) return false;
+  return true;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t
+popcount_avx512(const std::uint64_t* words, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(words + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc)) +
+         popcount_scalar(words + i, n - i);
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t
+xor_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                    std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_xor_si512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i)),
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + i)));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t total = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+__attribute__((target("avx512f"))) bool all_words_equal_avx512(
+    const std::uint64_t* words, std::size_t n, std::uint64_t pattern) {
+  const __m512i p = _mm512_set1_epi64(static_cast<long long>(pattern));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(words + i));
+    if (_mm512_cmpneq_epi64_mask(v, p) != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (words[i] != pattern) return false;
+  return true;
+}
+
+#endif  // SRAMLP_SIMD_X86
+
+}  // namespace
+
+std::uint64_t popcount_words(const std::uint64_t* words, std::size_t n) {
+#ifdef SRAMLP_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return popcount_avx512(words, n);
+    case Level::kAvx2: return popcount_avx2(words, n);
+    case Level::kScalar: break;
+  }
+#endif
+  return popcount_scalar(words, n);
+}
+
+std::uint64_t xor_popcount_words(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+#ifdef SRAMLP_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return xor_popcount_avx512(a, b, n);
+    case Level::kAvx2: return xor_popcount_avx2(a, b, n);
+    case Level::kScalar: break;
+  }
+#endif
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+bool all_words_equal(const std::uint64_t* words, std::size_t n,
+                     std::uint64_t pattern) {
+#ifdef SRAMLP_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return all_words_equal_avx512(words, n, pattern);
+    case Level::kAvx2: return all_words_equal_avx2(words, n, pattern);
+    case Level::kScalar: break;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i)
+    if (words[i] != pattern) return false;
+  return true;
+}
+
+}  // namespace sramlp::sram::simd

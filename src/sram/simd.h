@@ -1,0 +1,81 @@
+// Runtime-dispatched SIMD kernels for the bitsliced engine's hot loops.
+//
+// The dispatch seam keeps three implementations of every kernel alive:
+//
+//   * scalar   — always compiled, the executable specification.  Every
+//                vector variant must produce BIT-IDENTICAL output: the
+//                engines' parity contract (test_bitsliced_parity.cpp) rides
+//                on it, so the floating-point kernels only use lane-wise
+//                IEEE-754 operations (vmulpd/vsubpd/vdivpd) that match the
+//                scalar expression tree exactly — no FMA contraction, no
+//                reassociation, no approximate reciprocals;
+//   * AVX2     — 4-lane doubles / 256-bit integer words;
+//   * AVX-512  — 8-lane doubles, VPOPCNTDQ word popcounts.
+//
+// The active level is resolved once per process from (a) the compile-time
+// gate (-DSRAMLP_DISABLE_SIMD, non-x86 targets), (b) CPUID feature probing
+// and (c) the SRAMLP_SIMD environment variable ("scalar"/"avx2"/"avx512",
+// capped at what the CPU supports).  Tests additionally force levels
+// through set_level_for_testing() to pin scalar-vs-vector bit-identity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sramlp::sram::simd {
+
+/// Dispatch level, ordered by capability.
+enum class Level { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The level kernels dispatch on: the detected level unless a test forced
+/// a lower one.  Cheap (one atomic load past first use).
+Level active_level();
+
+/// The capability detected for this process (compile gate + CPUID + env).
+Level detected_level();
+
+const char* level_name(Level level);
+
+/// Force dispatch to min(level, detected_level()) — parity tests pin the
+/// scalar and vector kernels against each other.  Clears on reset.
+void set_level_for_testing(Level level);
+void reset_level_for_testing();
+
+/// Loop-invariant constants of the cohort closed form (see
+/// SramArray::eval_cohort): each is the exact product/quotient the scalar
+/// expression computes from the configuration, hoisted once.
+struct CohortEvalConstants {
+  double vdd = 0.0;
+  double half_c = 0.0;        ///< 0.5 * c_bitline
+  double c_vdd = 0.0;         ///< c_bitline * vdd
+  double tau_over_duty = 0.0; ///< decay_tau_cycles / wordline_duty
+};
+
+/// Batched cohort evaluation: for each decay factor f = exp(-t/tau) in
+/// @p factors, compute the CohortEval terms
+///   v_low     = vdd * f
+///   stress_j  = half_c * (vdd * vdd - v_low * v_low)
+///   dv        = vdd - v_low
+///   equiv     = tau_over_duty * dv / vdd
+///   recharge  = c_vdd * dv
+/// into the five output arrays.  Lane-exact: every output element is
+/// bit-identical to evaluating the scalar expressions one factor at a time.
+void cohort_eval_batch(const double* factors, std::size_t n,
+                       const CohortEvalConstants& k, double* v_low,
+                       double* stress_j, double* dv, double* equiv,
+                       double* recharge_e);
+
+/// Total set bits over @p n words.
+std::uint64_t popcount_words(const std::uint64_t* words, std::size_t n);
+
+/// Total differing bits between two @p n-word runs (compare paths, swap
+/// counting).
+std::uint64_t xor_popcount_words(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n);
+
+/// True when every one of the @p n words equals @p pattern (word-parallel
+/// read-compare against a repeating background word).
+bool all_words_equal(const std::uint64_t* words, std::size_t n,
+                     std::uint64_t pattern);
+
+}  // namespace sramlp::sram::simd

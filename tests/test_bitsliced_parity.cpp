@@ -493,6 +493,57 @@ TEST(BitslicedParity, TracingWithFaultsKeepsTotalsBitIdentical) {
   }
 }
 
+// The bulk-window traced fast path: a batched traced run folds whole runs
+// into the sink's window/element slot blocks; the per-step path delivers
+// every event through MeterSink::on_add.  Same per-slot additions in the
+// same order — totals AND trace summaries must match to the bit, across
+// awkward geometries, word widths (including multi-word groups), the
+// restore-disabled schedule and fault models.
+TEST(BitslicedParity, TracedBatchedRunsMatchPerStepExecution) {
+  struct Case {
+    std::size_t rows, cols, w;
+    Mode mode;
+    bool restore;
+    bool faulty;
+  };
+  const Case cases[] = {
+      {12, 24, 1, Mode::kFunctional, true, false},
+      {12, 24, 1, Mode::kLowPowerTest, true, true},
+      {33, 17, 1, Mode::kLowPowerTest, true, false},
+      {33, 17, 1, Mode::kFunctional, true, true},
+      {33, 17, 1, Mode::kLowPowerTest, false, false},
+      {48, 96, 4, Mode::kLowPowerTest, true, false},
+      {48, 96, 4, Mode::kFunctional, true, false},
+      {4, 256, 128, Mode::kLowPowerTest, true, false},
+      {4, 256, 128, Mode::kLowPowerTest, false, false},
+  };
+  const auto test = march::algorithms::march_c_minus();
+  for (const Case& c : cases) {
+    SessionConfig cfg = grid_config(c.mode, c.rows, c.cols, c.w);
+    cfg.row_transition_restore = c.restore;
+    cfg.trace = power::TraceConfig{.window_cycles = 48, .keep_windows = true};
+    const std::string where =
+        std::to_string(c.rows) + "x" + std::to_string(c.cols) + " w" +
+        std::to_string(c.w) +
+        (c.mode == Mode::kFunctional ? " F" : " LP") +
+        (c.restore ? "" : " no-restore") + (c.faulty ? " faulty" : "");
+    SessionResult res[2];
+    for (int p = 0; p < 2; ++p) {
+      TestSession session(cfg);
+      faults::FaultSet set({{.kind = faults::FaultKind::kStuckAt1,
+                             .victim = {3, 5}}});
+      if (c.faulty) session.attach_fault_model(&set);
+      engine::CycleAccurateBackend backend(session.array(),
+                                           /*batch_runs=*/p == 1);
+      res[p] = session.run(test, backend);
+    }
+    expect_results_identical(res[0], res[1], where);
+    ASSERT_TRUE(res[0].trace.has_value() && res[1].trace.has_value())
+        << where;
+    expect_traces_identical(*res[0].trace, *res[1].trace, where);
+  }
+}
+
 // --- reset_measurements is measurement-only -----------------------------------
 
 TEST(BitslicedParity, ResetMeasurementsPreservesLazyColumnState) {

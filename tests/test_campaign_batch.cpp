@@ -1,6 +1,6 @@
 // The word-parallel multi-fault campaign batcher:
-//  * plan_batches partitioning rules (victim disjointness, dRDF and
-//    aggressor-row fallbacks, batch cap);
+//  * plan_batches partitioning rules (victim disjointness, dRDF
+//    history-class segregation, aggressor-cell fallbacks, batch cap);
 //  * BatchFaultSet attribution (per-member mismatch counts, nothing
 //    unattributed);
 //  * the correctness anchor: batched campaigns produce bit-identical
@@ -9,8 +9,6 @@
 //    geometries and word-oriented arrays — while running far fewer
 //    sessions.
 #include <gtest/gtest.h>
-
-#include <algorithm>
 
 #include "core/fault_campaign.h"
 #include "core/session.h"
@@ -57,16 +55,21 @@ TEST(BatchPlan, DuplicateVictimsSplitIntoSeparateBatches) {
   EXPECT_TRUE(plan.fallback.empty());
 }
 
-TEST(BatchPlan, DynamicReadDestructiveFallsBack) {
+// dRDF's write-then-read history is keyed on operation coordinates only,
+// so victim-disjoint co-members cannot perturb it — dRDF batches rather
+// than falling back, but in batches of its own history class so the
+// every-row hook cost stays off the word-parallel batches.
+TEST(BatchPlan, DynamicReadDestructiveBatchesInItsOwnClass) {
   const std::vector<FaultSpec> specs = {
       at(FaultKind::kStuckAt0, 0, 0),
       at(FaultKind::kDynamicReadDestructive, 1, 1),
-      at(FaultKind::kStuckAt1, 2, 2)};
+      at(FaultKind::kStuckAt1, 2, 2),
+      at(FaultKind::kDynamicReadDestructive, 3, 3)};
   const auto plan = faults::plan_batches(specs);
-  ASSERT_EQ(plan.fallback.size(), 1u);
-  EXPECT_EQ(plan.fallback[0], 1u);
-  ASSERT_EQ(plan.batches.size(), 1u);
-  EXPECT_EQ(plan.batches[0].size(), 2u);
+  EXPECT_TRUE(plan.fallback.empty());
+  ASSERT_EQ(plan.batches.size(), 2u);
+  EXPECT_EQ(plan.batches[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan.batches[1], (std::vector<std::size_t>{1, 3}));
 }
 
 TEST(BatchPlan, CouplingAggressorCellCollisionFallsBack) {
@@ -130,20 +133,13 @@ TEST(BatchPlan, CollapsesSessionsAtCampaignScale) {
       << " faults";
   // Cell-level aggressor analysis: on the standard library (pseudo-random
   // victims, column-neighbour aggressors) no coupling fault should share
-  // its aggressor cell with another victim — the only fallbacks left are
-  // the dynamic dRDF instances, whose sensitisation is global by nature.
-  // (Row-level analysis used to send most coupling faults per-fault: 18
-  // session pairs on this library; cell-level gets it down to 9.)
-  EXPECT_EQ(plan.fallback.size(),
-            static_cast<std::size_t>(
-                std::count_if(specs.begin(), specs.end(), [](const auto& f) {
-                  return f.kind == FaultKind::kDynamicReadDestructive;
-                })));
-  EXPECT_LE(plan.session_pairs(), 12u);
-  for (const std::size_t i : plan.fallback)
-    EXPECT_EQ(specs[i].kind, FaultKind::kDynamicReadDestructive)
-        << "fault " << i << " (" << specs[i].describe()
-        << ") fell back for a non-dRDF reason";
+  // its aggressor cell with another victim, and dRDF rides in batches of
+  // its own history class — nothing is left to fall back.  (Row-level
+  // analysis used to send most coupling faults per-fault: 18 session pairs
+  // on this library; cell-level got it to 9; batching dRDF gets it below
+  // that.)
+  EXPECT_TRUE(plan.fallback.empty());
+  EXPECT_LE(plan.session_pairs(), 8u);
 }
 
 // --- BatchFaultSet -----------------------------------------------------------

@@ -1,0 +1,181 @@
+// The SIMD dispatch seam (sram/simd.h): every vector kernel is a drop-in
+// BIT-IDENTICAL replacement for its always-compiled scalar specification.
+// The suite pins
+//  * the kernels directly — cohort_eval_batch and the word kernels produce
+//    the same bits at every available dispatch level, across batch sizes
+//    that exercise full vectors, remainders and empty inputs;
+//  * whole sessions — forcing the scalar level must not move a bit of a
+//    run's meter totals, stats or trace relative to the vector levels, on
+//    awkward geometries and word-oriented arrays;
+//  * the dispatch contract itself — set_level_for_testing clamps to the
+//    detected capability and reset restores it.
+// On hardware without AVX2/AVX-512 the vector cases collapse to scalar
+// re-runs and the suite still passes (that IS the clamping contract).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "march/algorithms.h"
+#include "power/energy_source.h"
+#include "sram/simd.h"
+
+namespace {
+
+using namespace sramlp;
+using sram::simd::Level;
+
+/// Levels this machine can actually run (always at least scalar).
+std::vector<Level> available_levels() {
+  std::vector<Level> out{Level::kScalar};
+  if (sram::simd::detected_level() >= Level::kAvx2)
+    out.push_back(Level::kAvx2);
+  if (sram::simd::detected_level() >= Level::kAvx512)
+    out.push_back(Level::kAvx512);
+  return out;
+}
+
+struct LevelGuard {
+  ~LevelGuard() { sram::simd::reset_level_for_testing(); }
+};
+
+/// splitmix64: deterministic word / factor streams for the kernel tests.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(SimdDispatch, ForcedLevelClampsToDetected) {
+  LevelGuard guard;
+  sram::simd::set_level_for_testing(Level::kAvx512);
+  EXPECT_LE(static_cast<int>(sram::simd::active_level()),
+            static_cast<int>(sram::simd::detected_level()));
+  sram::simd::set_level_for_testing(Level::kScalar);
+  EXPECT_EQ(sram::simd::active_level(), Level::kScalar);
+  sram::simd::reset_level_for_testing();
+  EXPECT_EQ(sram::simd::active_level(), sram::simd::detected_level());
+  for (const Level l : {Level::kScalar, Level::kAvx2, Level::kAvx512})
+    EXPECT_STRNE(sram::simd::level_name(l), "");
+}
+
+// Sizes chosen to hit empty input, single lanes, partial vectors and
+// several full vectors plus remainder at both vector widths (4 and 8).
+constexpr std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31,
+                                  64, 100};
+
+TEST(SimdKernels, CohortEvalBatchBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const sram::simd::CohortEvalConstants k{
+      /*vdd=*/1.6, /*half_c=*/0.5 * 250e-15, /*c_vdd=*/250e-15 * 1.6,
+      /*tau_over_duty=*/1.0e4 / 0.5};
+  for (const std::size_t n : kSizes) {
+    std::uint64_t state = 42 + n;
+    std::vector<double> factors(n);
+    for (double& f : factors)
+      f = static_cast<double>(mix(state) >> 11) * 0x1.0p-53;  // [0, 1)
+    std::vector<std::vector<double>> out[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      out[pass].assign(5, std::vector<double>(n, -1.0));
+      sram::simd::set_level_for_testing(pass == 0
+                                            ? Level::kScalar
+                                            : sram::simd::detected_level());
+      sram::simd::cohort_eval_batch(factors.data(), n, k,
+                                    out[pass][0].data(), out[pass][1].data(),
+                                    out[pass][2].data(), out[pass][3].data(),
+                                    out[pass][4].data());
+    }
+    for (std::size_t arr = 0; arr < 5; ++arr)
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[0][arr][i], out[1][arr][i])
+            << "n=" << n << " array=" << arr << " i=" << i;
+  }
+}
+
+TEST(SimdKernels, WordKernelsBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  for (const std::size_t n : kSizes) {
+    std::uint64_t state = 7 + n;
+    std::vector<std::uint64_t> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = mix(state);
+      b[i] = mix(state);
+    }
+    const std::uint64_t pattern = 0xaaaaaaaaaaaaaaaaull;
+    std::vector<std::uint64_t> uniform(n, pattern);
+    std::vector<std::uint64_t> pop(2), xpop(2);
+    std::vector<int> eq_uniform(2), eq_dirty(2);
+    for (int pass = 0; pass < 2; ++pass) {
+      sram::simd::set_level_for_testing(pass == 0
+                                            ? Level::kScalar
+                                            : sram::simd::detected_level());
+      pop[static_cast<std::size_t>(pass)] =
+          sram::simd::popcount_words(a.data(), n);
+      xpop[static_cast<std::size_t>(pass)] =
+          sram::simd::xor_popcount_words(a.data(), b.data(), n);
+      eq_uniform[static_cast<std::size_t>(pass)] =
+          sram::simd::all_words_equal(uniform.data(), n, pattern) ? 1 : 0;
+      // Flip one bit somewhere past the first full vector when possible.
+      std::vector<std::uint64_t> dirty = uniform;
+      if (n != 0) dirty[n - 1] ^= 1ull << 63;
+      eq_dirty[static_cast<std::size_t>(pass)] =
+          sram::simd::all_words_equal(dirty.data(), n, pattern) ? 1 : 0;
+    }
+    EXPECT_EQ(pop[0], pop[1]) << "n=" << n;
+    EXPECT_EQ(xpop[0], xpop[1]) << "n=" << n;
+    EXPECT_EQ(eq_uniform[0], eq_uniform[1]) << "n=" << n;
+    EXPECT_EQ(eq_dirty[0], eq_dirty[1]) << "n=" << n;
+    EXPECT_EQ(eq_uniform[0], 1) << "n=" << n;
+    EXPECT_EQ(eq_dirty[0], n == 0 ? 1 : 0) << "n=" << n;
+  }
+}
+
+// Whole-session invariance: dispatch level must be invisible in every
+// measured number.  Covers the traced bulk path too (the window/element
+// folding rides on the same kernels).
+TEST(SimdSessions, RunsBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  struct Geo {
+    std::size_t rows, cols, w;
+  };
+  const auto test = march::algorithms::march_c_minus();
+  for (const Geo g : {Geo{33, 17, 1}, Geo{48, 96, 4}}) {
+    for (const sram::Mode mode :
+         {sram::Mode::kFunctional, sram::Mode::kLowPowerTest}) {
+      std::vector<core::SessionResult> runs;
+      for (const Level level : available_levels()) {
+        sram::simd::set_level_for_testing(level);
+        core::SessionConfig cfg;
+        cfg.geometry = {g.rows, g.cols, g.w};
+        cfg.mode = mode;
+        cfg.trace = power::TraceConfig{.window_cycles = 32,
+                                       .keep_windows = true};
+        runs.push_back(core::TestSession(cfg).run(test));
+      }
+      for (std::size_t r = 1; r < runs.size(); ++r) {
+        const std::string where =
+            std::to_string(g.rows) + "x" + std::to_string(g.cols) +
+            " level " + sram::simd::level_name(available_levels()[r]);
+        EXPECT_EQ(runs[0].cycles, runs[r].cycles) << where;
+        EXPECT_EQ(runs[0].supply_energy_j, runs[r].supply_energy_j) << where;
+        for (std::size_t i = 0; i < power::kEnergySourceCount; ++i) {
+          const auto s = static_cast<power::EnergySource>(i);
+          EXPECT_EQ(runs[0].meter.total(s), runs[r].meter.total(s))
+              << where << " " << power::to_string(s);
+        }
+        ASSERT_TRUE(runs[0].trace.has_value() && runs[r].trace.has_value());
+        EXPECT_EQ(runs[0].trace->peak_window_energy_j,
+                  runs[r].trace->peak_window_energy_j)
+            << where;
+        EXPECT_EQ(runs[0].trace->window_supply_j, runs[r].trace->window_supply_j)
+            << where;
+      }
+    }
+  }
+}
+
+}  // namespace
