@@ -5,6 +5,8 @@
 
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "circuit/subcircuits.h"
@@ -13,6 +15,8 @@
 #include "core/session.h"
 #include "ctrl/precharge_control.h"
 #include "dist/job.h"
+#include "dist/service.h"
+#include "dist/steal_queue.h"
 #include "dist/worker.h"
 #include "engine/analytic_backend.h"
 #include "faults/models.h"
@@ -171,8 +175,9 @@ void BM_SweepPoint256_Traced(benchmark::State& state) {
 BENCHMARK(BM_SweepPoint256_Traced)->Unit(benchmark::kMillisecond);
 
 // The SIMD dispatch seam's cohort-evaluation kernel at each level the host
-// supports (arg = Level: 0 scalar, 1 AVX2, 2 AVX-512).  Levels beyond the
-// host's capability are clamped by set_level_for_testing, so the label
+// supports (arg = Level: 0 scalar, 1 NEON, 2 AVX2, 3 AVX-512).  Levels
+// beyond the host's capability are clamped by set_level_for_testing, and a
+// level the build carries no code for dispatches to scalar, so the label
 // records which kernel actually ran.
 void BM_CohortEvalSimd(benchmark::State& state) {
   sram::simd::set_level_for_testing(
@@ -200,7 +205,7 @@ void BM_CohortEvalSimd(benchmark::State& state) {
                  sram::simd::level_name(sram::simd::active_level()) + ")");
   sram::simd::reset_level_for_testing();
 }
-BENCHMARK(BM_CohortEvalSimd)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_CohortEvalSimd)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // The cohort engines' bulk meter accumulation: add(source, joules, count)
 // must stay a repeated-addition loop (bit-identity with the per-column
@@ -341,6 +346,88 @@ void BM_DistWorkerShard(benchmark::State& state) {
   state.SetLabel("shard points computed+streamed/s");
 }
 BENCHMARK(BM_DistWorkerShard)->Unit(benchmark::kMillisecond);
+
+// --- sweep-service overheads -------------------------------------------------
+// The daemon's costs on top of the dist/ protocol: a whole submit through
+// the socket coordinator (connect + submit + steal + stream + merge)
+// against the same submit answered from the fingerprint cache, plus the
+// bare steal-queue coordination cost per shard.
+
+// A cold submit end to end, 2 worker threads over real sockets.  The
+// whole-job LRU is pinned to one entry and two jobs with distinct
+// fingerprints (same 8 points of compute — the algorithm list is just
+// reordered) alternate, so every iteration misses the cache and runs.
+void BM_ServiceSubmitCold(benchmark::State& state) {
+  dist::Service::Options options;
+  options.cache.capacity = 1;
+  options.point_cache = false;
+  dist::Service service(options);
+  service.start();
+  const std::string address = service.address();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w)
+    workers.emplace_back(
+        [address] { dist::ServiceWorker().run(address); });
+  dist::JobSpec jobs[2] = {bench_sweep_job(), bench_sweep_job()};
+  std::swap(jobs[1].grid.algorithms[0], jobs[1].grid.algorithms[1]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::submit_job(address, jobs[i++ % 2]).document);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs[0].size()));
+  state.SetLabel("service points computed+streamed/s (cache misses)");
+  service.request_stop();
+  service.wait();
+  for (std::thread& t : workers) t.join();
+}
+BENCHMARK(BM_ServiceSubmitCold)->Unit(benchmark::kMillisecond);
+
+// The same submit answered from the fingerprint cache: connect + lookup +
+// byte replay, no shard executed.  The gap to BM_ServiceSubmitCold is
+// what the cache is worth on a repeated job.
+void BM_ServiceSubmitCached(benchmark::State& state) {
+  dist::Service::Options options;
+  dist::Service service(options);
+  service.start();
+  const std::string address = service.address();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w)
+    workers.emplace_back(
+        [address] { dist::ServiceWorker().run(address); });
+  const dist::JobSpec job = bench_sweep_job();
+  dist::submit_job(address, job);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::submit_job(address, job).document);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(job.size()));
+  state.SetLabel("service points replayed/s (cache hits)");
+  service.request_stop();
+  service.wait();
+  for (std::thread& t : workers) t.join();
+}
+BENCHMARK(BM_ServiceSubmitCached)->Unit(benchmark::kMillisecond);
+
+// Bare steal-queue coordination: chop 4096 indices into 4-point shards,
+// then lease/complete the lot — the lock-and-bookkeeping cost every shard
+// pays on top of its compute, with no sockets or arithmetic attached.
+void BM_ShardSteal(benchmark::State& state) {
+  std::vector<std::size_t> indices(4096);
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::size_t shards = 0;
+  for (auto _ : state) {
+    dist::StealQueue queue(indices, 4);
+    shards = queue.stats().shard_count;
+    while (auto shard = queue.lease(1)) queue.complete(shard->id);
+    benchmark::DoNotOptimize(queue.done());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shards));
+  state.SetLabel("shards leased+completed/s");
+}
+BENCHMARK(BM_ShardSteal);
 
 void BM_TransientStep(benchmark::State& state) {
   circuit::ColumnConfig cfg;

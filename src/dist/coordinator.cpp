@@ -146,6 +146,25 @@ MergedResult merge_shard_results(const JobSpec& job, const ShardPlan& plan,
   return merged;
 }
 
+std::string merged_document(const MergedResult& merged) {
+  io::JsonValue doc = io::JsonValue::object();
+  if (merged.kind == JobSpec::Kind::kSweep) {
+    doc.set("kind", io::JsonValue::string("sweep"));
+    io::JsonValue points = io::JsonValue::array();
+    for (const core::SweepPointResult& p : merged.sweep)
+      points.push_back(io::to_json(p));
+    doc.set("points", std::move(points));
+  } else {
+    doc.set("kind", io::JsonValue::string("campaign"));
+    doc.set("algorithm", io::JsonValue::string(merged.campaign.algorithm));
+    io::JsonValue entries = io::JsonValue::array();
+    for (const core::CampaignEntry& e : merged.campaign.entries)
+      entries.push_back(io::to_json(e));
+    doc.set("entries", std::move(entries));
+  }
+  return doc.dump(2) + "\n";
+}
+
 ShardPlan Coordinator::plan_for(const JobSpec& job) const {
   return ShardPlan::make(job.size(), options_.shards, options_.strategy);
 }
@@ -206,7 +225,10 @@ MergedResult Coordinator::run(const JobSpec& job) const {
     try {
       std::ofstream out(out_path, std::ios::out | std::ios::trunc);
       if (!out.good()) _exit(1);
-      Worker(options_.worker).run(ShardSpec{job, plan, shard}, out);
+      Worker::Options worker_options = options_.worker;
+      if (shard == options_.slow_shard)
+        worker_options.slow_point_us = options_.slow_point_us;
+      Worker(worker_options).run(ShardSpec{job, plan, shard}, out);
       out.close();
       _exit(out.good() ? 0 : 1);
     } catch (...) {

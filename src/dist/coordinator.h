@@ -57,6 +57,11 @@ void write_shard_spec(const std::string& dir, const ShardSpec& spec);
 MergedResult merge_shard_results(const JobSpec& job, const ShardPlan& plan,
                                  const std::vector<ShardResult>& results);
 
+/// The canonical merged document — what `sramlp_dist run`, `merge` and
+/// `single` write and the sweep service streams back on job completion:
+/// every distributed path's byte-level diff target.
+std::string merged_document(const MergedResult& merged);
+
 /// Merge per-shard result files into flat order.  Every shard's file must
 /// parse complete for @p job; throws sramlp::Error naming the first shard
 /// that does not.  @p paths defaults to shard_result_path(dir, k).
@@ -86,6 +91,12 @@ class Coordinator {
     /// shard exits immediately with a failure (as if the worker was
     /// killed), exercising the retry path.  SIZE_MAX = disabled.
     std::size_t crash_first_attempt_of_shard = static_cast<std::size_t>(-1);
+    /// Scheduling-comparison hook: this one shard (fork-run mode only)
+    /// runs with `slow_point_us` extra delay per point — a slow host under
+    /// a static plan, the counterpart of ServiceWorker's slow_point_us on
+    /// the steal queue.  SIZE_MAX = disabled.
+    std::size_t slow_shard = static_cast<std::size_t>(-1);
+    std::uint64_t slow_point_us = 0;
   };
 
   explicit Coordinator(const Options& options) : options_(options) {}

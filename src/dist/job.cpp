@@ -37,15 +37,18 @@ void JobSpec::validate() const {
   }
 }
 
-std::uint64_t JobSpec::fingerprint() const {
-  // FNV-1a over the canonical (compact, insertion-ordered) JSON form.
-  const std::string text = to_json(*this).dump();
-  std::uint64_t hash = 1469598103934665603ull;
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ull;
   for (const char c : text) {
     hash ^= static_cast<unsigned char>(c);
     hash *= 1099511628211ull;
   }
   return hash;
+}
+
+std::uint64_t JobSpec::fingerprint() const {
+  // FNV-1a over the canonical (compact, insertion-ordered) JSON form.
+  return fnv1a64(to_json(*this).dump());
 }
 
 io::JsonValue to_json(const JobSpec& job) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/fault_campaign.h"
@@ -20,6 +21,10 @@
 #include "io/serialize.h"
 
 namespace sramlp::dist {
+
+/// FNV-1a over @p text — the digest shared by JobSpec::fingerprint and the
+/// sweep service's per-point cache keys (dist/service.h).
+std::uint64_t fnv1a64(std::string_view text);
 
 /// One distributed job: a sweep grid or a fault campaign.
 struct JobSpec {

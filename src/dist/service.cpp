@@ -1,0 +1,756 @@
+#include "dist/service.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "core/fault_campaign.h"
+#include "core/sweep.h"
+#include "dist/coordinator.h"
+#include "io/serialize.h"
+#include "util/error.h"
+
+namespace sramlp::dist {
+
+namespace {
+
+io::JsonValue make_message(const char* type) {
+  io::JsonValue v = io::JsonValue::object();
+  v.set("type", io::JsonValue::string(type));
+  return v;
+}
+
+io::JsonValue error_message(const char* type, const std::string& error) {
+  io::JsonValue v = make_message(type);
+  v.set("error", io::JsonValue::string(error));
+  return v;
+}
+
+io::JsonValue to_json(const ResultCache::Stats& stats) {
+  io::JsonValue v = io::JsonValue::object();
+  v.set("hits", io::JsonValue::integer(stats.hits));
+  v.set("spill_hits", io::JsonValue::integer(stats.spill_hits));
+  v.set("misses", io::JsonValue::integer(stats.misses));
+  v.set("insertions", io::JsonValue::integer(stats.insertions));
+  v.set("loaded", io::JsonValue::integer(stats.loaded));
+  v.set("entries", io::JsonValue::integer(stats.entries));
+  v.set("hit_rate", io::JsonValue::number(stats.hit_rate()));
+  return v;
+}
+
+ResultCache::Stats cache_stats_from_json(const io::JsonValue& json) {
+  ResultCache::Stats stats;
+  stats.hits = json.at("hits").as_uint();
+  stats.spill_hits = json.at("spill_hits").as_uint();
+  stats.misses = json.at("misses").as_uint();
+  stats.insertions = json.at("insertions").as_uint();
+  stats.loaded = json.at("loaded").as_uint();
+  stats.entries = json.at("entries").as_size();
+  return stats;
+}
+
+io::JsonValue to_json(const ServiceStats& stats) {
+  io::JsonValue v = io::JsonValue::object();
+  v.set("jobs_submitted", io::JsonValue::integer(stats.jobs_submitted));
+  v.set("jobs_completed", io::JsonValue::integer(stats.jobs_completed));
+  v.set("jobs_failed", io::JsonValue::integer(stats.jobs_failed));
+  v.set("jobs_deduplicated", io::JsonValue::integer(stats.jobs_deduplicated));
+  v.set("job_cache_hits", io::JsonValue::integer(stats.job_cache_hits));
+  v.set("point_cache_hits", io::JsonValue::integer(stats.point_cache_hits));
+  v.set("points_executed", io::JsonValue::integer(stats.points_executed));
+  v.set("shards_executed", io::JsonValue::integer(stats.shards_executed));
+  v.set("shard_requeues", io::JsonValue::integer(stats.shard_requeues));
+  v.set("workers_connected", io::JsonValue::integer(stats.workers_connected));
+  v.set("workers_lost", io::JsonValue::integer(stats.workers_lost));
+  v.set("cache", to_json(stats.cache));
+  return v;
+}
+
+ServiceStats service_stats_from_json(const io::JsonValue& json) {
+  ServiceStats stats;
+  stats.jobs_submitted = json.at("jobs_submitted").as_uint();
+  stats.jobs_completed = json.at("jobs_completed").as_uint();
+  stats.jobs_failed = json.at("jobs_failed").as_uint();
+  stats.jobs_deduplicated = json.at("jobs_deduplicated").as_uint();
+  stats.job_cache_hits = json.at("job_cache_hits").as_uint();
+  stats.point_cache_hits = json.at("point_cache_hits").as_uint();
+  stats.points_executed = json.at("points_executed").as_uint();
+  stats.shards_executed = json.at("shards_executed").as_uint();
+  stats.shard_requeues = json.at("shard_requeues").as_uint();
+  stats.workers_connected = json.at("workers_connected").as_uint();
+  stats.workers_lost = json.at("workers_lost").as_uint();
+  stats.cache = cache_stats_from_json(json.at("cache"));
+  return stats;
+}
+
+}  // namespace
+
+std::uint64_t point_fingerprint(const JobSpec& job, std::size_t index) {
+  io::JsonValue key = io::JsonValue::object();
+  if (job.kind == JobSpec::Kind::kSweep) {
+    std::size_t geometry = 0, background = 0, algorithm = 0;
+    job.grid.split(index, &geometry, &background, &algorithm);
+    key.set("kind", io::JsonValue::string("sweep_point"));
+    key.set("config", io::to_json(job.grid.config_at(index)));
+    key.set("test", io::to_json(job.grid.algorithms[algorithm]));
+  } else {
+    key.set("kind", io::JsonValue::string("campaign_entry"));
+    key.set("config", io::to_json(job.config));
+    key.set("test", io::to_json(*job.test));
+    key.set("fault", io::to_json(job.faults[index]));
+  }
+  return fnv1a64(key.dump());
+}
+
+// --- Service internals -------------------------------------------------------
+
+/// One job mid-execution: its steal queue, the result slots filling in,
+/// and the client channels listening to the live stream.
+struct Service::ActiveJob {
+  std::uint64_t fingerprint = 0;
+  JobSpec job;
+  io::JsonValue job_json;  ///< serialized once, attached to first leases
+  std::unique_ptr<StealQueue> queue;  ///< indirect: StealQueue owns a mutex
+  std::size_t total = 0;
+  std::size_t cached_points = 0;
+  std::vector<core::SweepPointResult> sweep;
+  std::vector<core::CampaignEntry> entries;
+  std::vector<bool> filled;
+  std::size_t filled_count = 0;
+  std::vector<std::shared_ptr<io::LineChannel>> listeners;
+  /// Result lines already streamed, replayed to a duplicate submitter
+  /// that attaches mid-flight.
+  std::vector<io::JsonValue> replay;
+  bool finished = false;
+  bool failed = false;
+};
+
+struct Service::Connection {
+  std::shared_ptr<io::LineChannel> channel;
+  std::thread thread;
+  bool done = false;
+};
+
+Service::Service(const Options& options)
+    : options_(options), cache_(options.cache) {}
+
+Service::~Service() {
+  request_stop();
+  if (started_) wait();
+}
+
+void Service::start() {
+  SRAMLP_REQUIRE(!started_, "service already started");
+  listener_ = io::listen_socket(options_.listen);
+  address_ = io::local_address(listener_);
+  started_ = true;
+  accept_thread_ = std::thread(&Service::accept_loop, this);
+}
+
+std::string Service::address() const {
+  SRAMLP_REQUIRE(started_, "service not started");
+  return address_;
+}
+
+void Service::request_stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return;
+  stopping_ = true;
+  listener_.shutdown();
+  for (const auto& conn : connections_)
+    if (conn->channel) conn->channel->shutdown();
+  state_cv_.notify_all();
+}
+
+void Service::wait() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    state_cv_.wait(lock, [&] { return stopping_; });
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has ended, so the connection set is final.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& conn : connections)
+    if (conn->thread.joinable()) conn->thread.join();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats = stats_;
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+void Service::accept_loop() {
+  for (;;) {
+    io::Socket sock = io::accept_connection(listener_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Reap connections whose handler has already returned, so a
+    // long-lived daemon does not accumulate dead threads.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!sock.valid() || stopping_) break;
+    auto conn = std::make_shared<Connection>();
+    conn->channel = std::make_shared<io::LineChannel>(std::move(sock));
+    connections_.push_back(conn);
+    conn->thread = std::thread(&Service::handle_connection, this, conn);
+  }
+}
+
+void Service::handle_connection(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    const std::optional<io::JsonValue> message = conn->channel->receive();
+    if (!message) break;
+    std::string type;
+    try {
+      type = message->at("type").as_string();
+    } catch (const Error&) {
+      conn->channel->send(error_message("error", "message without a type"));
+      continue;
+    }
+    if (type == "hello") {
+      // Only workers announce themselves; clients just send requests.
+      std::string role;
+      try {
+        role = message->at("role").as_string();
+      } catch (const Error&) {
+      }
+      if (role == "worker") {
+        handle_worker(conn);
+        break;
+      }
+      conn->channel->send(error_message("error", "unknown hello role"));
+    } else if (type == "submit") {
+      handle_submit(conn, *message);
+    } else if (type == "stats") {
+      io::JsonValue reply = make_message("stats");
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ServiceStats stats = stats_;
+        stats.cache = cache_.stats();
+        reply.set("stats", to_json(stats));
+      }
+      conn->channel->send(reply);
+    } else if (type == "shutdown") {
+      conn->channel->send(make_message("bye"));
+      request_stop();
+      break;
+    } else {
+      conn->channel->send(
+          error_message("error", "unknown message type '" + type + "'"));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn->done = true;
+}
+
+void Service::handle_submit(const std::shared_ptr<Connection>& conn,
+                            const io::JsonValue& message) {
+  JobSpec job;
+  try {
+    job = job_from_json(message.at("job"));
+  } catch (const std::exception& e) {
+    conn->channel->send(error_message("job_failed", e.what()));
+    return;
+  }
+  const std::uint64_t fingerprint = job.fingerprint();
+  const std::size_t total = job.size();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.jobs_submitted;
+
+  // --- whole-job cache hit: replay the exact bytes, execute nothing ------
+  if (const std::optional<std::string> document = cache_.get(fingerprint)) {
+    ++stats_.job_cache_hits;
+    ++stats_.jobs_completed;
+    io::JsonValue accepted = make_message("job_accepted");
+    accepted.set("fingerprint", io::JsonValue::integer(fingerprint));
+    accepted.set("points", io::JsonValue::integer(total));
+    accepted.set("cached_points", io::JsonValue::integer(total));
+    accepted.set("cache_hit", io::JsonValue::boolean(true));
+    io::JsonValue complete = make_message("job_complete");
+    complete.set("fingerprint", io::JsonValue::integer(fingerprint));
+    complete.set("cache_hit", io::JsonValue::boolean(true));
+    complete.set("cached_points", io::JsonValue::integer(total));
+    complete.set("document", io::JsonValue::string(*document));
+    complete.set("cache_hit_rate",
+                 io::JsonValue::number(cache_.stats().hit_rate()));
+    lock.unlock();
+    conn->channel->send(accepted);
+    conn->channel->send(complete);
+    return;
+  }
+
+  // --- in-flight twin: attach to it instead of recomputing ---------------
+  if (const auto it = active_jobs_.find(fingerprint);
+      it != active_jobs_.end()) {
+    const std::shared_ptr<ActiveJob> active = it->second;
+    ++stats_.jobs_deduplicated;
+    io::JsonValue accepted = make_message("job_accepted");
+    accepted.set("fingerprint", io::JsonValue::integer(fingerprint));
+    accepted.set("points", io::JsonValue::integer(active->total));
+    accepted.set("cached_points",
+                 io::JsonValue::integer(active->cached_points));
+    accepted.set("cache_hit", io::JsonValue::boolean(false));
+    // Register, then replay, under ONE lock hold: no live line can slip
+    // between the replayed prefix and the forwarded suffix.
+    active->listeners.push_back(conn->channel);
+    conn->channel->send(accepted);
+    for (const io::JsonValue& line : active->replay)
+      conn->channel->send(line);
+    state_cv_.wait(lock, [&] { return active->finished || stopping_; });
+    return;
+  }
+
+  // --- new job ------------------------------------------------------------
+  auto active = std::make_shared<ActiveJob>();
+  active->fingerprint = fingerprint;
+  active->job = std::move(job);
+  active->job_json = dist::to_json(active->job);
+  active->total = total;
+  active->filled.assign(total, false);
+  if (active->job.kind == JobSpec::Kind::kSweep)
+    active->sweep.resize(total);
+  else
+    active->entries.resize(total);
+
+  // Per-point cache: indices the service has answered before (under any
+  // job) are filled from the cache; only the rest go onto the steal queue.
+  std::vector<std::size_t> uncached;
+  uncached.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    std::optional<std::string> payload;
+    if (options_.point_cache)
+      payload = cache_.get(point_fingerprint(active->job, i));
+    if (!payload) {
+      uncached.push_back(i);
+      continue;
+    }
+    io::JsonValue line;
+    try {
+      const io::JsonValue data = io::JsonValue::parse(*payload);
+      if (active->job.kind == JobSpec::Kind::kSweep) {
+        core::SweepPointResult point = io::sweep_point_from_json(data);
+        // Cached payloads are grid-neutral (coordinates zeroed); rebind
+        // them to this job's grid.
+        point.index = i;
+        active->job.grid.split(i, &point.geometry, &point.background,
+                               &point.algorithm);
+        active->sweep[i] = point;
+        line = make_message("sweep_point");
+        line.set("data", io::to_json(point));
+      } else {
+        active->entries[i] = io::campaign_entry_from_json(data);
+        line = make_message("campaign_entry");
+        line.set("index", io::JsonValue::integer(i));
+        line.set("data", io::to_json(active->entries[i]));
+      }
+    } catch (const Error&) {
+      uncached.push_back(i);  // unreadable cache entry: recompute
+      continue;
+    }
+    active->filled[i] = true;
+    ++active->filled_count;
+    ++active->cached_points;
+    ++stats_.point_cache_hits;
+    active->replay.push_back(std::move(line));
+  }
+
+  active->queue = std::make_unique<StealQueue>(
+      std::move(uncached), options_.points_per_shard,
+      options_.max_shards_per_job);
+  active->listeners.push_back(conn->channel);
+  active_jobs_[fingerprint] = active;
+  job_order_.push_back(fingerprint);
+
+  io::JsonValue accepted = make_message("job_accepted");
+  accepted.set("fingerprint", io::JsonValue::integer(fingerprint));
+  accepted.set("points", io::JsonValue::integer(total));
+  accepted.set("cached_points", io::JsonValue::integer(active->cached_points));
+  accepted.set("cache_hit", io::JsonValue::boolean(false));
+  conn->channel->send(accepted);
+  for (const io::JsonValue& line : active->replay)
+    conn->channel->send(line);
+
+  if (active->filled_count == active->total) {
+    finalize_job_locked(lock, active);
+    return;
+  }
+  state_cv_.notify_all();  // wake workers parked on empty lease queues
+  state_cv_.wait(lock, [&] { return active->finished || stopping_; });
+}
+
+void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
+  std::uint64_t worker_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    worker_id = next_worker_id_++;
+    ++stats_.workers_connected;
+  }
+  for (;;) {
+    const std::optional<io::JsonValue> message = conn->channel->receive();
+    if (!message) break;
+    std::string type;
+    try {
+      type = message->at("type").as_string();
+    } catch (const Error&) {
+      break;
+    }
+    if (type == "lease") {
+      // Fingerprints of jobs this worker already holds by value, so the
+      // job document travels at most once per (worker, job).
+      std::vector<std::uint64_t> known;
+      if (message->has("known")) {
+        const io::JsonValue& list = message->at("known");
+        for (std::size_t i = 0; i < list.size(); ++i)
+          known.push_back(list.at(i).as_uint());
+      }
+      io::JsonValue response;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+          if (stopping_) {
+            response = make_message("stop");
+            break;
+          }
+          bool leased = false;
+          for (const std::uint64_t fp : job_order_) {
+            const std::shared_ptr<ActiveJob>& job = active_jobs_.at(fp);
+            const std::optional<StealShard> shard =
+                job->queue->lease(worker_id);
+            if (!shard) continue;
+            response = make_message("shard");
+            response.set("fingerprint", io::JsonValue::integer(fp));
+            response.set("shard", io::JsonValue::integer(shard->id));
+            io::JsonValue indices = io::JsonValue::array();
+            for (const std::size_t index : shard->indices)
+              indices.push_back(io::JsonValue::integer(index));
+            response.set("indices", std::move(indices));
+            if (std::find(known.begin(), known.end(), fp) == known.end())
+              response.set("job", job->job_json);
+            leased = true;
+            break;
+          }
+          if (leased) break;
+          state_cv_.wait(lock);  // idle: block until work or shutdown
+        }
+      }
+      if (!conn->channel->send(response)) break;
+      if (response.at("type").as_string() == "stop") break;
+    } else if (type == "sweep_point" || type == "campaign_entry") {
+      deliver_result(*message);
+    } else if (type == "shard_done") {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto it = active_jobs_.find(message->at("fingerprint").as_uint());
+      if (it != active_jobs_.end()) {
+        const std::shared_ptr<ActiveJob> job = it->second;
+        job->queue->complete(message->at("shard").as_size());
+        ++stats_.shards_executed;
+        if (job->queue->done() && job->filled_count == job->total)
+          finalize_job_locked(lock, job);
+      }
+    } else if (type == "shard_failed") {
+      std::string error = "shard failed";
+      if (message->has("error")) error = message->at("error").as_string();
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto it = active_jobs_.find(message->at("fingerprint").as_uint());
+      if (it != active_jobs_.end()) {
+        const std::shared_ptr<ActiveJob> job = it->second;
+        if (job->queue->fail(message->at("shard").as_size(),
+                             options_.shard_retries)) {
+          ++stats_.shard_requeues;
+          state_cv_.notify_all();
+        } else {
+          fail_job_locked(job, error);
+        }
+      }
+    }
+  }
+  // Connection gone: whatever this worker still leased goes back on the
+  // queues for someone else to steal.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t requeued = 0;
+  for (const auto& [fp, job] : active_jobs_)
+    requeued += job->queue->abandon(worker_id);
+  if (requeued > 0) {
+    ++stats_.workers_lost;
+    stats_.shard_requeues += requeued;
+    state_cv_.notify_all();
+  }
+}
+
+bool Service::deliver_result(const io::JsonValue& message) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = active_jobs_.find(message.at("fingerprint").as_uint());
+  if (it == active_jobs_.end()) return false;  // stale: job already closed
+  const std::shared_ptr<ActiveJob> job = it->second;
+  std::size_t index = 0;
+  io::JsonValue line;
+  try {
+    if (job->job.kind == JobSpec::Kind::kSweep) {
+      core::SweepPointResult point =
+          io::sweep_point_from_json(message.at("data"));
+      index = point.index;
+      SRAMLP_REQUIRE(index < job->total, "worker result index out of range");
+      if (job->filled[index]) return true;  // requeue-race duplicate
+      job->sweep[index] = std::move(point);
+      line = make_message("sweep_point");
+      line.set("data", message.at("data"));
+    } else {
+      index = message.at("index").as_size();
+      SRAMLP_REQUIRE(index < job->total, "worker result index out of range");
+      if (job->filled[index]) return true;
+      job->entries[index] = io::campaign_entry_from_json(message.at("data"));
+      line = make_message("campaign_entry");
+      line.set("index", io::JsonValue::integer(index));
+      line.set("data", message.at("data"));
+    }
+  } catch (const Error&) {
+    return false;  // malformed worker line: drop it, the requeue covers us
+  }
+  job->filled[index] = true;
+  ++job->filled_count;
+  ++stats_.points_executed;
+  for (const auto& listener : job->listeners) listener->send(line);
+  job->replay.push_back(std::move(line));
+  return true;
+}
+
+void Service::finalize_job_locked(std::unique_lock<std::mutex>& lock,
+                                  const std::shared_ptr<ActiveJob>& job) {
+  (void)lock;  // held by the caller; sends go out under it by design
+  MergedResult merged;
+  merged.kind = job->job.kind;
+  if (job->job.kind == JobSpec::Kind::kSweep) {
+    merged.sweep = job->sweep;
+  } else {
+    merged.campaign.algorithm = job->job.test->name();
+    merged.campaign.entries = job->entries;
+  }
+  const std::string document = merged_document(merged);
+
+  cache_.put(job->fingerprint, document);
+  if (options_.point_cache) {
+    for (std::size_t i = 0; i < job->total; ++i) {
+      std::string payload;
+      if (job->job.kind == JobSpec::Kind::kSweep) {
+        // Store grid-neutral: zero the grid coordinates so the same
+        // physical point hits from any future grid shape.
+        core::SweepPointResult neutral = job->sweep[i];
+        neutral.index = 0;
+        neutral.geometry = 0;
+        neutral.background = 0;
+        neutral.algorithm = 0;
+        payload = io::to_json(neutral).dump();
+      } else {
+        payload = io::to_json(job->entries[i]).dump();
+      }
+      cache_.put(point_fingerprint(job->job, i), std::move(payload));
+    }
+  }
+
+  const StealQueue::Stats queue_stats = job->queue->stats();
+  io::JsonValue complete = make_message("job_complete");
+  complete.set("fingerprint", io::JsonValue::integer(job->fingerprint));
+  complete.set("cache_hit", io::JsonValue::boolean(false));
+  complete.set("cached_points", io::JsonValue::integer(job->cached_points));
+  complete.set("shards_executed",
+               io::JsonValue::integer(queue_stats.completed));
+  complete.set("shard_requeues", io::JsonValue::integer(queue_stats.requeues));
+  complete.set("document", io::JsonValue::string(document));
+  complete.set("cache_hit_rate",
+               io::JsonValue::number(cache_.stats().hit_rate()));
+  for (const auto& listener : job->listeners) listener->send(complete);
+
+  job->finished = true;
+  ++stats_.jobs_completed;
+  active_jobs_.erase(job->fingerprint);
+  job_order_.erase(
+      std::find(job_order_.begin(), job_order_.end(), job->fingerprint));
+  state_cv_.notify_all();
+}
+
+void Service::fail_job_locked(const std::shared_ptr<ActiveJob>& job,
+                              const std::string& error) {
+  io::JsonValue failed = error_message("job_failed", error);
+  failed.set("fingerprint", io::JsonValue::integer(job->fingerprint));
+  for (const auto& listener : job->listeners) listener->send(failed);
+  job->finished = true;
+  job->failed = true;
+  ++stats_.jobs_failed;
+  active_jobs_.erase(job->fingerprint);
+  job_order_.erase(
+      std::find(job_order_.begin(), job_order_.end(), job->fingerprint));
+  state_cv_.notify_all();
+}
+
+// --- ServiceWorker -----------------------------------------------------------
+
+std::size_t ServiceWorker::run(const std::string& address,
+                               int connect_timeout_ms) {
+  io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
+  io::JsonValue hello = make_message("hello");
+  hello.set("role", io::JsonValue::string("worker"));
+  if (!channel.send(hello)) return 0;
+
+  std::map<std::uint64_t, JobSpec> jobs;  ///< jobs held by value, by print
+  std::size_t computed = 0;
+  for (;;) {
+    io::JsonValue lease = make_message("lease");
+    io::JsonValue known = io::JsonValue::array();
+    for (const auto& [fp, unused] : jobs)
+      known.push_back(io::JsonValue::integer(fp));
+    lease.set("known", std::move(known));
+    if (!channel.send(lease)) return computed;
+    const std::optional<io::JsonValue> response = channel.receive();
+    if (!response) return computed;
+    std::string type;
+    try {
+      type = response->at("type").as_string();
+    } catch (const Error&) {
+      return computed;
+    }
+    if (type != "shard") return computed;  // "stop" or anything unexpected
+
+    const std::uint64_t fingerprint = response->at("fingerprint").as_uint();
+    const std::size_t shard_id = response->at("shard").as_size();
+    std::vector<std::size_t> indices;
+    const io::JsonValue& index_list = response->at("indices");
+    indices.reserve(index_list.size());
+    for (std::size_t i = 0; i < index_list.size(); ++i)
+      indices.push_back(index_list.at(i).as_size());
+    if (response->has("job")) {
+      if (jobs.size() > 32) jobs.clear();  // bound the by-value cache
+      jobs.insert_or_assign(fingerprint,
+                            job_from_json(response->at("job")));
+    }
+    const auto job_it = jobs.find(fingerprint);
+    if (job_it == jobs.end()) {
+      io::JsonValue failed = error_message("shard_failed",
+                                           "worker does not hold this job");
+      failed.set("fingerprint", io::JsonValue::integer(fingerprint));
+      failed.set("shard", io::JsonValue::integer(shard_id));
+      if (!channel.send(failed)) return computed;
+      continue;
+    }
+    const JobSpec& job = job_it->second;
+
+    try {
+      const auto emit_point = [&](io::JsonValue line) -> bool {
+        if (options_.slow_point_us > 0)
+          ::usleep(static_cast<useconds_t>(options_.slow_point_us));
+        if (computed >= options_.die_after_points)
+          return false;  // simulated kill: vanish mid-shard
+        if (!channel.send(line)) return false;
+        ++computed;
+        return true;
+      };
+      if (job.kind == JobSpec::Kind::kSweep) {
+        // The exact single-process arithmetic on the stolen subset —
+        // identical bits whichever worker steals which indices.
+        const core::SweepRunner runner(core::SweepRunner::Options{
+            options_.threads, core::BackendChoice::kAuto});
+        const std::vector<core::SweepPointResult> points =
+            runner.run_indices(job.grid, indices);
+        for (const core::SweepPointResult& point : points) {
+          io::JsonValue line = make_message("sweep_point");
+          line.set("fingerprint", io::JsonValue::integer(fingerprint));
+          line.set("data", io::to_json(point));
+          if (!emit_point(std::move(line))) return computed;
+        }
+      } else {
+        core::CampaignRunner::Options campaign_options;
+        campaign_options.threads = options_.threads;
+        campaign_options.batched = options_.batched_campaigns;
+        const std::vector<core::CampaignEntry> entries =
+            core::CampaignRunner(campaign_options)
+                .run_subset(job.config, *job.test, job.faults, indices);
+        for (std::size_t j = 0; j < indices.size(); ++j) {
+          io::JsonValue line = make_message("campaign_entry");
+          line.set("fingerprint", io::JsonValue::integer(fingerprint));
+          line.set("index", io::JsonValue::integer(indices[j]));
+          line.set("data", io::to_json(entries[j]));
+          if (!emit_point(std::move(line))) return computed;
+        }
+      }
+    } catch (const std::exception& e) {
+      io::JsonValue failed = error_message("shard_failed", e.what());
+      failed.set("fingerprint", io::JsonValue::integer(fingerprint));
+      failed.set("shard", io::JsonValue::integer(shard_id));
+      if (!channel.send(failed)) return computed;
+      continue;
+    }
+    io::JsonValue done = make_message("shard_done");
+    done.set("fingerprint", io::JsonValue::integer(fingerprint));
+    done.set("shard", io::JsonValue::integer(shard_id));
+    if (!channel.send(done)) return computed;
+  }
+}
+
+// --- clients -----------------------------------------------------------------
+
+SubmitResult submit_job(
+    const std::string& address, const JobSpec& job, int connect_timeout_ms,
+    const std::function<void(const io::JsonValue&)>& on_line) {
+  job.validate();
+  io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
+  io::JsonValue submit = make_message("submit");
+  submit.set("job", dist::to_json(job));
+  SRAMLP_REQUIRE(channel.send(submit), "service connection lost on submit");
+
+  SubmitResult result;
+  for (;;) {
+    const std::optional<io::JsonValue> message = channel.receive();
+    SRAMLP_REQUIRE(message.has_value(),
+                   "service connection lost while streaming results");
+    const std::string type = message->at("type").as_string();
+    if (type == "job_accepted") {
+      result.total_points = message->at("points").as_size();
+      result.cached_points = message->at("cached_points").as_size();
+    } else if (type == "sweep_point" || type == "campaign_entry") {
+      ++result.streamed_lines;
+      if (on_line) on_line(*message);
+    } else if (type == "job_complete") {
+      result.cache_hit = message->at("cache_hit").as_bool();
+      if (message->has("cached_points"))
+        result.cached_points = message->at("cached_points").as_size();
+      result.cache_hit_rate = message->at("cache_hit_rate").as_double();
+      result.document = message->at("document").as_string();
+      return result;
+    } else if (type == "job_failed") {
+      throw Error("service rejected the job: " +
+                  message->at("error").as_string());
+    }
+  }
+}
+
+ServiceStats query_stats(const std::string& address, int connect_timeout_ms) {
+  io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
+  SRAMLP_REQUIRE(channel.send(make_message("stats")),
+                 "service connection lost on stats request");
+  const std::optional<io::JsonValue> reply = channel.receive();
+  SRAMLP_REQUIRE(reply.has_value() &&
+                     reply->at("type").as_string() == "stats",
+                 "service returned no stats");
+  return service_stats_from_json(reply->at("stats"));
+}
+
+void request_shutdown(const std::string& address, int connect_timeout_ms) {
+  io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
+  SRAMLP_REQUIRE(channel.send(make_message("shutdown")),
+                 "service connection lost on shutdown request");
+  channel.receive();  // the "bye" acknowledgement (or EOF — both fine)
+}
+
+}  // namespace sramlp::dist

@@ -1,0 +1,214 @@
+// The sweep service: a long-running coordinator daemon with dynamic shard
+// stealing and a fingerprint-keyed result cache.
+//
+// The fork/exec Coordinator answers "run this job once, survive crashes";
+// the service answers "keep answering jobs" — the ROADMAP's
+// millions-of-users shape, where analytic points cost ~0.2 ms and the
+// dominant costs are process spawn, static shard imbalance and
+// recomputing grid points already solved.  Three moves:
+//
+//   * keep-alive socket protocol — jobs arrive as JSON over a Unix/TCP
+//     socket (io::LineChannel frames the existing exact wire format) and
+//     the shard result stream goes back to the submitter LIVE, line by
+//     line, as workers finish points;
+//   * dynamic shard stealing — instead of a static ShardPlan, each job is
+//     chopped into many small StealQueue shards that idle workers pull;
+//     a deliberately slow worker just steals fewer shards (see
+//     tests/test_service_soak.cpp for the static-vs-steal wall-clock
+//     comparison).  A worker that dies mid-shard has its leases requeued;
+//     partially streamed points are idempotent because results are
+//     deterministic and carry their flat indices;
+//   * result cache — completed jobs are cached as their exact merged
+//     document bytes keyed by JobSpec::fingerprint() (memory LRU +
+//     on-disk JSONL spill, ResultCache), so a resubmitted job is a
+//     lookup, not a run, and byte-identical to the fresh run.  Individual
+//     grid points / campaign entries are cached under their own canonical
+//     fingerprints too, so a NEW job overlapping an old one only computes
+//     the indices never seen before.
+//
+// Topology: one Service process; any number of ServiceWorker processes or
+// threads connect and steal (the `sramlp_dist serve` CLI spawns N worker
+// subprocesses of its own binary; extra workers on other hosts can
+// `sramlp_dist work --connect tcp:host:port` to join).  Submitters
+// connect, send one job, and read the stream.  Identical jobs submitted
+// while one is in flight attach to it (deduplicated, replayed from the
+// start) rather than recomputing.
+//
+// The fork/exec Coordinator (`sramlp_dist run`) remains the degraded-path
+// fallback: batch runs, file transports, checkpoint/resume.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/job.h"
+#include "dist/result_cache.h"
+#include "dist/steal_queue.h"
+#include "io/framing.h"
+
+namespace sramlp::dist {
+
+/// Canonical cache key of one work item: grid point @p index of a sweep
+/// job, or fault @p index of a campaign job.  Two jobs that contain the
+/// same point (same session config + algorithm (+ fault)) produce the same
+/// key whatever the rest of their grids look like.
+std::uint64_t point_fingerprint(const JobSpec& job, std::size_t index);
+
+struct ServiceStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_deduplicated = 0;  ///< attached to an in-flight twin
+  std::uint64_t job_cache_hits = 0;     ///< whole job answered from cache
+  std::uint64_t point_cache_hits = 0;   ///< individual points answered
+  std::uint64_t points_executed = 0;    ///< results received from workers
+  std::uint64_t shards_executed = 0;
+  std::uint64_t shard_requeues = 0;     ///< abandoned/failed shards requeued
+  std::uint64_t workers_connected = 0;
+  std::uint64_t workers_lost = 0;       ///< connections dropped with leases
+  ResultCache::Stats cache;
+};
+
+class Service {
+ public:
+  struct Options {
+    /// Listen address: "unix:/path" or "tcp:port" / "tcp:host:port"
+    /// ("tcp:0" picks an ephemeral port — read it back from address()).
+    std::string listen = "tcp:0";
+    /// Steal-queue granularity: flat indices per shard.  Small shards are
+    /// the point — they are what lets idle workers steal around a slow
+    /// one.
+    std::size_t points_per_shard = 4;
+    /// Cap on shards per job (shard size grows instead).  0 = uncapped.
+    std::size_t max_shards_per_job = 512;
+    /// Re-runs granted to a failed shard before the job is failed.
+    unsigned shard_retries = 1;
+    /// Result cache tiers (capacity + optional spill file).
+    ResultCache::Options cache;
+    /// Also cache individual grid points / campaign entries, so new jobs
+    /// that overlap old ones skip the overlap.
+    bool point_cache = true;
+  };
+
+  explicit Service(const Options& options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Bind, listen and start accepting.  Throws on a bad address.
+  void start();
+
+  /// The resolved listen address (ephemeral TCP ports resolved).
+  std::string address() const;
+
+  /// Block until the service is asked to stop (shutdown message or
+  /// request_stop()), then tear everything down.  Call from the thread
+  /// that owns the service (the daemon's main thread).
+  void wait();
+
+  /// Ask the service to stop: wakes wait(), unblocks every connection.
+  /// Safe from any thread, including connection handlers.
+  void request_stop();
+
+  ServiceStats stats() const;
+
+ private:
+  struct ActiveJob;
+  struct Connection;
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Connection> conn);
+  void handle_submit(const std::shared_ptr<Connection>& conn,
+                     const io::JsonValue& message);
+  void handle_worker(const std::shared_ptr<Connection>& conn);
+  bool deliver_result(const io::JsonValue& message);
+  void finalize_job_locked(std::unique_lock<std::mutex>& lock,
+                           const std::shared_ptr<ActiveJob>& job);
+  void fail_job_locked(const std::shared_ptr<ActiveJob>& job,
+                       const std::string& error);
+
+  Options options_;
+  ResultCache cache_;
+
+  io::Socket listener_;
+  std::string address_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable state_cv_;  ///< work arrived / job done / stopping
+  bool started_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_worker_id_ = 1;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::map<std::uint64_t, std::shared_ptr<ActiveJob>> active_jobs_;
+  std::vector<std::uint64_t> job_order_;  ///< submission order (FIFO leases)
+  ServiceStats stats_;
+};
+
+/// Worker half of the steal protocol: connect, steal shards, compute them
+/// through the exact single-process entry points, stream results.  Run it
+/// on a thread (tests, benches) or in a process (`sramlp_dist work`).
+class ServiceWorker {
+ public:
+  struct Options {
+    /// Threads for one shard's own points; service scale comes from
+    /// worker count, so the default is serial.
+    unsigned threads = 1;
+    bool batched_campaigns = true;
+    /// Artificial per-point delay — models a slow host (benches, the
+    /// steal-vs-static soak comparison).
+    std::uint64_t slow_point_us = 0;
+    /// Soak-test kill switch: after streaming this many points the worker
+    /// drops its connection mid-shard (no shard_done), as if killed.
+    std::size_t die_after_points = static_cast<std::size_t>(-1);
+  };
+
+  ServiceWorker() = default;
+  explicit ServiceWorker(const Options& options) : options_(options) {}
+
+  /// Serve until the service says stop, the connection drops, or the kill
+  /// switch fires.  Returns the number of points computed.
+  std::size_t run(const std::string& address, int connect_timeout_ms = 5000);
+
+ private:
+  Options options_;
+};
+
+/// One submitted job's outcome, client side.
+struct SubmitResult {
+  bool cache_hit = false;        ///< whole job answered from the cache
+  std::size_t total_points = 0;
+  std::size_t cached_points = 0; ///< answered by the per-point cache
+  std::size_t streamed_lines = 0;
+  double cache_hit_rate = 0.0;   ///< service-wide, as of this job
+  /// The merged document — byte-identical to `sramlp_dist single` on the
+  /// same job, whether computed, point-cached or replayed whole.
+  std::string document;
+};
+
+/// Submit @p job and stream until completion.  @p on_line (optional) sees
+/// every live result line.  Throws sramlp::Error on connection failure or
+/// a job_failed reply.
+SubmitResult submit_job(
+    const std::string& address, const JobSpec& job,
+    int connect_timeout_ms = 5000,
+    const std::function<void(const io::JsonValue&)>& on_line = {});
+
+/// Fetch a running service's statistics.
+ServiceStats query_stats(const std::string& address,
+                         int connect_timeout_ms = 5000);
+
+/// Ask a running service to shut down (waits for the acknowledgement).
+void request_shutdown(const std::string& address,
+                      int connect_timeout_ms = 5000);
+
+}  // namespace sramlp::dist

@@ -1,0 +1,94 @@
+#include "dist/steal_queue.h"
+
+#include "util/error.h"
+
+namespace sramlp::dist {
+
+StealQueue::StealQueue(std::vector<std::size_t> indices,
+                       std::size_t points_per_shard, std::size_t max_shards) {
+  std::size_t per_shard = points_per_shard == 0 ? 1 : points_per_shard;
+  if (max_shards != 0 && !indices.empty()) {
+    // Grow the shard size until the count fits the cap (ceiling division).
+    const std::size_t min_size = (indices.size() + max_shards - 1) / max_shards;
+    if (per_shard < min_size) per_shard = min_size;
+  }
+  for (std::size_t start = 0; start < indices.size(); start += per_shard) {
+    const std::size_t end = std::min(start + per_shard, indices.size());
+    shards_.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(start),
+                         indices.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  attempts_.assign(shards_.size(), 0);
+  completed_flags_.assign(shards_.size(), false);
+  for (std::size_t s = 0; s < shards_.size(); ++s) pending_.push_back(s);
+}
+
+std::optional<StealShard> StealQueue::lease(std::uint64_t worker_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return std::nullopt;
+  const std::size_t id = pending_.front();
+  pending_.pop_front();
+  leased_[id] = worker_id;
+  ++attempts_[id];
+  return StealShard{id, shards_[id]};
+}
+
+void StealQueue::complete(std::size_t shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard_id >= shards_.size() || completed_flags_[shard_id]) return;
+  completed_flags_[shard_id] = true;
+  ++completed_;
+  leased_.erase(shard_id);
+  // If the shard was requeued (its original worker presumed dead) and then
+  // completed by that worker after all, drop the stale pending copy.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (*it == shard_id) {
+      pending_.erase(it);
+      break;
+    }
+  }
+}
+
+std::size_t StealQueue::abandon(std::uint64_t worker_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t requeued = 0;
+  for (auto it = leased_.begin(); it != leased_.end();) {
+    if (it->second == worker_id) {
+      pending_.push_back(it->first);
+      it = leased_.erase(it);
+      ++requeued;
+    } else {
+      ++it;
+    }
+  }
+  requeues_ += requeued;
+  return requeued;
+}
+
+bool StealQueue::fail(std::size_t shard_id, unsigned retries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SRAMLP_REQUIRE(shard_id < shards_.size(), "unknown steal shard id");
+  if (completed_flags_[shard_id]) return true;  // raced a duplicate run
+  leased_.erase(shard_id);
+  if (attempts_[shard_id] > retries) return false;
+  pending_.push_back(shard_id);
+  ++requeues_;
+  return true;
+}
+
+bool StealQueue::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ == shards_.size();
+}
+
+StealQueue::Stats StealQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.shard_count = shards_.size();
+  stats.pending = pending_.size();
+  stats.leased = leased_.size();
+  stats.completed = completed_;
+  stats.requeues = requeues_;
+  return stats;
+}
+
+}  // namespace sramlp::dist

@@ -1,0 +1,94 @@
+// StealQueue — dynamic shard ownership for the sweep service.
+//
+// The static ShardPlan fixes which worker computes which indices before
+// anything runs; one slow host then stretches the whole job to its own
+// pace.  The steal queue inverts ownership: the job is chopped into MANY
+// small shards (each just a list of flat indices), and idle workers pull
+// ("steal") the next one the moment they finish their last — a slow
+// worker simply ends up holding fewer shards, and heterogeneous workers
+// stay saturated without anyone planning for them.
+//
+// Determinism is preserved because ownership never touches arithmetic:
+// every index is computed by the same SweepRunner::run_indices /
+// CampaignRunner::run_subset entry points whichever worker steals it, and
+// results carry their flat indices, so the merged document is
+// bit-identical to a single-process run whatever the interleaving.
+//
+// Fault tolerance is requeue-based: a shard leased to a worker that dies
+// (socket drop, crash) is abandoned back onto the queue; a shard a worker
+// reports as failed is retried a bounded number of times before the
+// whole job is declared failed.
+//
+// All methods are thread-safe (internal mutex); lease() never blocks —
+// the service layer owns the waiting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace sramlp::dist {
+
+/// One stealable unit: a small batch of flat work-item indices.
+struct StealShard {
+  std::size_t id = 0;                 ///< dense shard ordinal within the job
+  std::vector<std::size_t> indices;   ///< flat indices, ascending
+};
+
+class StealQueue {
+ public:
+  struct Stats {
+    std::size_t shard_count = 0;
+    std::size_t pending = 0;
+    std::size_t leased = 0;
+    std::size_t completed = 0;
+    std::size_t requeues = 0;  ///< abandoned + failed shards put back
+  };
+
+  StealQueue() = default;
+
+  /// Chop @p indices into shards of @p points_per_shard (the last shard
+  /// takes the remainder; 0 is clamped to 1).  @p max_shards caps the
+  /// shard count for huge jobs by growing the shard size (0 = no cap).
+  StealQueue(std::vector<std::size_t> indices, std::size_t points_per_shard,
+             std::size_t max_shards = 0);
+
+  /// Steal the next pending shard for @p worker_id; nullopt when nothing
+  /// is pending (the job may still be running on other workers).
+  std::optional<StealShard> lease(std::uint64_t worker_id);
+
+  /// Mark a leased shard finished.  Unknown / double completions are
+  /// ignored (a requeued shard can race its original worker's late
+  /// completion — results are idempotent, so first-wins either way).
+  void complete(std::size_t shard_id);
+
+  /// Requeue every shard currently leased to @p worker_id (the worker's
+  /// connection died).  Returns how many shards went back.
+  std::size_t abandon(std::uint64_t worker_id);
+
+  /// A worker reported the shard as failed.  Requeues it and returns true
+  /// while it has attempts left (each shard gets 1 + @p retries runs);
+  /// returns false when the shard is out of attempts — job is lost.
+  bool fail(std::size_t shard_id, unsigned retries);
+
+  /// True when every shard has completed.
+  bool done() const;
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::size_t>> shards_;  ///< by shard id
+  std::deque<std::size_t> pending_;
+  std::unordered_map<std::size_t, std::uint64_t> leased_;  ///< shard -> worker
+  std::vector<unsigned> attempts_;                ///< by shard id
+  std::size_t completed_ = 0;
+  std::size_t requeues_ = 0;
+  std::vector<bool> completed_flags_;
+};
+
+}  // namespace sramlp::dist

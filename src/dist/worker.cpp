@@ -1,5 +1,7 @@
 #include "dist/worker.h"
 
+#include <unistd.h>
+
 #include <istream>
 #include <ostream>
 #include <string>
@@ -12,6 +14,10 @@ namespace {
 
 void emit_line(std::ostream& out, const io::JsonValue& value) {
   out << value.dump() << '\n';
+}
+
+void slow_down(std::uint64_t slow_point_us) {
+  if (slow_point_us > 0) ::usleep(static_cast<useconds_t>(slow_point_us));
 }
 
 }  // namespace
@@ -40,6 +46,7 @@ void Worker::run(const ShardSpec& spec, std::ostream& out) const {
     const std::vector<core::SweepPointResult> results =
         runner.run_indices(spec.job.grid, owned);
     for (const core::SweepPointResult& point : results) {
+      slow_down(options_.slow_point_us);
       io::JsonValue line = io::JsonValue::object();
       line.set("type", io::JsonValue::string("sweep_point"));
       line.set("data", io::to_json(point));
@@ -60,6 +67,7 @@ void Worker::run(const ShardSpec& spec, std::ostream& out) const {
     SRAMLP_REQUIRE(entries.size() == owned.size(),
                    "campaign shard produced a short report");
     for (std::size_t j = 0; j < owned.size(); ++j) {
+      slow_down(options_.slow_point_us);
       io::JsonValue line = io::JsonValue::object();
       line.set("type", io::JsonValue::string("campaign_entry"));
       line.set("index", io::JsonValue::integer(owned[j]));

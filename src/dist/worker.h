@@ -47,6 +47,10 @@ class Worker {
     /// verdicts are execution-shape independent, so this only changes the
     /// shard's wall time.
     bool batched_campaigns = true;
+    /// Artificial per-point delay (microseconds) — models a slow host in
+    /// the static-vs-steal scheduling comparisons.  Applied after each
+    /// point is computed, so results are unaffected.
+    std::uint64_t slow_point_us = 0;
   };
 
   Worker() = default;

@@ -7,11 +7,17 @@
 
 // The vector kernels are compiled with per-function target attributes and
 // guarded by runtime dispatch, so the library still builds and runs on any
-// x86-64 (or, scalar-only, on any architecture) regardless of -march.
+// x86-64 (or, scalar-only, on any architecture) regardless of -march.  On
+// aarch64 ASIMD is part of the baseline ISA, so the NEON kernels need no
+// target attributes or runtime probing at all.
 #if !defined(SRAMLP_DISABLE_SIMD) && defined(__x86_64__) && \
     (defined(__GNUC__) || defined(__clang__))
 #define SRAMLP_SIMD_X86 1
 #include <immintrin.h>
+#elif !defined(SRAMLP_DISABLE_SIMD) && defined(__aarch64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SRAMLP_SIMD_NEON 1
+#include <arm_neon.h>
 #endif
 
 namespace sramlp::sram::simd {
@@ -24,12 +30,15 @@ Level min_level(Level a, Level b) { return rank(a) <= rank(b) ? a : b; }
 
 /// SRAMLP_SIMD caps (never raises) the hardware level: "scalar" pins the
 /// fallback, "avx2" disables the AVX-512 variants on capable machines.
+/// A level the build has no code for dispatches to scalar, so capping an
+/// x86 machine at "neon" is an explicit scalar pin, not an error.
 Level cap_from_env(Level hw) {
   const char* env = std::getenv("SRAMLP_SIMD");
   if (env == nullptr || env[0] == '\0') return hw;
   if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
       std::strcmp(env, "0") == 0)
     return Level::kScalar;
+  if (std::strcmp(env, "neon") == 0) return min_level(hw, Level::kNeon);
   if (std::strcmp(env, "avx2") == 0) return min_level(hw, Level::kAvx2);
   if (std::strcmp(env, "avx512") == 0) return min_level(hw, Level::kAvx512);
   return hw;  // unknown value: keep the detected level
@@ -37,7 +46,7 @@ Level cap_from_env(Level hw) {
 
 Level detect() {
   Level hw = Level::kScalar;
-#ifdef SRAMLP_SIMD_X86
+#if defined(SRAMLP_SIMD_X86)
   if (__builtin_cpu_supports("avx2")) hw = Level::kAvx2;
   if (__builtin_cpu_supports("avx512f") &&
       __builtin_cpu_supports("avx512dq") &&
@@ -45,6 +54,8 @@ Level detect() {
       __builtin_cpu_supports("avx512vl") &&
       __builtin_cpu_supports("avx512vpopcntdq"))
     hw = Level::kAvx512;
+#elif defined(SRAMLP_SIMD_NEON)
+  hw = Level::kNeon;  // ASIMD is architecturally guaranteed on aarch64
 #endif
   return cap_from_env(hw);
 }
@@ -68,6 +79,7 @@ Level active_level() {
 const char* level_name(Level level) {
   switch (level) {
     case Level::kScalar: return "scalar";
+    case Level::kNeon: return "neon";
     case Level::kAvx2: return "avx2";
     case Level::kAvx512: return "avx512";
   }
@@ -164,13 +176,45 @@ __attribute__((target("avx512f"))) void cohort_eval_avx512(
 
 #endif  // SRAMLP_SIMD_X86
 
+#ifdef SRAMLP_SIMD_NEON
+
+// Lane-exact like the x86 variants: vmulq_f64/vsubq_f64/vdivq_f64 are
+// correctly-rounded IEEE-754 per lane and, as explicit intrinsics, can
+// never be contracted into the fused vfmaq form.
+void cohort_eval_neon(const double* factors, std::size_t n,
+                      const CohortEvalConstants& k, double* v_low,
+                      double* stress_j, double* dv, double* equiv,
+                      double* recharge_e) {
+  const float64x2_t vdd = vdupq_n_f64(k.vdd);
+  const float64x2_t vdd2 = vmulq_f64(vdd, vdd);
+  const float64x2_t half_c = vdupq_n_f64(k.half_c);
+  const float64x2_t tau = vdupq_n_f64(k.tau_over_duty);
+  const float64x2_t c_vdd = vdupq_n_f64(k.c_vdd);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t f = vld1q_f64(factors + i);
+    const float64x2_t v = vmulq_f64(vdd, f);
+    const float64x2_t d = vsubq_f64(vdd, v);
+    vst1q_f64(v_low + i, v);
+    vst1q_f64(stress_j + i,
+              vmulq_f64(half_c, vsubq_f64(vdd2, vmulq_f64(v, v))));
+    vst1q_f64(dv + i, d);
+    vst1q_f64(equiv + i, vdivq_f64(vmulq_f64(tau, d), vdd));
+    vst1q_f64(recharge_e + i, vmulq_f64(c_vdd, d));
+  }
+  cohort_eval_scalar(factors + i, n - i, k, v_low + i, stress_j + i, dv + i,
+                     equiv + i, recharge_e + i);
+}
+
+#endif  // SRAMLP_SIMD_NEON
+
 }  // namespace
 
 void cohort_eval_batch(const double* factors, std::size_t n,
                        const CohortEvalConstants& k, double* v_low,
                        double* stress_j, double* dv, double* equiv,
                        double* recharge_e) {
-#ifdef SRAMLP_SIMD_X86
+#if defined(SRAMLP_SIMD_X86)
   switch (active_level()) {
     case Level::kAvx512:
       cohort_eval_avx512(factors, n, k, v_low, stress_j, dv, equiv,
@@ -179,7 +223,13 @@ void cohort_eval_batch(const double* factors, std::size_t n,
     case Level::kAvx2:
       cohort_eval_avx2(factors, n, k, v_low, stress_j, dv, equiv, recharge_e);
       return;
+    case Level::kNeon: break;  // no NEON code in an x86 build: scalar
     case Level::kScalar: break;
+  }
+#elif defined(SRAMLP_SIMD_NEON)
+  if (active_level() != Level::kScalar) {
+    cohort_eval_neon(factors, n, k, v_low, stress_j, dv, equiv, recharge_e);
+    return;
   }
 #endif
   cohort_eval_scalar(factors, n, k, v_low, stress_j, dv, equiv, recharge_e);
@@ -310,27 +360,76 @@ __attribute__((target("avx512f"))) bool all_words_equal_avx512(
 
 #endif  // SRAMLP_SIMD_X86
 
+#ifdef SRAMLP_SIMD_NEON
+
+/// CNT counts bits per byte; ADDLV sums the 16 byte-counts (max 128, no
+/// overflow) into one scalar.  Exact, like any popcount.
+std::uint64_t popcount_neon(const std::uint64_t* words, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t v = vreinterpretq_u8_u64(vld1q_u64(words + i));
+    total += vaddlvq_u8(vcntq_u8(v));
+  }
+  return total + popcount_scalar(words + i, n - i);
+}
+
+std::uint64_t xor_popcount_neon(const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    total += vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+  }
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+bool all_words_equal_neon(const std::uint64_t* words, std::size_t n,
+                          std::uint64_t pattern) {
+  const uint64x2_t p = vdupq_n_u64(pattern);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(words + i), p);
+    // Equal lanes are all-ones; a single zero 32-bit chunk means mismatch.
+    if (vminvq_u32(vreinterpretq_u32_u64(eq)) != 0xffffffffu) return false;
+  }
+  for (; i < n; ++i)
+    if (words[i] != pattern) return false;
+  return true;
+}
+
+#endif  // SRAMLP_SIMD_NEON
+
 }  // namespace
 
 std::uint64_t popcount_words(const std::uint64_t* words, std::size_t n) {
-#ifdef SRAMLP_SIMD_X86
+#if defined(SRAMLP_SIMD_X86)
   switch (active_level()) {
     case Level::kAvx512: return popcount_avx512(words, n);
     case Level::kAvx2: return popcount_avx2(words, n);
+    case Level::kNeon: break;  // no NEON code in an x86 build: scalar
     case Level::kScalar: break;
   }
+#elif defined(SRAMLP_SIMD_NEON)
+  if (active_level() != Level::kScalar) return popcount_neon(words, n);
 #endif
   return popcount_scalar(words, n);
 }
 
 std::uint64_t xor_popcount_words(const std::uint64_t* a,
                                  const std::uint64_t* b, std::size_t n) {
-#ifdef SRAMLP_SIMD_X86
+#if defined(SRAMLP_SIMD_X86)
   switch (active_level()) {
     case Level::kAvx512: return xor_popcount_avx512(a, b, n);
     case Level::kAvx2: return xor_popcount_avx2(a, b, n);
+    case Level::kNeon: break;  // no NEON code in an x86 build: scalar
     case Level::kScalar: break;
   }
+#elif defined(SRAMLP_SIMD_NEON)
+  if (active_level() != Level::kScalar) return xor_popcount_neon(a, b, n);
 #endif
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < n; ++i)
@@ -340,12 +439,16 @@ std::uint64_t xor_popcount_words(const std::uint64_t* a,
 
 bool all_words_equal(const std::uint64_t* words, std::size_t n,
                      std::uint64_t pattern) {
-#ifdef SRAMLP_SIMD_X86
+#if defined(SRAMLP_SIMD_X86)
   switch (active_level()) {
     case Level::kAvx512: return all_words_equal_avx512(words, n, pattern);
     case Level::kAvx2: return all_words_equal_avx2(words, n, pattern);
+    case Level::kNeon: break;  // no NEON code in an x86 build: scalar
     case Level::kScalar: break;
   }
+#elif defined(SRAMLP_SIMD_NEON)
+  if (active_level() != Level::kScalar)
+    return all_words_equal_neon(words, n, pattern);
 #endif
   for (std::size_t i = 0; i < n; ++i)
     if (words[i] != pattern) return false;

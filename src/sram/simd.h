@@ -6,17 +6,24 @@
 //                vector variant must produce BIT-IDENTICAL output: the
 //                engines' parity contract (test_bitsliced_parity.cpp) rides
 //                on it, so the floating-point kernels only use lane-wise
-//                IEEE-754 operations (vmulpd/vsubpd/vdivpd) that match the
-//                scalar expression tree exactly — no FMA contraction, no
-//                reassociation, no approximate reciprocals;
+//                IEEE-754 operations (vmulpd/vsubpd/vdivpd on x86,
+//                vmulq/vsubq/vdivq on ARM) that match the scalar expression
+//                tree exactly — no FMA contraction, no reassociation, no
+//                approximate reciprocals;
+//   * NEON     — 2-lane doubles / 128-bit integer words (aarch64 baseline
+//                ASIMD, so no runtime probing is needed on ARM builds);
 //   * AVX2     — 4-lane doubles / 256-bit integer words;
 //   * AVX-512  — 8-lane doubles, VPOPCNTDQ word popcounts.
 //
 // The active level is resolved once per process from (a) the compile-time
-// gate (-DSRAMLP_DISABLE_SIMD, non-x86 targets), (b) CPUID feature probing
-// and (c) the SRAMLP_SIMD environment variable ("scalar"/"avx2"/"avx512",
-// capped at what the CPU supports).  Tests additionally force levels
-// through set_level_for_testing() to pin scalar-vs-vector bit-identity.
+// gate (-DSRAMLP_DISABLE_SIMD, unsupported targets), (b) feature probing
+// (CPUID on x86; aarch64 implies NEON) and (c) the SRAMLP_SIMD environment
+// variable ("scalar"/"neon"/"avx2"/"avx512", capped at what the CPU
+// supports).  Tests additionally force levels through
+// set_level_for_testing() to pin scalar-vs-vector bit-identity.  A level
+// the build carries no code for (kNeon on x86, kAvx2+ on ARM) dispatches
+// to scalar — forcing it is a harmless no-op, the same collapse the
+// clamping contract applies on weaker hardware.
 #pragma once
 
 #include <cstddef>
@@ -25,7 +32,7 @@
 namespace sramlp::sram::simd {
 
 /// Dispatch level, ordered by capability.
-enum class Level { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+enum class Level { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
 
 /// The level kernels dispatch on: the detected level unless a test forced
 /// a lower one.  Cheap (one atomic load past first use).

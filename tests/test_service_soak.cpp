@@ -1,0 +1,241 @@
+// Sweep-service soak: the ISSUE's two load-bearing claims, end to end.
+//
+//  * Resilience under churn — a service with several concurrent
+//    submitters (duplicate and distinct jobs interleaved) and a worker
+//    that dies mid-shard still hands EVERY submitter a document
+//    byte-identical to the single-process run, with the dead worker's
+//    leases requeued onto the survivors.
+//
+//  * Scheduling — on the same job with one deliberately slow worker out
+//    of four, the dynamic steal queue beats the static-plan Coordinator
+//    on wall-clock, because the slow worker just steals fewer shards
+//    instead of stalling a fixed quarter of the grid.  Both wall-clock
+//    numbers are printed (the PR's acceptance evidence).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault_campaign.h"
+#include "core/sweep.h"
+#include "dist/coordinator.h"
+#include "dist/job.h"
+#include "dist/service.h"
+#include "march/algorithms.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sramlp;
+using dist::JobSpec;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("sramlp_service_soak_" + tag + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+JobSpec sweep_job_a() {
+  JobSpec job;
+  job.kind = JobSpec::Kind::kSweep;
+  job.grid.geometries = {{8, 16, 1}, {4, 32, 1}, {6, 24, 2}};
+  job.grid.backgrounds = {sram::DataBackground::solid0(),
+                          sram::DataBackground::checkerboard()};
+  job.grid.algorithms = {march::algorithms::mats_plus(),
+                         march::algorithms::march_c_minus()};
+  return job;  // 12 points
+}
+
+JobSpec sweep_job_b() {
+  JobSpec job = sweep_job_a();
+  job.grid.backgrounds = {sram::DataBackground::solid1()};
+  return job;  // 6 points, disjoint from job A's backgrounds
+}
+
+JobSpec campaign_job() {
+  JobSpec job;
+  job.kind = JobSpec::Kind::kCampaign;
+  job.config.geometry = {8, 8, 1};
+  job.test = march::algorithms::march_c_minus();
+  job.faults = faults::standard_fault_library(job.config.geometry, 11);
+  return job;
+}
+
+std::string single_document(const JobSpec& job) {
+  dist::MergedResult merged;
+  merged.kind = job.kind;
+  if (job.kind == JobSpec::Kind::kSweep) {
+    merged.sweep = core::SweepRunner().run(job.grid);
+  } else {
+    core::CampaignRunner::Options options;
+    options.batched = true;
+    core::CampaignReport report =
+        core::CampaignRunner(options).run(job.config, *job.test, job.faults);
+    merged.campaign.algorithm = report.algorithm;
+    merged.campaign.entries = std::move(report.entries);
+  }
+  return dist::merged_document(merged);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+TEST(ServiceSoak, ConcurrentSubmittersSurviveAWorkerDeath) {
+  dist::Service::Options options;
+  options.points_per_shard = 2;
+  dist::Service service(options);
+  service.start();
+  const std::string address = service.address();
+
+  // One suicidal worker: no artificial delay, so it races ahead, grabs
+  // shards first, streams three points and drops its connection mid-shard
+  // (no shard_done).  Two slow-but-healthy workers inherit its requeued
+  // leases.
+  std::vector<std::thread> workers;
+  {
+    dist::ServiceWorker::Options dying;
+    dying.die_after_points = 3;
+    workers.emplace_back(
+        [address, dying] { dist::ServiceWorker(dying).run(address); });
+    dist::ServiceWorker::Options healthy;
+    healthy.slow_point_us = 2000;
+    for (int w = 0; w < 2; ++w)
+      workers.emplace_back(
+          [address, healthy] { dist::ServiceWorker(healthy).run(address); });
+  }
+
+  const std::vector<JobSpec> jobs = {sweep_job_a(), sweep_job_b(),
+                                     campaign_job()};
+  std::vector<std::string> references;
+  for (const JobSpec& job : jobs) references.push_back(single_document(job));
+
+  // Six submitters: every job twice, concurrently — the duplicates land as
+  // in-flight dedups or job-cache hits depending on timing, both of which
+  // must still produce the reference bytes.
+  std::vector<std::string> documents(6);
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < documents.size(); ++s)
+    submitters.emplace_back([&, s] {
+      documents[s] = dist::submit_job(address, jobs[s % jobs.size()],
+                                      /*connect_timeout_ms=*/10000)
+                         .document;
+    });
+  for (std::thread& t : submitters) t.join();
+
+  for (std::size_t s = 0; s < documents.size(); ++s)
+    EXPECT_EQ(documents[s], references[s % references.size()])
+        << "submitter " << s;
+
+  const dist::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_submitted, 6u);
+  EXPECT_EQ(stats.jobs_completed + stats.job_cache_hits +
+                stats.jobs_deduplicated,
+            6u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  EXPECT_GE(stats.workers_lost, 1u);     // the suicide was noticed...
+  EXPECT_GE(stats.shard_requeues, 1u);   // ...and its leases requeued
+  // Every duplicate was answered without recomputing: exactly one
+  // execution of each distinct point (dead-worker replays excluded by
+  // first-wins filling, so executed counts can exceed, but filled points
+  // cannot).
+  std::printf("soak: %llu points executed, %llu requeues, "
+              "cache hit-rate %.2f\n",
+              static_cast<unsigned long long>(stats.points_executed),
+              static_cast<unsigned long long>(stats.shard_requeues),
+              stats.cache.hit_rate());
+
+  service.request_stop();
+  service.wait();
+  for (std::thread& t : workers) t.join();
+}
+
+// The acceptance comparison: 4 workers, one of them slow, same ~40-point
+// job.  Static plan = the slow worker owns a fixed quarter of the grid and
+// the job waits for it.  Steal queue = the slow worker only hurts the few
+// shards it actually steals.
+TEST(ServiceSoak, StealQueueBeatsStaticPlanWithOneSlowWorker) {
+  JobSpec job;
+  job.kind = JobSpec::Kind::kSweep;
+  job.grid.geometries = {{4, 16, 1}, {8, 16, 1}, {4, 32, 1}, {8, 32, 1},
+                         {6, 24, 2}, {4, 24, 2}, {8, 24, 1}, {4, 20, 1},
+                         {6, 16, 1}, {6, 32, 2}};
+  job.grid.backgrounds = {sram::DataBackground::solid0(),
+                          sram::DataBackground::checkerboard()};
+  job.grid.algorithms = {march::algorithms::mats_plus(),
+                         march::algorithms::march_c_minus()};
+  ASSERT_EQ(job.size(), 40u);
+  const std::string reference = single_document(job);
+  constexpr std::uint64_t kSlowPointUs = 5000;  // a 5 ms/point slow host
+
+  // Static plan: 4 contiguous shards on 4 fork-run workers; shard 0 (10
+  // points) runs on the slow host -> >= 50 ms critical path by design.
+  TempDir dir("static");
+  dist::Coordinator::Options static_options;
+  static_options.shards = 4;
+  static_options.max_workers = 4;
+  static_options.work_dir = dir.str();
+  static_options.slow_shard = 0;
+  static_options.slow_point_us = kSlowPointUs;
+  const auto static_start = std::chrono::steady_clock::now();
+  const dist::MergedResult static_merged =
+      dist::Coordinator(static_options).run(job);
+  const double static_seconds = seconds_since(static_start);
+  EXPECT_EQ(dist::merged_document(static_merged), reference);
+
+  // Steal queue: the same slow host is one of 4 service workers, but now
+  // it can only hold one 2-point shard at a time.
+  dist::Service::Options service_options;
+  service_options.points_per_shard = 2;
+  dist::Service service(service_options);
+  service.start();
+  const std::string address = service.address();
+  std::vector<std::thread> workers;
+  std::vector<std::size_t> stolen(4, 0);
+  for (int w = 0; w < 4; ++w)
+    workers.emplace_back([&, w] {
+      dist::ServiceWorker::Options options;
+      if (w == 0) options.slow_point_us = kSlowPointUs;
+      stolen[w] = dist::ServiceWorker(options).run(address);
+    });
+  const auto steal_start = std::chrono::steady_clock::now();
+  const dist::SubmitResult steal_result =
+      dist::submit_job(address, job, 10000);
+  const double steal_seconds = seconds_since(steal_start);
+  EXPECT_EQ(steal_result.document, reference);
+  EXPECT_FALSE(steal_result.cache_hit);
+
+  std::printf("scheduling: static plan %.1f ms, steal queue %.1f ms "
+              "(%.1fx) on %zu points, slow worker at %llu us/point\n",
+              static_seconds * 1e3, steal_seconds * 1e3,
+              static_seconds / steal_seconds, job.size(),
+              static_cast<unsigned long long>(kSlowPointUs));
+  service.request_stop();
+  service.wait();
+  for (std::thread& t : workers) t.join();
+  std::printf("scheduling: points stolen per worker (worker 0 slow): "
+              "%zu %zu %zu %zu\n",
+              stolen[0], stolen[1], stolen[2], stolen[3]);
+  EXPECT_LT(steal_seconds, static_seconds)
+      << "dynamic stealing should beat the static plan with a slow worker";
+}
+
+}  // namespace

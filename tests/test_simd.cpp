@@ -9,8 +9,11 @@
 //    awkward geometries and word-oriented arrays;
 //  * the dispatch contract itself — set_level_for_testing clamps to the
 //    detected capability and reset restores it.
-// On hardware without AVX2/AVX-512 the vector cases collapse to scalar
-// re-runs and the suite still passes (that IS the clamping contract).
+// On hardware without a level's code (no AVX2/AVX-512, or kNeon forced on
+// an x86 build) the vector cases collapse to scalar re-runs and the suite
+// still passes (that IS the clamping contract) — so every level below the
+// detected one is exercised unconditionally, including kNeon, which runs
+// its real kernels on aarch64 builds and the scalar fallback elsewhere.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -27,13 +30,14 @@ namespace {
 using namespace sramlp;
 using sram::simd::Level;
 
-/// Levels this machine can actually run (always at least scalar).
+/// Every level up to the detected one (always at least scalar).  Levels
+/// whose code the build does not carry (kNeon on x86) dispatch to scalar,
+/// so each entry is safe to force — and on an aarch64 build kNeon pins the
+/// real 2-lane kernels against the scalar specification.
 std::vector<Level> available_levels() {
   std::vector<Level> out{Level::kScalar};
-  if (sram::simd::detected_level() >= Level::kAvx2)
-    out.push_back(Level::kAvx2);
-  if (sram::simd::detected_level() >= Level::kAvx512)
-    out.push_back(Level::kAvx512);
+  for (const Level l : {Level::kNeon, Level::kAvx2, Level::kAvx512})
+    if (sram::simd::detected_level() >= l) out.push_back(l);
   return out;
 }
 
@@ -59,12 +63,13 @@ TEST(SimdDispatch, ForcedLevelClampsToDetected) {
   EXPECT_EQ(sram::simd::active_level(), Level::kScalar);
   sram::simd::reset_level_for_testing();
   EXPECT_EQ(sram::simd::active_level(), sram::simd::detected_level());
-  for (const Level l : {Level::kScalar, Level::kAvx2, Level::kAvx512})
+  for (const Level l :
+       {Level::kScalar, Level::kNeon, Level::kAvx2, Level::kAvx512})
     EXPECT_STRNE(sram::simd::level_name(l), "");
 }
 
 // Sizes chosen to hit empty input, single lanes, partial vectors and
-// several full vectors plus remainder at both vector widths (4 and 8).
+// several full vectors plus remainder at every vector width (2, 4 and 8).
 constexpr std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31,
                                   64, 100};
 
@@ -78,21 +83,23 @@ TEST(SimdKernels, CohortEvalBatchBitIdenticalAcrossLevels) {
     std::vector<double> factors(n);
     for (double& f : factors)
       f = static_cast<double>(mix(state) >> 11) * 0x1.0p-53;  // [0, 1)
-    std::vector<std::vector<double>> out[2];
-    for (int pass = 0; pass < 2; ++pass) {
-      out[pass].assign(5, std::vector<double>(n, -1.0));
-      sram::simd::set_level_for_testing(pass == 0
-                                            ? Level::kScalar
-                                            : sram::simd::detected_level());
+    std::vector<std::vector<std::vector<double>>> out;
+    for (const Level level : available_levels()) {
+      out.emplace_back(5, std::vector<double>(n, -1.0));
+      sram::simd::set_level_for_testing(level);
       sram::simd::cohort_eval_batch(factors.data(), n, k,
-                                    out[pass][0].data(), out[pass][1].data(),
-                                    out[pass][2].data(), out[pass][3].data(),
-                                    out[pass][4].data());
+                                    out.back()[0].data(),
+                                    out.back()[1].data(),
+                                    out.back()[2].data(),
+                                    out.back()[3].data(),
+                                    out.back()[4].data());
     }
-    for (std::size_t arr = 0; arr < 5; ++arr)
-      for (std::size_t i = 0; i < n; ++i)
-        EXPECT_EQ(out[0][arr][i], out[1][arr][i])
-            << "n=" << n << " array=" << arr << " i=" << i;
+    for (std::size_t pass = 1; pass < out.size(); ++pass)
+      for (std::size_t arr = 0; arr < 5; ++arr)
+        for (std::size_t i = 0; i < n; ++i)
+          EXPECT_EQ(out[0][arr][i], out[pass][arr][i])
+              << "n=" << n << " array=" << arr << " i=" << i << " level "
+              << sram::simd::level_name(available_levels()[pass]);
   }
 }
 
@@ -107,28 +114,30 @@ TEST(SimdKernels, WordKernelsBitIdenticalAcrossLevels) {
     }
     const std::uint64_t pattern = 0xaaaaaaaaaaaaaaaaull;
     std::vector<std::uint64_t> uniform(n, pattern);
-    std::vector<std::uint64_t> pop(2), xpop(2);
-    std::vector<int> eq_uniform(2), eq_dirty(2);
-    for (int pass = 0; pass < 2; ++pass) {
-      sram::simd::set_level_for_testing(pass == 0
-                                            ? Level::kScalar
-                                            : sram::simd::detected_level());
-      pop[static_cast<std::size_t>(pass)] =
-          sram::simd::popcount_words(a.data(), n);
-      xpop[static_cast<std::size_t>(pass)] =
-          sram::simd::xor_popcount_words(a.data(), b.data(), n);
-      eq_uniform[static_cast<std::size_t>(pass)] =
+    const std::vector<Level> levels = available_levels();
+    std::vector<std::uint64_t> pop(levels.size()), xpop(levels.size());
+    std::vector<int> eq_uniform(levels.size()), eq_dirty(levels.size());
+    for (std::size_t pass = 0; pass < levels.size(); ++pass) {
+      sram::simd::set_level_for_testing(levels[pass]);
+      pop[pass] = sram::simd::popcount_words(a.data(), n);
+      xpop[pass] = sram::simd::xor_popcount_words(a.data(), b.data(), n);
+      eq_uniform[pass] =
           sram::simd::all_words_equal(uniform.data(), n, pattern) ? 1 : 0;
       // Flip one bit somewhere past the first full vector when possible.
       std::vector<std::uint64_t> dirty = uniform;
       if (n != 0) dirty[n - 1] ^= 1ull << 63;
-      eq_dirty[static_cast<std::size_t>(pass)] =
+      eq_dirty[pass] =
           sram::simd::all_words_equal(dirty.data(), n, pattern) ? 1 : 0;
     }
-    EXPECT_EQ(pop[0], pop[1]) << "n=" << n;
-    EXPECT_EQ(xpop[0], xpop[1]) << "n=" << n;
-    EXPECT_EQ(eq_uniform[0], eq_uniform[1]) << "n=" << n;
-    EXPECT_EQ(eq_dirty[0], eq_dirty[1]) << "n=" << n;
+    for (std::size_t pass = 1; pass < levels.size(); ++pass) {
+      const std::string where =
+          "n=" + std::to_string(n) + " level " +
+          sram::simd::level_name(levels[pass]);
+      EXPECT_EQ(pop[0], pop[pass]) << where;
+      EXPECT_EQ(xpop[0], xpop[pass]) << where;
+      EXPECT_EQ(eq_uniform[0], eq_uniform[pass]) << where;
+      EXPECT_EQ(eq_dirty[0], eq_dirty[pass]) << where;
+    }
     EXPECT_EQ(eq_uniform[0], 1) << "n=" << n;
     EXPECT_EQ(eq_dirty[0], n == 0 ? 1 : 0) << "n=" << n;
   }

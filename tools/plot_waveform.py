@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Plot a WaveformWriter CSV (power_explorer --waveform out.csv).
+
+The CSV has one record per simulated cycle that drew energy:
+
+    run,cycle,span,supply_j,<17 per-source columns>
+
+`run` splits the file into March runs (a compare_modes pair emits run 0 =
+functional, run 1 = low-power); `span` is the cycles the record covers
+(idle March "Del" blocks arrive as ONE record spanning millions of
+cycles); energy columns are totals over the span.
+
+With matplotlib installed, renders a step plot per run (or per source
+with --columns) to a window or --out FILE.  Without it, falls back to an
+ASCII chart on stdout, so the tool works in bare containers and over ssh.
+
+Examples:
+    power_explorer 64 64 1 --waveform wave.csv
+    tools/plot_waveform.py wave.csv
+    tools/plot_waveform.py wave.csv --columns supply_j,precharge_res_fight
+    tools/plot_waveform.py wave.csv --run 1 --rate --out lp.png
+"""
+
+import argparse
+import csv
+import sys
+
+FIXED_FIELDS = ("run", "cycle", "span")
+
+
+def read_waveform(path):
+    """Parse the CSV into {run: [record...]}, record = dict of floats."""
+    runs = {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not set(FIXED_FIELDS).issubset(
+            reader.fieldnames
+        ):
+            raise SystemExit(
+                f"{path}: not a waveform CSV (expected columns "
+                f"{', '.join(FIXED_FIELDS)}, supply_j, ...)"
+            )
+        energy_columns = [
+            c for c in reader.fieldnames if c not in FIXED_FIELDS
+        ]
+        for row in reader:
+            record = {"cycle": int(row["cycle"]), "span": int(row["span"])}
+            for column in energy_columns:
+                record[column] = float(row[column])
+            runs.setdefault(int(row["run"]), []).append(record)
+    return runs, energy_columns
+
+
+def series_for(records, column, rate):
+    """(cycles, values) for one column; --rate divides by the span."""
+    cycles = [r["cycle"] for r in records]
+    values = [
+        r[column] / r["span"] if rate else r[column] for r in records
+    ]
+    return cycles, values
+
+
+def ascii_plot(runs, columns, rate, width, height):
+    for run in sorted(runs):
+        for column in columns:
+            cycles, values = series_for(runs[run], column, rate)
+            if not cycles:
+                continue
+            label = f"run {run} — {column}" + (" (J/cycle)" if rate else " (J)")
+            print(label)
+            lo, hi = min(values), max(values)
+            span_cycles = max(cycles[-1] - cycles[0], 1)
+            # Bucket records into `width` columns by cycle, keep the max.
+            buckets = [None] * width
+            for cycle, value in zip(cycles, values):
+                b = min(
+                    (cycle - cycles[0]) * width // (span_cycles + 1),
+                    width - 1,
+                )
+                if buckets[b] is None or value > buckets[b]:
+                    buckets[b] = value
+            scale = (hi - lo) or 1.0
+            rows = []
+            for level in range(height, 0, -1):
+                threshold = lo + scale * (level - 0.5) / height
+                rows.append(
+                    "".join(
+                        "#"
+                        if v is not None and v >= threshold
+                        else ("." if v is not None and level == 1 else " ")
+                        for v in buckets
+                    )
+                )
+            print(f"  max {hi:.3e}")
+            for row in rows:
+                print(f"  |{row}")
+            print(f"  min {lo:.3e}  cycles {cycles[0]}..{cycles[-1]}")
+            print()
+
+
+def matplotlib_plot(runs, columns, rate, out):
+    import matplotlib
+
+    if out:
+        matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(
+        len(runs), 1, sharex=False, figsize=(10, 3 * len(runs)), squeeze=False
+    )
+    for axis, run in zip(axes[:, 0], sorted(runs)):
+        for column in columns:
+            cycles, values = series_for(runs[run], column, rate)
+            axis.step(cycles, values, where="post", label=column)
+        axis.set_title(f"run {run}")
+        axis.set_xlabel("cycle")
+        axis.set_ylabel("J/cycle" if rate else "J per record")
+        axis.legend(fontsize="small")
+        axis.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if out:
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    else:
+        plt.show()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("csv_path", help="WaveformWriter CSV file")
+    parser.add_argument(
+        "--columns",
+        default="supply_j",
+        help="comma-separated energy columns to plot (default supply_j); "
+        "'all' plots every source column",
+    )
+    parser.add_argument(
+        "--run", type=int, default=None, help="plot only this run ordinal"
+    )
+    parser.add_argument(
+        "--rate",
+        action="store_true",
+        help="divide each record by its span (J/cycle instead of J/record, "
+        "so idle Del blocks compare honestly with operation cycles)",
+    )
+    parser.add_argument("--out", default=None, help="write a PNG instead of showing")
+    parser.add_argument(
+        "--ascii",
+        action="store_true",
+        help="force the ASCII fallback even when matplotlib is available",
+    )
+    parser.add_argument("--width", type=int, default=72, help="ASCII chart width")
+    parser.add_argument("--height", type=int, default=12, help="ASCII chart height")
+    args = parser.parse_args()
+
+    runs, energy_columns = read_waveform(args.csv_path)
+    if args.run is not None:
+        if args.run not in runs:
+            raise SystemExit(
+                f"run {args.run} not in file (has {sorted(runs)})"
+            )
+        runs = {args.run: runs[args.run]}
+    if args.columns == "all":
+        columns = energy_columns
+    else:
+        columns = [c.strip() for c in args.columns.split(",") if c.strip()]
+        unknown = [c for c in columns if c not in energy_columns]
+        if unknown:
+            raise SystemExit(
+                f"unknown column(s) {', '.join(unknown)}; "
+                f"file has: {', '.join(energy_columns)}"
+            )
+
+    if not args.ascii:
+        try:
+            matplotlib_plot(runs, columns, args.rate, args.out)
+            return
+        except ImportError:
+            print(
+                "matplotlib not available; falling back to ASCII "
+                "(install matplotlib for PNG output)",
+                file=sys.stderr,
+            )
+    ascii_plot(runs, columns, args.rate, args.width, args.height)
+
+
+if __name__ == "__main__":
+    main()

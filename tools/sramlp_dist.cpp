@@ -22,6 +22,21 @@
 // Multi-host recipe: `plan` here, scp one spec file per host, `worker`
 // there, scp the JSONL back, `merge` here.  The merged document is
 // bit-identical to `single` whatever the shard/worker/host split.
+//
+// Service mode (the long-running path — see dist/service.h):
+//
+//   serve    --listen A --workers N       coordinator daemon: accepts jobs
+//                                         over a Unix/TCP socket, workers
+//                                         steal small shards dynamically,
+//                                         results are cached by fingerprint
+//   work     --connect A                  one steal-protocol worker (extra
+//                                         capacity, local or remote)
+//   submit   --connect A --job J --out M  submit a job, stream the results,
+//                                         write the merged document (byte-
+//                                         identical to `single`)
+//   stats    --connect A                  service counters as JSON
+//   shutdown --connect A                  stop the daemon
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -36,6 +51,7 @@
 #include "core/sweep.h"
 #include "dist/coordinator.h"
 #include "dist/job.h"
+#include "dist/service.h"
 #include "dist/worker.h"
 #include "io/serialize.h"
 #include "march/algorithms.h"
@@ -57,7 +73,14 @@ using namespace sramlp;
       "         [--strategy ...] [--threads N] [--no-resume] [--fork]\n"
       "         [--retries R]\n"
       "  merge  --job J --shards K --dir D --out M [--strategy ...]\n"
-      "  single --job J --out M\n",
+      "  single --job J --out M\n"
+      "  serve  [--listen unix:/path|tcp:port] [--workers N] [--threads N]\n"
+      "         [--points-per-shard P] [--cache-capacity C] [--spill F]\n"
+      "         [--no-point-cache] [--slow-us U]\n"
+      "  work   --connect A [--threads N] [--per-fault] [--slow-us U]\n"
+      "  submit --connect A --job J [--out M] [--expect-cache-hit]\n"
+      "  stats  --connect A\n"
+      "  shutdown --connect A\n",
       argv0);
   std::exit(2);
 }
@@ -140,27 +163,6 @@ dist::ShardStrategy strategy_arg(Args& args) {
   auto v = args.value("--strategy");
   return v ? dist::shard_strategy_from_slug(*v)
            : dist::ShardStrategy::kContiguous;
-}
-
-/// The canonical merged document `run`, `merge` and `single` all emit —
-/// the byte-level diff target.
-std::string merged_document(const dist::MergedResult& merged) {
-  io::JsonValue doc = io::JsonValue::object();
-  if (merged.kind == dist::JobSpec::Kind::kSweep) {
-    doc.set("kind", io::JsonValue::string("sweep"));
-    io::JsonValue points = io::JsonValue::array();
-    for (const core::SweepPointResult& p : merged.sweep)
-      points.push_back(io::to_json(p));
-    doc.set("points", std::move(points));
-  } else {
-    doc.set("kind", io::JsonValue::string("campaign"));
-    doc.set("algorithm", io::JsonValue::string(merged.campaign.algorithm));
-    io::JsonValue entries = io::JsonValue::array();
-    for (const core::CampaignEntry& e : merged.campaign.entries)
-      entries.push_back(io::to_json(e));
-    doc.set("entries", std::move(entries));
-  }
-  return doc.dump(2) + "\n";
 }
 
 /// Absolute path of this binary, for spawning `worker` subprocesses.
@@ -319,6 +321,137 @@ int cmd_single(Args& args) {
   return 0;
 }
 
+int cmd_serve(Args& args, const char* argv0) {
+  dist::Service::Options options;
+  if (auto listen = args.value("--listen")) options.listen = *listen;
+  options.points_per_shard =
+      args.number("--points-per-shard", options.points_per_shard);
+  options.cache.capacity =
+      args.number("--cache-capacity", options.cache.capacity);
+  if (auto spill = args.value("--spill")) options.cache.spill_path = *spill;
+  if (args.flag("--no-point-cache")) options.point_cache = false;
+  const std::size_t workers = args.number("--workers", 2);
+  const std::size_t threads = args.number("--threads", 1);
+  const std::size_t slow_us = args.number("--slow-us", 0);
+  args.reject_leftovers();
+
+  dist::Service service(options);
+  service.start();
+  const std::string address = service.address();
+  std::printf("sweep service listening on %s (%zu local workers)\n",
+              address.c_str(), workers);
+  std::fflush(stdout);
+
+  // Local capacity: N `work` subprocesses of this very binary on the
+  // resolved address.  Remote hosts add more with `sramlp_dist work`.
+  const std::string self = self_path(argv0);
+  std::vector<pid_t> children;
+  for (std::size_t w = 0; w < workers; ++w) {
+    std::vector<std::string> command = {self,        "work",
+                                        "--connect", address,
+                                        "--threads", std::to_string(threads)};
+    if (slow_us > 0) {
+      command.push_back("--slow-us");
+      command.push_back(std::to_string(slow_us));
+    }
+    const pid_t pid = fork();
+    SRAMLP_REQUIRE(pid >= 0, "fork failed");
+    if (pid == 0) {
+      std::vector<char*> argv_vec;
+      argv_vec.reserve(command.size() + 1);
+      for (std::string& arg : command) argv_vec.push_back(arg.data());
+      argv_vec.push_back(nullptr);
+      execv(argv_vec[0], argv_vec.data());
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  service.wait();  // until a `shutdown` request arrives
+  for (const pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+  const dist::ServiceStats stats = service.stats();
+  std::printf("service stopped: %llu jobs (%llu cache hits, %llu points "
+              "from cache), %llu points executed, %llu shards "
+              "(%llu requeued), cache hit rate %.3f\n",
+              static_cast<unsigned long long>(stats.jobs_submitted),
+              static_cast<unsigned long long>(stats.job_cache_hits),
+              static_cast<unsigned long long>(stats.point_cache_hits),
+              static_cast<unsigned long long>(stats.points_executed),
+              static_cast<unsigned long long>(stats.shards_executed),
+              static_cast<unsigned long long>(stats.shard_requeues),
+              stats.cache.hit_rate());
+  return 0;
+}
+
+int cmd_work(Args& args) {
+  const std::string address = args.require("--connect");
+  dist::ServiceWorker::Options options;
+  options.threads =
+      static_cast<unsigned>(args.number("--threads", options.threads));
+  if (args.flag("--per-fault")) options.batched_campaigns = false;
+  options.slow_point_us = args.number("--slow-us", 0);
+  args.reject_leftovers();
+  const std::size_t points = dist::ServiceWorker(options).run(address);
+  std::printf("worker done: %zu points computed\n", points);
+  return 0;
+}
+
+int cmd_submit(Args& args) {
+  const std::string address = args.require("--connect");
+  const dist::JobSpec job = load_job(args.require("--job"));
+  const std::optional<std::string> out_path = args.value("--out");
+  // CI hook: fail loudly when a resubmission that must be answered from
+  // the cache was computed instead.
+  const bool expect_cache_hit = args.flag("--expect-cache-hit");
+  args.reject_leftovers();
+  const dist::SubmitResult result = dist::submit_job(address, job);
+  if (out_path) write_file(*out_path, result.document);
+  std::printf("job done: %zu points (%zu from cache, %zu streamed), "
+              "whole-job cache %s, service hit rate %.3f%s%s\n",
+              result.total_points, result.cached_points,
+              result.streamed_lines, result.cache_hit ? "HIT" : "miss",
+              result.cache_hit_rate, out_path ? " -> " : "",
+              out_path ? out_path->c_str() : "");
+  if (expect_cache_hit && !result.cache_hit)
+    throw Error("expected a whole-job cache hit; the job was computed");
+  return 0;
+}
+
+int cmd_stats(Args& args) {
+  const std::string address = args.require("--connect");
+  args.reject_leftovers();
+  const dist::ServiceStats stats = dist::query_stats(address);
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("jobs_submitted", io::JsonValue::integer(stats.jobs_submitted));
+  doc.set("jobs_completed", io::JsonValue::integer(stats.jobs_completed));
+  doc.set("jobs_failed", io::JsonValue::integer(stats.jobs_failed));
+  doc.set("jobs_deduplicated",
+          io::JsonValue::integer(stats.jobs_deduplicated));
+  doc.set("job_cache_hits", io::JsonValue::integer(stats.job_cache_hits));
+  doc.set("point_cache_hits", io::JsonValue::integer(stats.point_cache_hits));
+  doc.set("points_executed", io::JsonValue::integer(stats.points_executed));
+  doc.set("shards_executed", io::JsonValue::integer(stats.shards_executed));
+  doc.set("shard_requeues", io::JsonValue::integer(stats.shard_requeues));
+  doc.set("workers_connected",
+          io::JsonValue::integer(stats.workers_connected));
+  doc.set("workers_lost", io::JsonValue::integer(stats.workers_lost));
+  doc.set("cache_entries", io::JsonValue::integer(stats.cache.entries));
+  doc.set("cache_hit_rate", io::JsonValue::number(stats.cache.hit_rate()));
+  std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+  return 0;
+}
+
+int cmd_shutdown(Args& args) {
+  const std::string address = args.require("--connect");
+  args.reject_leftovers();
+  dist::request_shutdown(address);
+  std::printf("service shut down\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -332,6 +465,11 @@ int main(int argc, char** argv) {
     if (subcommand == "run") return cmd_run(args, argv[0]);
     if (subcommand == "merge") return cmd_merge(args);
     if (subcommand == "single") return cmd_single(args);
+    if (subcommand == "serve") return cmd_serve(args, argv[0]);
+    if (subcommand == "work") return cmd_work(args);
+    if (subcommand == "submit") return cmd_submit(args);
+    if (subcommand == "stats") return cmd_stats(args);
+    if (subcommand == "shutdown") return cmd_shutdown(args);
     usage(argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sramlp_dist %s failed: %s\n", subcommand.c_str(),
