@@ -143,6 +143,13 @@ class Service {
   std::string address_;
   std::thread accept_thread_;
 
+  /// Lock order (TSan-verified by tests/test_steal_queue_stress.cpp):
+  /// Service::mutex_ may be held while calling into cache_ (ResultCache::
+  /// mutex_) or a job's StealQueue (StealQueue::mutex_); neither of those
+  /// classes ever calls back into the Service, so the hierarchy is
+  /// acyclic — never take mutex_ from code reachable under theirs.
+  /// io::LineChannel::send_mutex_ (per-socket write framing) is a leaf
+  /// below all three.
   mutable std::mutex mutex_;
   std::condition_variable state_cv_;  ///< work arrived / job done / stopping
   bool started_ = false;

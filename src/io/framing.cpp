@@ -202,6 +202,12 @@ Socket connect_socket(const std::string& address, int timeout_ms) {
       return sock;
     }
     const int err = errno;
+    // A signal landing mid-connect is not a dead peer: the attempt is
+    // abandoned with the socket (a fresh one is made next iteration) and
+    // retried immediately, without burning the backoff sleep.  The stress
+    // suite's signal storm (test_steal_queue_stress) turned this from a
+    // theoretical case into a reliable connect failure.
+    if (err == EINTR) continue;
     // A daemon that has not bound its endpoint yet shows up as refused
     // (TCP, or a stale unix inode) or missing (unix path not created);
     // within the timeout those are "try again", everything else is fatal.

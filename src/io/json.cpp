@@ -45,6 +45,14 @@ void append_escaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
+/// Parse (and emit) recursion ceiling.  The parser is recursive-descent,
+/// so nesting depth is stack depth: without a cap, a frame of a few
+/// thousand '[' bytes overflows the stack (found by tests/fuzz/fuzz_json
+/// in about a second).  64 levels is far beyond any document the
+/// serializers produce (deepest real shape: ~6 levels), and parse rejects
+/// deeper input with a normal Error instead of crashing.
+constexpr int kMaxParseDepth = 64;
+
 /// Recursive-descent parser over a string_view with offset-based errors.
 class Parser {
  public:
@@ -89,6 +97,7 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    if (depth_ >= kMaxParseDepth) fail("nesting too deep");
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -108,9 +117,11 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    ++depth_;
     JsonValue obj = JsonValue::object();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     while (true) {
@@ -120,23 +131,31 @@ class Parser {
       obj.set(std::move(key), parse_value());
       const char c = peek();
       ++pos_;
-      if (c == '}') return obj;
+      if (c == '}') {
+        --depth_;
+        return obj;
+      }
       if (c != ',') fail("expected ',' or '}'");
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    ++depth_;
     JsonValue arr = JsonValue::array();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     while (true) {
       arr.push_back(parse_value());
       const char c = peek();
       ++pos_;
-      if (c == ']') return arr;
+      if (c == ']') {
+        --depth_;
+        return arr;
+      }
       if (c != ',') fail("expected ',' or ']'");
     }
   }
@@ -232,6 +251,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< current container nesting (kMaxParseDepth cap)
 };
 
 }  // namespace

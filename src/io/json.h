@@ -73,7 +73,9 @@ class JsonValue {
   std::string dump(int indent = 0) const;
 
   /// Parse one JSON document (trailing garbage is an error).
-  /// Throws sramlp::Error with an offset-annotated message on bad input.
+  /// Throws sramlp::Error with an offset-annotated message on bad input,
+  /// including container nesting beyond 64 levels — the parser is
+  /// recursive, and untrusted wire input must not choose our stack depth.
   static JsonValue parse(std::string_view text);
 
  private:

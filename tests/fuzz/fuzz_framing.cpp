@@ -1,0 +1,47 @@
+// Fuzz harness for the LineChannel frame decoder — the byte stream a
+// sweep-service daemon reads from whoever connects to its socket.  The
+// fuzz input is fed through a real socketpair so the exact recv loop,
+// buffering and newline splitting under test are the production ones.
+//
+// Contract under arbitrary bytes: receive() yields zero or more parsed
+// documents and then std::nullopt (dead peer / EOF); garbled or
+// truncated frames read as end-of-stream.  It must never crash, hang or
+// leak, and every document it does yield must be re-emittable as valid
+// JSON (the service forwards received frames verbatim to listeners).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "io/framing.h"
+#include "io/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Stay well inside the default AF_UNIX send buffer so the single
+  // blocking send below cannot stall the harness.
+  if (size > (32u << 10)) return 0;
+
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return 0;
+  if (size > 0) {
+    const ssize_t sent = ::send(fds[1], data, size, MSG_NOSIGNAL);
+    if (sent < 0 || static_cast<std::size_t>(sent) != size) {
+      ::close(fds[1]);
+      ::close(fds[0]);
+      return 0;
+    }
+  }
+  ::close(fds[1]);  // EOF after the fuzz bytes, like a peer hanging up
+
+  sramlp::io::LineChannel channel{sramlp::io::Socket(fds[0])};
+  while (const std::optional<sramlp::io::JsonValue> frame =
+             channel.receive()) {
+    const std::string line = frame->dump();
+    if (sramlp::io::JsonValue::parse(line).dump() != line) __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzz harness for io::JsonValue::parse — the parser every wire byte in
+// the dist/ subsystem goes through (shard result files, the service
+// protocol, the result-cache spill).  Untrusted input must either parse
+// or throw sramlp::Error; anything else (crash, hang, stack overflow) is
+// a finding.  First catch: unbounded recursion — a frame of a few
+// thousand '[' bytes overflowed the stack until parse grew its
+// kMaxParseDepth cap (regression-tested in tests/test_io.cpp).
+//
+// Accepted input is additionally held to the round-trip contract the
+// merge pipeline relies on: dump() must reparse, and reparse to the SAME
+// bytes — equal values produce equal documents.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/json.h"
+#include "util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Giant inputs only probe allocator throughput, not parser logic.
+  if (size > (1u << 20)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  sramlp::io::JsonValue parsed;
+  try {
+    parsed = sramlp::io::JsonValue::parse(text);
+  } catch (const sramlp::Error&) {
+    return 0;  // rejected cleanly: the only acceptable failure mode
+  }
+
+  // Round-trip stability: what we emit must be parseable, and a second
+  // emit must be byte-identical (insertion order + the exact number
+  // lanes make documents deterministic).
+  const std::string once = parsed.dump();
+  const sramlp::io::JsonValue reparsed = sramlp::io::JsonValue::parse(once);
+  if (reparsed.dump() != once) __builtin_trap();
+  return 0;
+}

@@ -108,6 +108,23 @@ TEST(Json, ParseErrors) {
   EXPECT_THROW(JsonValue::parse("1e999"), Error);
 }
 
+// Regression for a fuzz_json finding: the recursive-descent parser had no
+// nesting cap, so a wire frame of a few thousand '[' bytes chose our
+// stack depth and crashed the daemon.  Deep input must throw a normal
+// parse Error; nesting up to the 64-level cap still parses.
+TEST(Json, DeepNestingIsRejectedNotACrash) {
+  EXPECT_THROW(JsonValue::parse(std::string(100000, '[')), Error);
+  EXPECT_THROW(JsonValue::parse(std::string(100, '[') + "1" +
+                                std::string(100, ']')),
+               Error);
+  EXPECT_THROW(JsonValue::parse(std::string(100, '{')), Error);
+
+  // At the cap: 64 nested empty arrays are fine (real documents top out
+  // around 6 levels), and round-trip byte-stably.
+  std::string at_cap = std::string(64, '[') + std::string(64, ']');
+  EXPECT_EQ(JsonValue::parse(at_cap).dump(), at_cap);
+}
+
 // --- domain serializers ------------------------------------------------------
 
 TEST(Serialize, GeometryRoundTrip) {

@@ -29,6 +29,16 @@
 #include "dist/service.h"
 #include "march/algorithms.h"
 
+// gcc spells sanitizer presence __SANITIZE_*__; clang answers through
+// __has_feature.  Either way the timing assertion below is off.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SRAMLP_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SRAMLP_UNDER_SANITIZER 1
+#endif
+#endif
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -234,8 +244,15 @@ TEST(ServiceSoak, StealQueueBeatsStaticPlanWithOneSlowWorker) {
   std::printf("scheduling: points stolen per worker (worker 0 slow): "
               "%zu %zu %zu %zu\n",
               stolen[0], stolen[1], stolen[2], stolen[3]);
+  // Wall-clock comparisons are meaningless under sanitizer
+  // instrumentation: TSan taxes the sync-heavy steal protocol far more
+  // than the fork/exec static plan.  The sanitized build still runs both
+  // schedulers above (that is the race coverage); only the timing claim
+  // is gated out.
+#ifndef SRAMLP_UNDER_SANITIZER
   EXPECT_LT(steal_seconds, static_seconds)
       << "dynamic stealing should beat the static plan with a slow worker";
+#endif
 }
 
 }  // namespace
