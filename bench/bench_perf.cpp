@@ -22,11 +22,22 @@
 #include "faults/models.h"
 #include "io/serialize.h"
 #include "march/algorithms.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sram/simd.h"
 
 namespace {
 
 using namespace sramlp;
+
+// The service benchmarks drive real submits through the instrumented
+// daemon; at the default info level every iteration would write a log
+// line to stderr and the benchmark would measure terminal I/O.
+const bool g_quiet_logs = [] {
+  obs::Logger::global().set_level(obs::LogLevel::kError);
+  return true;
+}();
 using sram::CycleCommand;
 using sram::Mode;
 using sram::SramArray;
@@ -409,6 +420,55 @@ void BM_ServiceSubmitCached(benchmark::State& state) {
   for (std::thread& t : workers) t.join();
 }
 BENCHMARK(BM_ServiceSubmitCached)->Unit(benchmark::kMillisecond);
+
+// BM_ServiceSubmitCached with the span tracer armed: every guard on the
+// submit path stamps clocks and the completed spans go through the ring
+// mutex.  The delta to the untraced run is the whole telemetry bill on
+// the cached fast path — the ~2% overhead budget, measured.
+void BM_ServiceSubmitCachedTraced(benchmark::State& state) {
+  obs::Tracer::global().enable(1 << 16);
+  dist::Service::Options options;
+  dist::Service service(options);
+  service.start();
+  const std::string address = service.address();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w)
+    workers.emplace_back(
+        [address] { dist::ServiceWorker().run(address); });
+  const dist::JobSpec job = bench_sweep_job();
+  dist::submit_job(address, job);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::submit_job(address, job).document);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(job.size()));
+  state.SetLabel("service points replayed/s (cache hits, tracer on)");
+  service.request_stop();
+  service.wait();
+  for (std::thread& t : workers) t.join();
+  obs::Tracer::global().disable();
+}
+BENCHMARK(BM_ServiceSubmitCachedTraced)->Unit(benchmark::kMillisecond);
+
+// The per-event price of the instruments themselves, at a call site that
+// cached its references the way the service does (function-local static):
+// one relaxed counter inc plus one histogram observe per iteration.
+void BM_MetricsOverhead(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("bench_events_total", "B");
+  obs::Histogram& histogram = registry.histogram(
+      "bench_seconds", "B",
+      obs::Histogram::exponential_bounds(1e-4, 4.0, 10));
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    counter.inc();
+    histogram.observe_micros(++tick & 1023);
+    benchmark::DoNotOptimize(tick);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+  state.SetLabel("metric updates/s (counter inc + histogram observe)");
+}
+BENCHMARK(BM_MetricsOverhead);
 
 // Bare steal-queue coordination: chop 4096 indices into 4-point shards,
 // then lease/complete the lot — the lock-and-bookkeeping cost every shard

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <map>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace sramlp::dist {
@@ -270,6 +272,16 @@ MergedResult Coordinator::run(const JobSpec& job) const {
                   std::to_string(attempts[shard]) +
                   " times; giving up (see " +
                   shard_result_path(options_.work_dir, shard) + ")");
+    obs::log_warn("coordinator", "shard worker crashed; retrying",
+                  {obs::kv("shard", shard),
+                   obs::kv("attempt",
+                           static_cast<std::uint64_t>(attempts[shard])),
+                   obs::kv("retries",
+                           static_cast<std::uint64_t>(options_.retries))});
+    obs::Registry::global()
+        .counter("sramlp_coordinator_shard_retries_total",
+                 "Fork/exec coordinator shards re-run after a crash")
+        .inc();
     queue.push_back(shard);
   }
 

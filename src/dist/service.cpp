@@ -9,11 +9,99 @@
 #include "core/sweep.h"
 #include "dist/coordinator.h"
 #include "io/serialize.h"
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace sramlp::dist {
 
 namespace {
+
+/// The latency ladder shared by every duration histogram here: 100 us
+/// (an analytic point is ~200 us) through ~26 s in 4x steps.
+const std::vector<double>& latency_bounds() {
+  static const std::vector<double> bounds =
+      obs::Histogram::exponential_bounds(1e-4, 4.0, 10);
+  return bounds;
+}
+
+/// Service-side instruments, registered once and cached by reference —
+/// increments after that are single relaxed atomics.
+struct ServiceMetrics {
+  obs::Counter& jobs_submitted;
+  obs::Counter& jobs_completed;
+  obs::Counter& jobs_failed;
+  obs::Counter& jobs_deduplicated;
+  obs::Counter& job_cache_hits;
+  obs::Counter& point_cache_hits;
+  obs::Counter& points_executed;
+  obs::Counter& shards_executed;
+  obs::Counter& shard_requeues;
+  obs::Counter& workers_connected;
+  obs::Counter& workers_lost;
+  obs::Gauge& jobs_in_flight;
+  obs::Gauge& connections_active;
+  obs::Gauge& queue_depth;
+
+  static ServiceMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static ServiceMetrics m{
+        r.counter("sramlp_jobs_submitted_total",
+                  "Jobs received by the sweep service"),
+        r.counter("sramlp_jobs_completed_total",
+                  "Jobs finished with a merged document"),
+        r.counter("sramlp_jobs_failed_total",
+                  "Jobs failed after exhausting shard retries"),
+        r.counter("sramlp_jobs_deduplicated_total",
+                  "Submissions attached to an identical in-flight job"),
+        r.counter("sramlp_job_cache_hits_total",
+                  "Submissions answered whole from the result cache"),
+        r.counter("sramlp_point_cache_hits_total",
+                  "Work items answered from the per-point cache"),
+        r.counter("sramlp_points_executed_total",
+                  "Work-item results received from workers"),
+        r.counter("sramlp_shards_executed_total",
+                  "Shards completed by workers"),
+        r.counter("sramlp_shard_requeues_total",
+                  "Shards requeued after a failure or lost worker"),
+        r.counter("sramlp_workers_connected_total",
+                  "Worker connections accepted"),
+        r.counter("sramlp_workers_lost_total",
+                  "Worker connections dropped while holding leases"),
+        r.gauge("sramlp_jobs_in_flight", "Jobs currently executing"),
+        r.gauge("sramlp_connections_active", "Open service connections"),
+        r.gauge("sramlp_queue_depth",
+                "Pending (unleased) shards across all active jobs"),
+    };
+    return m;
+  }
+};
+
+/// Worker-side instruments (lease round-trips, shard compute time).
+struct WorkerMetrics {
+  obs::Histogram& lease_latency;
+  obs::Histogram& shard_execution;
+  obs::Counter& points_computed;
+  obs::Counter& shards_failed;
+
+  static WorkerMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static WorkerMetrics m{
+        r.histogram("sramlp_lease_latency_seconds",
+                    "Lease request to shard grant (includes idle waits)",
+                    latency_bounds()),
+        r.histogram("sramlp_shard_execution_seconds",
+                    "Wall time computing one leased shard", latency_bounds()),
+        r.counter("sramlp_worker_points_computed_total",
+                  "Work items this worker computed and streamed"),
+        r.counter("sramlp_worker_shards_failed_total",
+                  "Shards this worker reported as failed"),
+    };
+    return m;
+  }
+};
 
 io::JsonValue make_message(const char* type) {
   io::JsonValue v = io::JsonValue::object();
@@ -124,9 +212,14 @@ struct Service::ActiveJob {
   std::vector<io::JsonValue> replay;
   bool finished = false;
   bool failed = false;
+  /// Tracing bookkeeping (set only while the tracer is enabled; never read
+  /// by the result path).
+  std::uint64_t trace_start_us = 0;
+  std::map<std::size_t, std::uint64_t> shard_trace_start;  ///< shard -> ts
 };
 
 struct Service::Connection {
+  std::uint64_t id = 0;  ///< correlation id attached to log lines
   std::shared_ptr<io::LineChannel> channel;
   std::thread thread;
   bool done = false;
@@ -188,7 +281,17 @@ ServiceStats Service::stats() const {
 
 void Service::accept_loop() {
   for (;;) {
-    io::Socket sock = io::accept_connection(listener_);
+    io::Socket sock;
+    try {
+      sock = io::accept_connection(listener_);
+    } catch (const std::exception& e) {
+      // Without the catch this exception would terminate() the process
+      // from a detached-looking thread with no word of why.
+      obs::log_error("service", "accept failed; accept loop exiting",
+                     {obs::kv("error", e.what())});
+      request_stop();
+      return;
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     // Reap connections whose handler has already returned, so a
     // long-lived daemon does not accumulate dead threads.
@@ -202,20 +305,26 @@ void Service::accept_loop() {
     }
     if (!sock.valid() || stopping_) break;
     auto conn = std::make_shared<Connection>();
+    conn->id = next_conn_id_++;
     conn->channel = std::make_shared<io::LineChannel>(std::move(sock));
     connections_.push_back(conn);
+    obs::log_debug("service", "connection accepted",
+                   {obs::kv("conn", conn->id)});
     conn->thread = std::thread(&Service::handle_connection, this, conn);
   }
 }
 
 void Service::handle_connection(std::shared_ptr<Connection> conn) {
+  ServiceMetrics::get().connections_active.add(1);
   for (;;) {
     const std::optional<io::JsonValue> message = conn->channel->receive();
     if (!message) break;
     std::string type;
     try {
       type = message->at("type").as_string();
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      obs::log_warn("service", "message without a type",
+                    {obs::kv("conn", conn->id), obs::kv("error", e.what())});
       conn->channel->send(error_message("error", "message without a type"));
       continue;
     }
@@ -225,11 +334,16 @@ void Service::handle_connection(std::shared_ptr<Connection> conn) {
       try {
         role = message->at("role").as_string();
       } catch (const Error&) {
+        // No role member at all — fall through to the unknown-role reply.
+        obs::log_debug("service", "hello without a role",
+                       {obs::kv("conn", conn->id)});
       }
       if (role == "worker") {
         handle_worker(conn);
         break;
       }
+      obs::log_warn("service", "unknown hello role",
+                    {obs::kv("conn", conn->id), obs::kv("role", role)});
       conn->channel->send(error_message("error", "unknown hello role"));
     } else if (type == "submit") {
       handle_submit(conn, *message);
@@ -242,38 +356,62 @@ void Service::handle_connection(std::shared_ptr<Connection> conn) {
         reply.set("stats", to_json(stats));
       }
       conn->channel->send(reply);
+    } else if (type == "metrics") {
+      io::JsonValue reply = make_message("metrics");
+      reply.set("prometheus", io::JsonValue::string(
+                                  obs::Registry::global().prometheus_text()));
+      reply.set("metrics", obs::Registry::global().to_json());
+      conn->channel->send(reply);
     } else if (type == "shutdown") {
+      obs::log_info("service", "shutdown requested",
+                    {obs::kv("conn", conn->id)});
       conn->channel->send(make_message("bye"));
       request_stop();
       break;
     } else {
+      obs::log_warn("service", "unknown message type",
+                    {obs::kv("conn", conn->id), obs::kv("msg_type", type)});
       conn->channel->send(
           error_message("error", "unknown message type '" + type + "'"));
     }
   }
+  obs::log_debug("service", "connection closed", {obs::kv("conn", conn->id)});
+  ServiceMetrics::get().connections_active.sub(1);
   std::lock_guard<std::mutex> lock(mutex_);
   conn->done = true;
 }
 
 void Service::handle_submit(const std::shared_ptr<Connection>& conn,
                             const io::JsonValue& message) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
   JobSpec job;
   try {
     job = job_from_json(message.at("job"));
   } catch (const std::exception& e) {
+    obs::log_warn("service", "submit rejected: bad job document",
+                  {obs::kv("conn", conn->id), obs::kv("error", e.what())});
     conn->channel->send(error_message("job_failed", e.what()));
     return;
   }
   const std::uint64_t fingerprint = job.fingerprint();
   const std::size_t total = job.size();
+  obs::log_info("service", "job submitted",
+                {obs::kv("conn", conn->id), obs::kv_hex("job", fingerprint),
+                 obs::kv("points", total)});
 
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.jobs_submitted;
+  metrics.jobs_submitted.inc();
 
   // --- whole-job cache hit: replay the exact bytes, execute nothing ------
   if (const std::optional<std::string> document = cache_.get(fingerprint)) {
     ++stats_.job_cache_hits;
     ++stats_.jobs_completed;
+    metrics.job_cache_hits.inc();
+    metrics.jobs_completed.inc();
+    obs::log_debug("service", "job answered from cache",
+                   {obs::kv("conn", conn->id),
+                    obs::kv_hex("job", fingerprint)});
     io::JsonValue accepted = make_message("job_accepted");
     accepted.set("fingerprint", io::JsonValue::integer(fingerprint));
     accepted.set("points", io::JsonValue::integer(total));
@@ -297,6 +435,10 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
       it != active_jobs_.end()) {
     const std::shared_ptr<ActiveJob> active = it->second;
     ++stats_.jobs_deduplicated;
+    metrics.jobs_deduplicated.inc();
+    obs::log_debug("service", "submit attached to in-flight twin",
+                   {obs::kv("conn", conn->id),
+                    obs::kv_hex("job", fingerprint)});
     io::JsonValue accepted = make_message("job_accepted");
     accepted.set("fingerprint", io::JsonValue::integer(fingerprint));
     accepted.set("points", io::JsonValue::integer(active->total));
@@ -315,6 +457,8 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
 
   // --- new job ------------------------------------------------------------
   auto active = std::make_shared<ActiveJob>();
+  if (obs::Tracer::global().enabled())
+    active->trace_start_us = obs::monotonic_micros();
   active->fingerprint = fingerprint;
   active->job = std::move(job);
   active->job_json = dist::to_json(active->job);
@@ -356,7 +500,10 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
         line.set("index", io::JsonValue::integer(i));
         line.set("data", io::to_json(active->entries[i]));
       }
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      obs::log_warn("service", "unreadable point-cache entry; recomputing",
+                    {obs::kv_hex("job", fingerprint), obs::kv("index", i),
+                     obs::kv("error", e.what())});
       uncached.push_back(i);  // unreadable cache entry: recompute
       continue;
     }
@@ -364,6 +511,7 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
     ++active->filled_count;
     ++active->cached_points;
     ++stats_.point_cache_hits;
+    metrics.point_cache_hits.inc();
     active->replay.push_back(std::move(line));
   }
 
@@ -373,6 +521,13 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
   active->listeners.push_back(conn->channel);
   active_jobs_[fingerprint] = active;
   job_order_.push_back(fingerprint);
+  metrics.jobs_in_flight.add(1);
+  update_queue_depth_locked();
+  obs::log_info("service", "job enqueued",
+                {obs::kv("conn", conn->id), obs::kv_hex("job", fingerprint),
+                 obs::kv("points", total),
+                 obs::kv("cached_points", active->cached_points),
+                 obs::kv("shards", active->queue->stats().shard_count)});
 
   io::JsonValue accepted = make_message("job_accepted");
   accepted.set("fingerprint", io::JsonValue::integer(fingerprint));
@@ -392,19 +547,26 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
 }
 
 void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
   std::uint64_t worker_id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     worker_id = next_worker_id_++;
     ++stats_.workers_connected;
   }
+  metrics.workers_connected.inc();
+  obs::log_info("service", "worker connected",
+                {obs::kv("conn", conn->id), obs::kv("worker", worker_id)});
   for (;;) {
     const std::optional<io::JsonValue> message = conn->channel->receive();
     if (!message) break;
     std::string type;
     try {
       type = message->at("type").as_string();
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      obs::log_warn("service", "worker sent message without a type",
+                    {obs::kv("conn", conn->id), obs::kv("worker", worker_id),
+                     obs::kv("error", e.what())});
       break;
     }
     if (type == "lease") {
@@ -439,10 +601,15 @@ void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
             response.set("indices", std::move(indices));
             if (std::find(known.begin(), known.end(), fp) == known.end())
               response.set("job", job->job_json);
+            if (obs::Tracer::global().enabled())
+              job->shard_trace_start[shard->id] = obs::monotonic_micros();
             leased = true;
             break;
           }
-          if (leased) break;
+          if (leased) {
+            update_queue_depth_locked();
+            break;
+          }
           state_cv_.wait(lock);  // idle: block until work or shutdown
         }
       }
@@ -455,8 +622,25 @@ void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
       const auto it = active_jobs_.find(message->at("fingerprint").as_uint());
       if (it != active_jobs_.end()) {
         const std::shared_ptr<ActiveJob> job = it->second;
-        job->queue->complete(message->at("shard").as_size());
+        const std::size_t shard_id = message->at("shard").as_size();
+        job->queue->complete(shard_id);
         ++stats_.shards_executed;
+        metrics.shards_executed.inc();
+        if (const auto ts = job->shard_trace_start.find(shard_id);
+            ts != job->shard_trace_start.end()) {
+          const std::uint64_t end = obs::monotonic_micros();
+          obs::Tracer::Span span;
+          span.name = "shard";
+          span.category = "service";
+          span.ts_us = ts->second;
+          span.dur_us = end > ts->second ? end - ts->second : 0;
+          span.tid = obs::trace_thread_id();
+          span.args = {{"job", job->fingerprint},
+                       {"shard", shard_id},
+                       {"worker", worker_id}};
+          job->shard_trace_start.erase(ts);
+          obs::Tracer::global().record(std::move(span));
+        }
         if (job->queue->done() && job->filled_count == job->total)
           finalize_job_locked(lock, job);
       }
@@ -467,9 +651,19 @@ void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
       const auto it = active_jobs_.find(message->at("fingerprint").as_uint());
       if (it != active_jobs_.end()) {
         const std::shared_ptr<ActiveJob> job = it->second;
-        if (job->queue->fail(message->at("shard").as_size(),
-                             options_.shard_retries)) {
+        const std::size_t shard_id = message->at("shard").as_size();
+        const bool requeued =
+            job->queue->fail(shard_id, options_.shard_retries);
+        obs::log_warn("service", "worker reported shard failure",
+                      {obs::kv("conn", conn->id),
+                       obs::kv("worker", worker_id),
+                       obs::kv_hex("job", job->fingerprint),
+                       obs::kv("shard", shard_id), obs::kv("error", error),
+                       obs::kv("requeued", requeued)});
+        if (requeued) {
           ++stats_.shard_requeues;
+          metrics.shard_requeues.inc();
+          update_queue_depth_locked();
           state_cv_.notify_all();
         } else {
           fail_job_locked(job, error);
@@ -486,7 +680,16 @@ void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
   if (requeued > 0) {
     ++stats_.workers_lost;
     stats_.shard_requeues += requeued;
+    metrics.workers_lost.inc();
+    metrics.shard_requeues.inc(requeued);
+    update_queue_depth_locked();
+    obs::log_warn("service", "worker lost with leased shards; requeued",
+                  {obs::kv("conn", conn->id), obs::kv("worker", worker_id),
+                   obs::kv("requeued", requeued)});
     state_cv_.notify_all();
+  } else {
+    obs::log_debug("service", "worker disconnected",
+                   {obs::kv("conn", conn->id), obs::kv("worker", worker_id)});
   }
 }
 
@@ -516,20 +719,33 @@ bool Service::deliver_result(const io::JsonValue& message) {
       line.set("index", io::JsonValue::integer(index));
       line.set("data", message.at("data"));
     }
-  } catch (const Error&) {
+  } catch (const Error& e) {
+    obs::log_warn("service", "malformed worker result line; dropped",
+                  {obs::kv_hex("job", job->fingerprint),
+                   obs::kv("error", e.what())});
     return false;  // malformed worker line: drop it, the requeue covers us
   }
   job->filled[index] = true;
   ++job->filled_count;
   ++stats_.points_executed;
+  ServiceMetrics::get().points_executed.inc();
   for (const auto& listener : job->listeners) listener->send(line);
   job->replay.push_back(std::move(line));
   return true;
 }
 
+void Service::update_queue_depth_locked() {
+  std::int64_t pending = 0;
+  for (const auto& [fp, job] : active_jobs_)
+    pending += static_cast<std::int64_t>(job->queue->stats().pending);
+  ServiceMetrics::get().queue_depth.set(pending);
+}
+
 void Service::finalize_job_locked(std::unique_lock<std::mutex>& lock,
                                   const std::shared_ptr<ActiveJob>& job) {
   (void)lock;  // held by the caller; sends go out under it by design
+  obs::SpanGuard finalize_span("finalize", "service");
+  finalize_span.arg("job", job->fingerprint);
   MergedResult merged;
   merged.kind = job->job.kind;
   if (job->job.kind == JobSpec::Kind::kSweep) {
@@ -575,9 +791,32 @@ void Service::finalize_job_locked(std::unique_lock<std::mutex>& lock,
 
   job->finished = true;
   ++stats_.jobs_completed;
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  metrics.jobs_completed.inc();
+  metrics.jobs_in_flight.sub(1);
   active_jobs_.erase(job->fingerprint);
   job_order_.erase(
       std::find(job_order_.begin(), job_order_.end(), job->fingerprint));
+  update_queue_depth_locked();
+  obs::log_info("service", "job complete",
+                {obs::kv_hex("job", job->fingerprint),
+                 obs::kv("points", job->total),
+                 obs::kv("cached_points", job->cached_points),
+                 obs::kv("shards", queue_stats.completed),
+                 obs::kv("requeues", queue_stats.requeues)});
+  if (job->trace_start_us != 0) {
+    const std::uint64_t end = obs::monotonic_micros();
+    obs::Tracer::Span span;
+    span.name = "job";
+    span.category = "service";
+    span.ts_us = job->trace_start_us;
+    span.dur_us = end > job->trace_start_us ? end - job->trace_start_us : 0;
+    span.tid = obs::trace_thread_id();
+    span.args = {{"job", job->fingerprint},
+                 {"points", job->total},
+                 {"cached_points", job->cached_points}};
+    obs::Tracer::global().record(std::move(span));
+  }
   state_cv_.notify_all();
 }
 
@@ -589,9 +828,16 @@ void Service::fail_job_locked(const std::shared_ptr<ActiveJob>& job,
   job->finished = true;
   job->failed = true;
   ++stats_.jobs_failed;
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  metrics.jobs_failed.inc();
+  metrics.jobs_in_flight.sub(1);
   active_jobs_.erase(job->fingerprint);
   job_order_.erase(
       std::find(job_order_.begin(), job_order_.end(), job->fingerprint));
+  update_queue_depth_locked();
+  obs::log_error("service", "job failed",
+                 {obs::kv_hex("job", job->fingerprint),
+                  obs::kv("error", error)});
   state_cv_.notify_all();
 }
 
@@ -599,10 +845,13 @@ void Service::fail_job_locked(const std::shared_ptr<ActiveJob>& job,
 
 std::size_t ServiceWorker::run(const std::string& address,
                                int connect_timeout_ms) {
+  WorkerMetrics& metrics = WorkerMetrics::get();
   io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
   io::JsonValue hello = make_message("hello");
   hello.set("role", io::JsonValue::string("worker"));
   if (!channel.send(hello)) return 0;
+  obs::log_debug("worker", "connected to service",
+                 {obs::kv("address", address)});
 
   std::map<std::uint64_t, JobSpec> jobs;  ///< jobs held by value, by print
   std::size_t computed = 0;
@@ -612,13 +861,24 @@ std::size_t ServiceWorker::run(const std::string& address,
     for (const auto& [fp, unused] : jobs)
       known.push_back(io::JsonValue::integer(fp));
     lease.set("known", std::move(known));
-    if (!channel.send(lease)) return computed;
-    const std::optional<io::JsonValue> response = channel.receive();
+    // The lease round-trip (request to grant) includes any idle wait on
+    // the service's queues — the "time to obtain work" a worker sees.
+    std::optional<io::JsonValue> response;
+    {
+      obs::SpanGuard lease_span("lease", "worker");
+      const std::uint64_t lease_sent_us = obs::monotonic_micros();
+      if (!channel.send(lease)) return computed;
+      response = channel.receive();
+      metrics.lease_latency.observe_micros(obs::monotonic_micros() -
+                                           lease_sent_us);
+    }
     if (!response) return computed;
     std::string type;
     try {
       type = response->at("type").as_string();
-    } catch (const Error&) {
+    } catch (const Error& e) {
+      obs::log_warn("worker", "malformed service response; leaving",
+                    {obs::kv("error", e.what())});
       return computed;
     }
     if (type != "shard") return computed;  // "stop" or anything unexpected
@@ -637,6 +897,10 @@ std::size_t ServiceWorker::run(const std::string& address,
     }
     const auto job_it = jobs.find(fingerprint);
     if (job_it == jobs.end()) {
+      metrics.shards_failed.inc();
+      obs::log_warn("worker", "leased a job this worker does not hold",
+                    {obs::kv_hex("job", fingerprint),
+                     obs::kv("shard", shard_id)});
       io::JsonValue failed = error_message("shard_failed",
                                            "worker does not hold this job");
       failed.set("fingerprint", io::JsonValue::integer(fingerprint));
@@ -646,6 +910,11 @@ std::size_t ServiceWorker::run(const std::string& address,
     }
     const JobSpec& job = job_it->second;
 
+    obs::SpanGuard execute_span("execute", "worker");
+    execute_span.arg("job", fingerprint);
+    execute_span.arg("shard", shard_id);
+    execute_span.arg("points", indices.size());
+    const std::uint64_t execute_start_us = obs::monotonic_micros();
     try {
       const auto emit_point = [&](io::JsonValue line) -> bool {
         if (options_.slow_point_us > 0)
@@ -685,12 +954,19 @@ std::size_t ServiceWorker::run(const std::string& address,
         }
       }
     } catch (const std::exception& e) {
+      metrics.shards_failed.inc();
+      obs::log_warn("worker", "shard computation failed",
+                    {obs::kv_hex("job", fingerprint),
+                     obs::kv("shard", shard_id), obs::kv("error", e.what())});
       io::JsonValue failed = error_message("shard_failed", e.what());
       failed.set("fingerprint", io::JsonValue::integer(fingerprint));
       failed.set("shard", io::JsonValue::integer(shard_id));
       if (!channel.send(failed)) return computed;
       continue;
     }
+    metrics.shard_execution.observe_micros(obs::monotonic_micros() -
+                                           execute_start_us);
+    metrics.points_computed.inc(indices.size());
     io::JsonValue done = make_message("shard_done");
     done.set("fingerprint", io::JsonValue::integer(fingerprint));
     done.set("shard", io::JsonValue::integer(shard_id));
@@ -744,6 +1020,21 @@ ServiceStats query_stats(const std::string& address, int connect_timeout_ms) {
                      reply->at("type").as_string() == "stats",
                  "service returned no stats");
   return service_stats_from_json(reply->at("stats"));
+}
+
+MetricsSnapshot query_metrics(const std::string& address,
+                              int connect_timeout_ms) {
+  io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
+  SRAMLP_REQUIRE(channel.send(make_message("metrics")),
+                 "service connection lost on metrics request");
+  const std::optional<io::JsonValue> reply = channel.receive();
+  SRAMLP_REQUIRE(reply.has_value() &&
+                     reply->at("type").as_string() == "metrics",
+                 "service returned no metrics");
+  MetricsSnapshot snapshot;
+  snapshot.prometheus = reply->at("prometheus").as_string();
+  snapshot.json = reply->at("metrics");
+  return snapshot;
 }
 
 void request_shutdown(const std::string& address, int connect_timeout_ms) {

@@ -131,6 +131,8 @@ class Service {
                      const io::JsonValue& message);
   void handle_worker(const std::shared_ptr<Connection>& conn);
   bool deliver_result(const io::JsonValue& message);
+  /// Refresh the pending-shard gauge from the live queues (mutex_ held).
+  void update_queue_depth_locked();
   void finalize_job_locked(std::unique_lock<std::mutex>& lock,
                            const std::shared_ptr<ActiveJob>& job);
   void fail_job_locked(const std::shared_ptr<ActiveJob>& job,
@@ -155,6 +157,7 @@ class Service {
   bool started_ = false;
   bool stopping_ = false;
   std::uint64_t next_worker_id_ = 1;
+  std::uint64_t next_conn_id_ = 1;  ///< correlation id for log lines
   std::vector<std::shared_ptr<Connection>> connections_;
   std::map<std::uint64_t, std::shared_ptr<ActiveJob>> active_jobs_;
   std::vector<std::uint64_t> job_order_;  ///< submission order (FIFO leases)
@@ -213,6 +216,16 @@ SubmitResult submit_job(
 /// Fetch a running service's statistics.
 ServiceStats query_stats(const std::string& address,
                          int connect_timeout_ms = 5000);
+
+/// One scrape of a running service's obs::Registry, both renderings.
+struct MetricsSnapshot {
+  std::string prometheus;  ///< Prometheus text exposition
+  io::JsonValue json;      ///< the same content as one JSON document
+};
+
+/// Fetch a running service's metrics (the `metrics` protocol request).
+MetricsSnapshot query_metrics(const std::string& address,
+                              int connect_timeout_ms = 5000);
 
 /// Ask a running service to shut down (waits for the acknowledgement).
 void request_shutdown(const std::string& address,

@@ -12,11 +12,24 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace sramlp::io {
 
 namespace {
+
+obs::Counter& bytes_sent_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "sramlp_bytes_sent_total", "Bytes framed and sent over LineChannels");
+  return c;
+}
+
+obs::Counter& bytes_received_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "sramlp_bytes_received_total", "Bytes received over LineChannels");
+  return c;
+}
 
 constexpr std::string_view kUnixPrefix = "unix:";
 constexpr std::string_view kTcpPrefix = "tcp:";
@@ -236,6 +249,7 @@ bool LineChannel::send(const JsonValue& value) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  bytes_sent_counter().inc(sent);
   return true;
 }
 
@@ -257,6 +271,7 @@ std::optional<JsonValue> LineChannel::receive() {
     const ssize_t n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
     if (n > 0) {
       read_buffer_.append(chunk, static_cast<std::size_t>(n));
+      bytes_received_counter().inc(static_cast<std::uint64_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;

@@ -1,0 +1,21 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace sramlp::obs {
+
+std::uint64_t monotonic_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t wall_clock_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace sramlp::obs

@@ -1,0 +1,28 @@
+// The telemetry clock seam — the ONLY sanctioned wall-clock access in the
+// library.
+//
+// The determinism lint bans clock reads in src/ because a timestamp that
+// feeds a result artifact makes runs unrepeatable.  Telemetry is the one
+// legitimate consumer of time: log lines, latency histograms and trace
+// spans describe WHEN the system did something, never WHAT it computed.
+// Concentrating every clock read behind these two functions keeps the
+// lint's allowlist to exactly one file (src/obs/clock.cpp) and makes the
+// invariant auditable: if any code outside obs/ needs a timestamp, it must
+// call through here, and anything obs/ returns must never reach a
+// serialized document.
+#pragma once
+
+#include <cstdint>
+
+namespace sramlp::obs {
+
+/// Monotonic microseconds since an arbitrary process-local epoch.  Use for
+/// durations, rates and trace-span timestamps (Perfetto only needs a
+/// consistent timebase, not civil time).
+std::uint64_t monotonic_micros();
+
+/// Civil time as microseconds since the Unix epoch.  Use only for log-line
+/// timestamps, where a human correlates output across processes.
+std::uint64_t wall_clock_micros();
+
+}  // namespace sramlp::obs

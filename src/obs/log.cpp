@@ -1,0 +1,249 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+#include "io/json.h"
+#include "obs/clock.h"
+#include "util/error.h"
+
+namespace sramlp::obs {
+
+namespace {
+
+/// ISO-8601 UTC with microseconds: the one timestamp format both the human
+/// and JSONL emitters share, so grep lines up across formats.
+std::string format_timestamp(std::uint64_t wall_micros) {
+  const std::time_t seconds = static_cast<std::time_t>(wall_micros / 1000000);
+  const unsigned micros = static_cast<unsigned>(wall_micros % 1000000);
+  std::tm tm{};
+  ::gmtime_r(&seconds, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%06uZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, micros);
+  return buf;
+}
+
+std::string field_value_text(const LogField& field) {
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      return field.string_value;
+    case LogField::Kind::kUint:
+      return std::to_string(field.uint_value);
+    case LogField::Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", field.double_value);
+      return buf;
+    }
+    case LogField::Kind::kBool:
+      return field.bool_value ? "true" : "false";
+  }
+  return {};
+}
+
+io::JsonValue field_value_json(const LogField& field) {
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      return io::JsonValue::string(field.string_value);
+    case LogField::Kind::kUint:
+      return io::JsonValue::integer(field.uint_value);
+    case LogField::Kind::kDouble:
+      return io::JsonValue::number(field.double_value);
+    case LogField::Kind::kBool:
+      return io::JsonValue::boolean(field.bool_value);
+  }
+  return io::JsonValue::null();
+}
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SRAMLP_LOG");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  try {
+    return log_level_from_string(env);
+  } catch (const Error&) {
+    return LogLevel::kInfo;  // a typo in the env must not kill the process
+  }
+}
+
+}  // namespace
+
+LogLevel log_level_from_string(std::string_view text) {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  throw Error("unknown log level '" + std::string(text) +
+              "' (want trace|debug|info|warn|error|off)");
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogField kv(std::string key, std::string value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kString;
+  f.string_value = std::move(value);
+  return f;
+}
+
+LogField kv(std::string key, const char* value) {
+  return kv(std::move(key), std::string(value));
+}
+
+LogField kv(std::string key, std::uint64_t value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kUint;
+  f.uint_value = value;
+  return f;
+}
+
+LogField kv(std::string key, int value) {
+  return kv(std::move(key), static_cast<std::uint64_t>(
+                                value < 0 ? 0 : value));
+}
+
+LogField kv(std::string key, double value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kDouble;
+  f.double_value = value;
+  return f;
+}
+
+LogField kv(std::string key, bool value) {
+  LogField f;
+  f.key = std::move(key);
+  f.kind = LogField::Kind::kBool;
+  f.bool_value = value;
+  return f;
+}
+
+LogField kv_hex(std::string key, std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return kv(std::move(key), std::string(buf));
+}
+
+struct Logger::Impl {
+  std::mutex mutex;
+  Format format = Format::kHuman;
+  std::FILE* out = stderr;
+  bool owns_out = false;
+
+  ~Impl() {
+    if (owns_out && out != nullptr) std::fclose(out);
+  }
+};
+
+Logger::Logger()
+    : impl_(new Impl), level_(static_cast<int>(level_from_env())) {}
+
+Logger::~Logger() { delete impl_; }
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::configure(LogLevel level, Format format,
+                       const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->owns_out && impl_->out != nullptr) std::fclose(impl_->out);
+  impl_->out = stderr;
+  impl_->owns_out = false;
+  if (!path.empty()) {
+    std::FILE* file = std::fopen(path.c_str(), "a");
+    SRAMLP_REQUIRE(file != nullptr, "cannot open log file " + path);
+    impl_->out = file;
+    impl_->owns_out = true;
+  }
+  impl_->format = format;
+  level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::set_level(LogLevel level) {
+  level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level) || level == LogLevel::kOff) return;
+  const std::string timestamp = format_timestamp(wall_clock_micros());
+
+  std::string line;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->format == Format::kJsonl) {
+    io::JsonValue doc = io::JsonValue::object();
+    doc.set("ts", io::JsonValue::string(timestamp));
+    doc.set("level", io::JsonValue::string(to_string(level)));
+    doc.set("component", io::JsonValue::string(std::string(component)));
+    doc.set("msg", io::JsonValue::string(std::string(message)));
+    for (const LogField& field : fields)
+      doc.set(field.key, field_value_json(field));
+    line = doc.dump();
+  } else {
+    line = timestamp;
+    line += ' ';
+    std::string tag = to_string(level);
+    for (char& c : tag) c = static_cast<char>(::toupper(c));
+    line += tag;
+    line.append(6 - tag.size(), ' ');
+    line += component;
+    line += ": ";
+    line += message;
+    for (const LogField& field : fields) {
+      line += ' ';
+      line += field.key;
+      line += '=';
+      line += field_value_text(field);
+    }
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), impl_->out);
+  std::fflush(impl_->out);
+}
+
+void log_trace(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kTrace, component, message, fields);
+}
+
+void log_debug(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kDebug, component, message, fields);
+}
+
+void log_info(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kInfo, component, message, fields);
+}
+
+void log_warn(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kWarn, component, message, fields);
+}
+
+void log_error(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields) {
+  Logger::global().log(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace sramlp::obs

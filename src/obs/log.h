@@ -1,0 +1,107 @@
+// Structured leveled logging for the long-running service stack.
+//
+// Until now the daemon's only voice was ad-hoc stderr: when a worker
+// stalls or a peer drops, nothing says who, when, or on which job.  The
+// logger replaces that with one thread-safe sink emitting either a human
+// line
+//
+//   2026-08-07T12:31:05.123456Z INFO  service: worker connected worker=3
+//
+// or one JSON document per line (JSONL) with the same content, so a
+// scrape/ingest pipeline parses logs with the same io::JsonValue used for
+// every other wire format.  Messages carry typed key=value fields; the
+// service attaches correlation ids (conn=, job=, shard=, worker=) so a
+// dropped peer or failed shard is attributable across interleaved
+// connections.
+//
+// Configuration: SRAMLP_LOG=trace|debug|info|warn|error|off sets the
+// initial level (default info); the CLI's --log-level / --log-file /
+// --log-format flags override it per process.  Level filtering is one
+// relaxed atomic load, so disabled calls cost a branch; the determinism
+// contract is structural — log output never feeds a result document, and
+// the wall clock is read only through obs::wall_clock_micros().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace sramlp::obs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Parse "trace" / "debug" / "info" / "warn" / "error" / "off"; throws
+/// sramlp::Error on anything else.
+LogLevel log_level_from_string(std::string_view text);
+const char* to_string(LogLevel level);
+
+/// One typed key=value attachment.  Built by the helpers below so call
+/// sites read as log_info("service", "worker connected", {kv("worker", id)}).
+struct LogField {
+  enum class Kind { kString, kUint, kDouble, kBool };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string string_value;
+  std::uint64_t uint_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+};
+
+LogField kv(std::string key, std::string value);
+LogField kv(std::string key, const char* value);
+LogField kv(std::string key, std::uint64_t value);
+LogField kv(std::string key, int value);
+LogField kv(std::string key, double value);
+LogField kv(std::string key, bool value);
+/// Fingerprints log as zero-padded hex — the form a human greps for.
+LogField kv_hex(std::string key, std::uint64_t value);
+
+class Logger {
+ public:
+  enum class Format { kHuman, kJsonl };
+
+  /// The process-wide logger.  First use reads SRAMLP_LOG for the level;
+  /// output goes to stderr until redirected.
+  static Logger& global();
+
+  /// Point output at @p path (append; empty = back to stderr), pick the
+  /// format, set the level.  Safe at any time from any thread.
+  void configure(LogLevel level, Format format, const std::string& path);
+  void set_level(LogLevel level);
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void log(LogLevel level, std::string_view component,
+           std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+  Logger();
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::atomic<int> level_;
+};
+
+// Call-site sugar on the global logger.
+void log_trace(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields = {});
+void log_debug(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields = {});
+void log_info(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void log_warn(std::string_view component, std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void log_error(std::string_view component, std::string_view message,
+               std::initializer_list<LogField> fields = {});
+
+}  // namespace sramlp::obs

@@ -1,0 +1,274 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace sramlp::obs {
+
+namespace {
+
+/// %.17g — the repo-wide exact double rendering (matches io::JsonValue).
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string render_labels(const Labels& labels,
+                          const std::string& extra_key = {},
+                          const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + escape_label(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + escape_label(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+io::JsonValue labels_json(const Labels& labels) {
+  io::JsonValue v = io::JsonValue::object();
+  for (const auto& [key, value] : labels)
+    v.set(key, io::JsonValue::string(value));
+  return v;
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    SRAMLP_REQUIRE(bounds_[i - 1] < bounds_[i],
+                   "histogram bucket bounds must be strictly ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Accumulate the sum as a CAS loop over the double's bit pattern —
+  // atomic<double>::fetch_add is C++20 but not yet dependable across the
+  // toolchains this builds on.
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(expected) + value;
+    if (sum_bits_.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(next),
+                                        std::memory_order_relaxed))
+      return;
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t index) const {
+  SRAMLP_REQUIRE(index <= bounds_.size(), "histogram bucket index out of range");
+  return counts_[index].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    total += counts_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  SRAMLP_REQUIRE(start > 0.0 && factor > 1.0 && count > 0,
+                 "exponential bounds need start > 0, factor > 1, count > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Family& Registry::family(const std::string& name,
+                                   const std::string& help, Type type) {
+  for (const auto& family : families_) {
+    if (family->name == name) {
+      SRAMLP_REQUIRE(family->type == type,
+                     "metric '" + name + "' already registered with a "
+                     "different type");
+      return *family;
+    }
+  }
+  auto created = std::make_unique<Family>();
+  created->name = name;
+  created->help = help;
+  created->type = type;
+  families_.push_back(std::move(created));
+  return *families_.back();
+}
+
+Registry::Instance& Registry::instance(Family& family, const Labels& labels) {
+  for (const auto& instance : family.instances)
+    if (instance->labels == labels) return *instance;
+  auto created = std::make_unique<Instance>();
+  created->labels = labels;
+  family.instances.push_back(std::move(created));
+  return *family.instances.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instance& inst = instance(family(name, help, Type::kCounter), labels);
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instance& inst = instance(family(name, help, Type::kGauge), labels);
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const std::vector<double>& bounds,
+                               const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instance& inst = instance(family(name, help, Type::kHistogram), labels);
+  if (!inst.histogram) {
+    inst.histogram = std::make_unique<Histogram>(bounds);
+  } else {
+    SRAMLP_REQUIRE(inst.histogram->bounds() == bounds,
+                   "histogram '" + name +
+                       "' already registered with different buckets");
+  }
+  return *inst.histogram;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& family : families_) {
+    out += "# HELP " + family->name + " " + family->help + "\n";
+    out += "# TYPE " + family->name + " ";
+    out += family->type == Type::kCounter
+               ? "counter"
+               : family->type == Type::kGauge ? "gauge" : "histogram";
+    out += '\n';
+    for (const auto& inst : family->instances) {
+      if (family->type == Type::kCounter) {
+        out += family->name + render_labels(inst->labels) + " " +
+               std::to_string(inst->counter->value()) + "\n";
+      } else if (family->type == Type::kGauge) {
+        out += family->name + render_labels(inst->labels) + " " +
+               std::to_string(inst->gauge->value()) + "\n";
+      } else {
+        const Histogram& h = *inst->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+          cumulative += h.bucket_count(b);
+          out += family->name + "_bucket" +
+                 render_labels(inst->labels, "le",
+                               format_double(h.bounds()[b])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        out += family->name + "_bucket" +
+               render_labels(inst->labels, "le", "+Inf") + " " +
+               std::to_string(cumulative) + "\n";
+        out += family->name + "_sum" + render_labels(inst->labels) + " " +
+               format_double(h.sum()) + "\n";
+        out += family->name + "_count" + render_labels(inst->labels) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+io::JsonValue Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  io::JsonValue doc = io::JsonValue::object();
+  for (const auto& family : families_) {
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("type", io::JsonValue::string(
+                          family->type == Type::kCounter
+                              ? "counter"
+                              : family->type == Type::kGauge ? "gauge"
+                                                             : "histogram"));
+    entry.set("help", io::JsonValue::string(family->help));
+    io::JsonValue instances = io::JsonValue::array();
+    for (const auto& inst : family->instances) {
+      io::JsonValue record = io::JsonValue::object();
+      record.set("labels", labels_json(inst->labels));
+      if (family->type == Type::kCounter) {
+        record.set("value", io::JsonValue::integer(inst->counter->value()));
+      } else if (family->type == Type::kGauge) {
+        const std::int64_t value = inst->gauge->value();
+        // Gauges are near-zero levels (depths, in-flight counts); the
+        // exact unsigned lane carries non-negative values, the double
+        // lane the (rare) negative ones.
+        if (value >= 0)
+          record.set("value", io::JsonValue::integer(
+                                  static_cast<std::uint64_t>(value)));
+        else
+          record.set("value",
+                     io::JsonValue::number(static_cast<double>(value)));
+      } else {
+        const Histogram& h = *inst->histogram;
+        io::JsonValue bounds = io::JsonValue::array();
+        io::JsonValue counts = io::JsonValue::array();
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+          bounds.push_back(io::JsonValue::number(h.bounds()[b]));
+          counts.push_back(io::JsonValue::integer(h.bucket_count(b)));
+        }
+        counts.push_back(
+            io::JsonValue::integer(h.bucket_count(h.bounds().size())));
+        record.set("bounds", std::move(bounds));
+        record.set("counts", std::move(counts));
+        record.set("sum", io::JsonValue::number(h.sum()));
+        record.set("count", io::JsonValue::integer(h.total_count()));
+      }
+      instances.push_back(std::move(record));
+    }
+    entry.set("instances", std::move(instances));
+    doc.set(family->name, std::move(entry));
+  }
+  return doc;
+}
+
+}  // namespace sramlp::obs

@@ -1,0 +1,380 @@
+// The telemetry layer (src/obs): histogram bucket semantics, registry
+// identity and exposition, tracer ring behaviour, structured logging.
+// Everything here is observational machinery — the companion guarantee,
+// that telemetry never changes result bytes, is asserted end-to-end in
+// test_service.cpp (TelemetryOnOffDocumentsAreByteIdentical).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sramlp;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Fresh per-test scratch file under the system temp dir.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("sramlp_obs_test_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
+    fs::remove(path_);
+  }
+  ~TempFile() { fs::remove(path_); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- clock -------------------------------------------------------------------
+
+TEST(Clock, MonotonicNeverGoesBackwards) {
+  const std::uint64_t a = obs::monotonic_micros();
+  const std::uint64_t b = obs::monotonic_micros();
+  EXPECT_LE(a, b);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, ObservationsLandInFirstBucketWithBoundGE) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1        -> bucket 0
+  h.observe(1.0);  // == bound    -> bucket 0 (le semantics: value <= 1)
+  h.observe(1.5);  //             -> bucket 1
+  h.observe(4.0);  // == bound    -> bucket 2
+  h.observe(4.1);  // > last      -> +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 4.1);
+}
+
+TEST(Histogram, ObserveMicrosConvertsToSeconds) {
+  obs::Histogram h({1e-3, 1.0});
+  h.observe_micros(500);      // 0.5 ms -> bucket 0
+  h.observe_micros(250000);   // 0.25 s -> bucket 1
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0005 + 0.25);
+}
+
+TEST(Histogram, ExponentialBoundsBuildTheLadder) {
+  const std::vector<double> bounds =
+      obs::Histogram::exponential_bounds(1e-4, 4.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-4);
+  EXPECT_DOUBLE_EQ(bounds[1], 4e-4);
+  EXPECT_DOUBLE_EQ(bounds[2], 16e-4);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(0.0, 4.0, 3), Error);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(1.0, 1.0, 3), Error);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(1.0, 4.0, 0), Error);
+}
+
+TEST(Histogram, RejectsNonAscendingBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), Error);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), Error);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, SameIdentityReturnsSameInstance) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("jobs_total", "Jobs");
+  obs::Counter& b = registry.counter("jobs_total", "Jobs");
+  EXPECT_EQ(&a, &b);
+  // A different label set is a different instance of the same family.
+  obs::Counter& c = registry.counter("jobs_total", "Jobs", {{"kind", "sweep"}});
+  EXPECT_NE(&a, &c);
+  a.inc(2);
+  c.inc();
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Registry, SameNameDifferentTypeThrows) {
+  obs::Registry registry;
+  registry.counter("x_total", "X");
+  EXPECT_THROW(registry.gauge("x_total", "X"), Error);
+  EXPECT_THROW(registry.histogram("x_total", "X", {1.0}), Error);
+}
+
+TEST(Registry, HistogramReRegistrationMustKeepBuckets) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("lat_seconds", "L", {0.5, 2.0});
+  EXPECT_EQ(&h, &registry.histogram("lat_seconds", "L", {0.5, 2.0}));
+  EXPECT_THROW(registry.histogram("lat_seconds", "L", {0.5, 3.0}), Error);
+}
+
+TEST(Registry, PrometheusExpositionGolden) {
+  obs::Registry registry;
+  registry.counter("jobs_total", "Jobs handled").inc(3);
+  registry.gauge("queue_depth", "Shards pending").set(-2);
+  obs::Histogram& h = registry.histogram("latency_seconds", "Lease latency",
+                                         {0.5, 2.0}, {{"worker", "w\"0"}});
+  h.observe(0.25);
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.5);
+  const std::string expected =
+      "# HELP jobs_total Jobs handled\n"
+      "# TYPE jobs_total counter\n"
+      "jobs_total 3\n"
+      "# HELP queue_depth Shards pending\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth -2\n"
+      "# HELP latency_seconds Lease latency\n"
+      "# TYPE latency_seconds histogram\n"
+      "latency_seconds_bucket{worker=\"w\\\"0\",le=\"0.5\"} 1\n"
+      "latency_seconds_bucket{worker=\"w\\\"0\",le=\"2\"} 3\n"
+      "latency_seconds_bucket{worker=\"w\\\"0\",le=\"+Inf\"} 4\n"
+      "latency_seconds_sum{worker=\"w\\\"0\"} 7.75\n"
+      "latency_seconds_count{worker=\"w\\\"0\"} 4\n";
+  EXPECT_EQ(registry.prometheus_text(), expected);
+}
+
+TEST(Registry, JsonExpositionCarriesTheSameNumbers) {
+  obs::Registry registry;
+  registry.counter("jobs_total", "Jobs").inc(7);
+  obs::Histogram& h = registry.histogram("lat_seconds", "L", {1.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  const io::JsonValue doc = registry.to_json();
+  EXPECT_EQ(doc.at("jobs_total").at("type").as_string(), "counter");
+  EXPECT_EQ(
+      doc.at("jobs_total").at("instances").at(0u).at("value").as_uint(), 7u);
+  const io::JsonValue& inst = doc.at("lat_seconds").at("instances").at(0u);
+  EXPECT_EQ(inst.at("counts").at(0u).as_uint(), 1u);  // <= 1.0
+  EXPECT_EQ(inst.at("counts").at(1u).as_uint(), 1u);  // +Inf
+  EXPECT_EQ(inst.at("count").as_uint(), 2u);
+  EXPECT_DOUBLE_EQ(inst.at("sum").as_double(), 3.5);
+}
+
+TEST(Registry, ConcurrentRegistrationAndIncrementsAreExact) {
+  obs::Registry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry] {
+      for (std::size_t i = 0; i < kIncrements; ++i) {
+        // Register-or-fetch every iteration: the registration path itself
+        // must be thread-safe, not just the cached-reference fast path.
+        registry.counter("shared_total", "S").inc();
+        registry.histogram("shared_seconds", "S", {1e-3, 1.0})
+            .observe(1e-4);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared_total", "S").value(),
+            kThreads * kIncrements);
+  obs::Histogram& h = registry.histogram("shared_seconds", "S", {1e-3, 1.0});
+  EXPECT_EQ(h.total_count(), kThreads * kIncrements);
+  EXPECT_EQ(h.bucket_count(0), kThreads * kIncrements);
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+obs::Tracer::Span make_span(const std::string& name, std::uint64_t ts) {
+  obs::Tracer::Span span;
+  span.name = name;
+  span.category = "test";
+  span.ts_us = ts;
+  span.dur_us = 10;
+  return span;
+}
+
+TEST(Tracer, RecordWithoutEnableDropsSpans) {
+  obs::Tracer tracer;
+  tracer.record(make_span("orphan", 1));
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(Tracer, RingKeepsTheMostRecentWindowInOrder) {
+  obs::Tracer tracer;
+  tracer.enable(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    tracer.record(make_span("s" + std::to_string(i), i));
+  EXPECT_EQ(tracer.size(), 4u);      // ring is full...
+  EXPECT_EQ(tracer.recorded(), 6u);  // ...but it saw everything
+  const io::JsonValue doc = io::JsonValue::parse(tracer.dump_chrome_json());
+  const io::JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving span first: s0/s1 were overwritten.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events.at(i).at("name").as_string(),
+              "s" + std::to_string(i + 2));
+    EXPECT_EQ(events.at(i).at("ph").as_string(), "X");
+    EXPECT_EQ(events.at(i).at("ts").as_uint(), i + 2);
+  }
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST(Tracer, ReEnableClearsTheRing) {
+  obs::Tracer tracer;
+  tracer.enable(4);
+  tracer.record(make_span("old", 1));
+  tracer.enable(4);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(Tracer, DumpCarriesArgsAndWritesLoadableFile) {
+  obs::Tracer tracer;
+  tracer.enable(8);
+  obs::Tracer::Span span = make_span("shard", 100);
+  span.args = {{"job", 0xdeadbeefull}, {"shard", 3}};
+  tracer.record(std::move(span));
+  const io::JsonValue doc = io::JsonValue::parse(tracer.dump_chrome_json());
+  const io::JsonValue& event = doc.at("traceEvents").at(0u);
+  EXPECT_EQ(event.at("args").at("job").as_uint(), 0xdeadbeefull);
+  EXPECT_EQ(event.at("args").at("shard").as_uint(), 3u);
+  EXPECT_GT(event.at("pid").as_uint(), 0u);
+
+  TempFile file("trace");
+  tracer.write_chrome_json(file.str());
+  EXPECT_EQ(read_file(file.str()), tracer.dump_chrome_json());
+}
+
+TEST(Tracer, SpanGuardIsInertWhenDisabledAndRecordsWhenEnabled) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.disable();
+  {
+    obs::SpanGuard guard("inert", "test");
+    guard.arg("ignored", 1);
+    EXPECT_FALSE(guard.active());
+  }
+  tracer.enable(16);
+  {
+    obs::SpanGuard guard("live", "test");
+    guard.arg("points", 12);
+    EXPECT_TRUE(guard.active());
+  }
+  EXPECT_EQ(tracer.recorded(), 1u);
+  const io::JsonValue doc = io::JsonValue::parse(tracer.dump_chrome_json());
+  EXPECT_EQ(doc.at("traceEvents").at(0u).at("name").as_string(), "live");
+  EXPECT_EQ(doc.at("traceEvents").at(0u).at("args").at("points").as_uint(),
+            12u);
+  tracer.disable();  // leave the global tracer how other tests expect it
+}
+
+// --- Logger ------------------------------------------------------------------
+
+TEST(Log, LevelParsingRoundTripsAndRejectsJunk) {
+  EXPECT_EQ(obs::log_level_from_string("trace"), obs::LogLevel::kTrace);
+  EXPECT_EQ(obs::log_level_from_string("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::log_level_from_string("warning"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::log_level_from_string("off"), obs::LogLevel::kOff);
+  EXPECT_THROW(obs::log_level_from_string("loud"), Error);
+  EXPECT_STREQ(obs::to_string(obs::LogLevel::kDebug), "debug");
+}
+
+TEST(Log, LevelFilterDropsBelowThreshold) {
+  TempFile file("filter");
+  obs::Logger logger;
+  logger.configure(obs::LogLevel::kWarn, obs::Logger::Format::kHuman,
+                   file.str());
+  logger.log(obs::LogLevel::kInfo, "test", "dropped");
+  logger.log(obs::LogLevel::kWarn, "test", "kept",
+             {obs::kv("shard", std::uint64_t{7})});
+  logger.log(obs::LogLevel::kError, "test", "also kept");
+  logger.configure(obs::LogLevel::kWarn, obs::Logger::Format::kHuman, "");
+  const std::string text = read_file(file.str());
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("WARN  test: kept shard=7"), std::string::npos);
+  EXPECT_NE(text.find("ERROR test: also kept"), std::string::npos);
+}
+
+TEST(Log, JsonlLinesParseWithTypedFields) {
+  TempFile file("jsonl");
+  obs::Logger logger;
+  logger.configure(obs::LogLevel::kDebug, obs::Logger::Format::kJsonl,
+                   file.str());
+  logger.log(obs::LogLevel::kInfo, "service", "worker connected",
+             {obs::kv("worker", std::uint64_t{3}), obs::kv("ok", true),
+              obs::kv("rate", 0.5), obs::kv_hex("job", 0xabcull)});
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman, "");
+  const std::string text = read_file(file.str());
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  const io::JsonValue doc =
+      io::JsonValue::parse(text.substr(0, text.size() - 1));
+  EXPECT_EQ(doc.at("level").as_string(), "info");
+  EXPECT_EQ(doc.at("component").as_string(), "service");
+  EXPECT_EQ(doc.at("msg").as_string(), "worker connected");
+  EXPECT_EQ(doc.at("worker").as_uint(), 3u);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("rate").as_double(), 0.5);
+  EXPECT_EQ(doc.at("job").as_string(), "0000000000000abc");
+  // ISO-8601 UTC timestamp: 2026-08-07T12:31:05.123456Z shape.
+  const std::string& ts = doc.at("ts").as_string();
+  ASSERT_EQ(ts.size(), 27u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(Log, OffLevelSilencesEverything) {
+  TempFile file("off");
+  obs::Logger logger;
+  logger.configure(obs::LogLevel::kOff, obs::Logger::Format::kHuman,
+                   file.str());
+  logger.log(obs::LogLevel::kError, "test", "nope");
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman, "");
+  EXPECT_TRUE(read_file(file.str()).empty());
+}
+
+TEST(Log, ConcurrentLoggingKeepsLinesIntact) {
+  TempFile file("mt");
+  obs::Logger logger;
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kJsonl,
+                   file.str());
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kLines = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&logger, t] {
+      for (std::size_t i = 0; i < kLines; ++i)
+        logger.log(obs::LogLevel::kInfo, "mt", "line",
+                   {obs::kv("thread", static_cast<std::uint64_t>(t)),
+                    obs::kv("i", static_cast<std::uint64_t>(i))});
+    });
+  for (std::thread& t : threads) t.join();
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman, "");
+  // Every line parses on its own: no interleaved or torn writes.
+  std::ifstream in(file.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    const io::JsonValue doc = io::JsonValue::parse(line);
+    EXPECT_EQ(doc.at("msg").as_string(), "line");
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+}  // namespace

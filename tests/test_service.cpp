@@ -25,6 +25,8 @@
 #include "dist/steal_queue.h"
 #include "io/framing.h"
 #include "march/algorithms.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace {
@@ -85,6 +87,13 @@ std::string single_document(const JobSpec& job) {
     merged.campaign.entries = std::move(report.entries);
   }
   return dist::merged_document(merged);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
 }
 
 std::vector<std::size_t> iota_indices(std::size_t n) {
@@ -455,6 +464,71 @@ TEST(Service, StatsQueryAndShutdownOverTheWire) {
   EXPECT_GE(stats.workers_connected, 1u);
   dist::request_shutdown(harness.address());
   harness.service().wait();  // returns because the shutdown arrived
+}
+
+TEST(Service, TelemetryOnOffDocumentsAreByteIdentical) {
+  // The telemetry contract: logging at the chattiest level plus span
+  // tracing must never perturb a single result byte.  Both runs compute
+  // the job from scratch (independent daemons, no shared spill file), so
+  // this is not answered by cache replay.
+  TempDir dir("telemetry");
+  const JobSpec job = small_sweep_job();
+  const std::string reference = single_document(job);
+
+  obs::Logger::global().configure(obs::LogLevel::kDebug,
+                                  obs::Logger::Format::kJsonl,
+                                  dir.str() + "/service.log");
+  obs::Tracer::global().enable(1 << 12);
+  std::string with_telemetry;
+  {
+    dist::Service::Options options;
+    options.points_per_shard = 2;
+    ServiceHarness harness(options, /*workers=*/2);
+    with_telemetry = dist::submit_job(harness.address(), job, 5000).document;
+  }
+  const std::uint64_t spans = obs::Tracer::global().recorded();
+  obs::Tracer::global().disable();
+  obs::Logger::global().configure(obs::LogLevel::kOff,
+                                  obs::Logger::Format::kHuman, "");
+
+  std::string without_telemetry;
+  {
+    dist::Service::Options options;
+    options.points_per_shard = 2;
+    ServiceHarness harness(options, /*workers=*/2);
+    without_telemetry =
+        dist::submit_job(harness.address(), job, 5000).document;
+  }
+  obs::Logger::global().configure(obs::LogLevel::kInfo,
+                                  obs::Logger::Format::kHuman, "");
+
+  // The instrumented run actually instrumented something...
+  EXPECT_GT(spans, 0u);
+  EXPECT_FALSE(read_file(dir.str() + "/service.log").empty());
+  // ...and neither telemetry state changed a single byte.
+  EXPECT_EQ(with_telemetry, reference);
+  EXPECT_EQ(without_telemetry, reference);
+}
+
+TEST(Service, MetricsRequestServesPrometheusOverTheWire) {
+  dist::Service::Options options;
+  ServiceHarness harness(options, /*workers=*/1);
+  dist::submit_job(harness.address(), small_sweep_job(), 5000);
+  const dist::MetricsSnapshot snapshot =
+      dist::query_metrics(harness.address());
+  // The Prometheus text carries the service counters with live values.
+  EXPECT_NE(snapshot.prometheus.find("# TYPE sramlp_jobs_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(snapshot.prometheus.find("sramlp_points_executed_total"),
+            std::string::npos);
+  // The JSON lane exposes the same registry.
+  EXPECT_TRUE(snapshot.json.has("sramlp_jobs_submitted_total"));
+  EXPECT_GE(snapshot.json.at("sramlp_jobs_submitted_total")
+                .at("instances")
+                .at(std::size_t{0})
+                .at("value")
+                .as_uint(),
+            1u);
 }
 
 TEST(Service, RejectsMalformedJobWithoutDying) {

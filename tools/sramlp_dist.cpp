@@ -34,8 +34,15 @@
 //   submit   --connect A --job J --out M  submit a job, stream the results,
 //                                         write the merged document (byte-
 //                                         identical to `single`)
-//   stats    --connect A                  service counters as JSON
+//   stats    --connect A                  service counters as JSON, or
+//            [--format prom]              Prometheus text exposition, or
+//            [--watch [--interval MS]]    a live dashboard with rates
 //   shutdown --connect A                  stop the daemon
+//
+// Observability (every subcommand): --log-level trace|debug|info|warn|
+// error|off, --log-format human|jsonl, --log-file PATH (default stderr;
+// SRAMLP_LOG sets the level too).  `serve`/`work` accept --trace-out F
+// to dump a Chrome trace-event JSON of job/shard/lease/execute spans.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -55,6 +62,9 @@
 #include "dist/worker.h"
 #include "io/serialize.h"
 #include "march/algorithms.h"
+#include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace {
@@ -76,11 +86,16 @@ using namespace sramlp;
       "  single --job J --out M\n"
       "  serve  [--listen unix:/path|tcp:port] [--workers N] [--threads N]\n"
       "         [--points-per-shard P] [--cache-capacity C] [--spill F]\n"
-      "         [--no-point-cache] [--slow-us U]\n"
+      "         [--no-point-cache] [--slow-us U] [--trace-out F]\n"
       "  work   --connect A [--threads N] [--per-fault] [--slow-us U]\n"
+      "         [--trace-out F]\n"
       "  submit --connect A --job J [--out M] [--expect-cache-hit]\n"
-      "  stats  --connect A\n"
-      "  shutdown --connect A\n",
+      "  stats  --connect A [--format json|prom]\n"
+      "         [--watch [--interval MS] [--count N]]\n"
+      "  shutdown --connect A\n"
+      "\n"
+      "  every subcommand: [--log-level trace|debug|info|warn|error|off]\n"
+      "                    [--log-format human|jsonl] [--log-file PATH]\n",
       argv0);
   std::exit(2);
 }
@@ -157,6 +172,32 @@ void write_file(const std::string& path, const std::string& content) {
 
 dist::JobSpec load_job(const std::string& path) {
   return dist::job_from_json(io::JsonValue::parse(read_file(path)));
+}
+
+/// Observability flags shared by every subcommand.  Consumed before
+/// dispatch so reject_leftovers() never sees them.  A --log-level is also
+/// exported as SRAMLP_LOG, so subprocesses this command spawns (serve's
+/// local workers, run's shard workers) inherit the level.
+void apply_logging_flags(Args& args) {
+  const std::optional<std::string> level_text = args.value("--log-level");
+  const std::optional<std::string> format_text = args.value("--log-format");
+  const std::optional<std::string> file = args.value("--log-file");
+  if (!level_text && !format_text && !file) return;
+  const obs::LogLevel level = level_text
+                                  ? obs::log_level_from_string(*level_text)
+                                  : obs::Logger::global().level();
+  obs::Logger::Format format = obs::Logger::Format::kHuman;
+  if (format_text) {
+    if (*format_text == "jsonl") {
+      format = obs::Logger::Format::kJsonl;
+    } else if (*format_text != "human") {
+      throw Error("--log-format must be human or jsonl, got '" +
+                  *format_text + "'");
+    }
+  }
+  obs::Logger::global().configure(level, format,
+                                  file ? *file : std::string());
+  if (level_text) ::setenv("SRAMLP_LOG", level_text->c_str(), 1);
 }
 
 dist::ShardStrategy strategy_arg(Args& args) {
@@ -333,7 +374,9 @@ int cmd_serve(Args& args, const char* argv0) {
   const std::size_t workers = args.number("--workers", 2);
   const std::size_t threads = args.number("--threads", 1);
   const std::size_t slow_us = args.number("--slow-us", 0);
+  const std::optional<std::string> trace_out = args.value("--trace-out");
   args.reject_leftovers();
+  if (trace_out) obs::Tracer::global().enable();
 
   dist::Service service(options);
   service.start();
@@ -354,6 +397,12 @@ int cmd_serve(Args& args, const char* argv0) {
       command.push_back("--slow-us");
       command.push_back(std::to_string(slow_us));
     }
+    if (trace_out) {
+      // Workers are separate processes with their own tracer rings; each
+      // dumps to a per-worker sibling of the service's trace file.
+      command.push_back("--trace-out");
+      command.push_back(*trace_out + ".worker-" + std::to_string(w));
+    }
     const pid_t pid = fork();
     SRAMLP_REQUIRE(pid >= 0, "fork failed");
     if (pid == 0) {
@@ -371,6 +420,11 @@ int cmd_serve(Args& args, const char* argv0) {
   for (const pid_t pid : children) {
     int status = 0;
     waitpid(pid, &status, 0);
+  }
+  if (trace_out) {
+    obs::Tracer::global().write_chrome_json(*trace_out);
+    std::printf("trace written to %s (load in Perfetto or chrome://tracing)\n",
+                trace_out->c_str());
   }
   const dist::ServiceStats stats = service.stats();
   std::printf("service stopped: %llu jobs (%llu cache hits, %llu points "
@@ -393,8 +447,11 @@ int cmd_work(Args& args) {
       static_cast<unsigned>(args.number("--threads", options.threads));
   if (args.flag("--per-fault")) options.batched_campaigns = false;
   options.slow_point_us = args.number("--slow-us", 0);
+  const std::optional<std::string> trace_out = args.value("--trace-out");
   args.reject_leftovers();
+  if (trace_out) obs::Tracer::global().enable();
   const std::size_t points = dist::ServiceWorker(options).run(address);
+  if (trace_out) obs::Tracer::global().write_chrome_json(*trace_out);
   std::printf("worker done: %zu points computed\n", points);
   return 0;
 }
@@ -420,10 +477,7 @@ int cmd_submit(Args& args) {
   return 0;
 }
 
-int cmd_stats(Args& args) {
-  const std::string address = args.require("--connect");
-  args.reject_leftovers();
-  const dist::ServiceStats stats = dist::query_stats(address);
+void print_stats_json(const dist::ServiceStats& stats) {
   io::JsonValue doc = io::JsonValue::object();
   doc.set("jobs_submitted", io::JsonValue::integer(stats.jobs_submitted));
   doc.set("jobs_completed", io::JsonValue::integer(stats.jobs_completed));
@@ -441,6 +495,102 @@ int cmd_stats(Args& args) {
   doc.set("cache_entries", io::JsonValue::integer(stats.cache.entries));
   doc.set("cache_hit_rate", io::JsonValue::number(stats.cache.hit_rate()));
   std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+}
+
+/// The --watch dashboard: totals plus client-side deltas and per-second
+/// rates between consecutive samples (the service only ships totals, so
+/// the derivative is computed here).  All display-only; rates use the
+/// monotonic clock through the obs seam.
+void watch_stats(const std::string& address, std::size_t interval_ms,
+                 std::size_t count) {
+  struct Row {
+    const char* label;
+    std::uint64_t (*pick)(const dist::ServiceStats&);
+  };
+  static const Row rows[] = {
+      {"jobs_submitted", [](const dist::ServiceStats& s) {
+         return s.jobs_submitted; }},
+      {"jobs_completed", [](const dist::ServiceStats& s) {
+         return s.jobs_completed; }},
+      {"jobs_failed", [](const dist::ServiceStats& s) {
+         return s.jobs_failed; }},
+      {"job_cache_hits", [](const dist::ServiceStats& s) {
+         return s.job_cache_hits; }},
+      {"point_cache_hits", [](const dist::ServiceStats& s) {
+         return s.point_cache_hits; }},
+      {"points_executed", [](const dist::ServiceStats& s) {
+         return s.points_executed; }},
+      {"shards_executed", [](const dist::ServiceStats& s) {
+         return s.shards_executed; }},
+      {"shard_requeues", [](const dist::ServiceStats& s) {
+         return s.shard_requeues; }},
+      {"workers_connected", [](const dist::ServiceStats& s) {
+         return s.workers_connected; }},
+      {"workers_lost", [](const dist::ServiceStats& s) {
+         return s.workers_lost; }},
+  };
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::optional<dist::ServiceStats> prev;
+  std::uint64_t prev_us = 0;
+  for (std::size_t sample = 0; count == 0 || sample < count; ++sample) {
+    const dist::ServiceStats stats = dist::query_stats(address);
+    const std::uint64_t now_us = obs::monotonic_micros();
+    if (tty)
+      std::fputs("\033[H\033[2J", stdout);  // home + clear: redraw in place
+    else if (sample > 0)
+      std::fputs("---\n", stdout);
+    const double dt = prev ? static_cast<double>(now_us - prev_us) * 1e-6
+                           : 0.0;
+    std::printf("%s  sample %zu  interval %zums\n", address.c_str(),
+                sample + 1, interval_ms);
+    std::printf("  %-20s %12s %10s %12s\n", "counter", "total", "delta",
+                "rate");
+    for (const Row& row : rows) {
+      const std::uint64_t value = row.pick(stats);
+      if (prev && dt > 0.0) {
+        const std::uint64_t before = row.pick(*prev);
+        const std::uint64_t delta = value >= before ? value - before : 0;
+        std::printf("  %-20s %12llu %10llu %10.1f/s\n", row.label,
+                    static_cast<unsigned long long>(value),
+                    static_cast<unsigned long long>(delta),
+                    static_cast<double>(delta) / dt);
+      } else {
+        std::printf("  %-20s %12llu %10s %12s\n", row.label,
+                    static_cast<unsigned long long>(value), "-", "-");
+      }
+    }
+    std::printf("  %-20s %12zu\n", "cache_entries", stats.cache.entries);
+    std::printf("  %-20s %12.3f\n", "cache_hit_rate", stats.cache.hit_rate());
+    std::fflush(stdout);
+    prev = stats;
+    prev_us = now_us;
+    if (count != 0 && sample + 1 >= count) break;
+    ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+  }
+}
+
+int cmd_stats(Args& args) {
+  const std::string address = args.require("--connect");
+  std::string format = "json";
+  if (const auto f = args.value("--format")) format = *f;
+  const bool watch = args.flag("--watch");
+  const std::size_t interval_ms = args.number("--interval", 1000);
+  const std::size_t count = args.number("--count", 0);  // 0 = forever
+  args.reject_leftovers();
+  if (format == "prom") {
+    if (watch)
+      throw Error("--watch is a dashboard over the json view; scrape "
+                  "--format prom with your collector instead");
+    std::fputs(dist::query_metrics(address).prometheus.c_str(), stdout);
+    return 0;
+  }
+  if (format != "json")
+    throw Error("--format must be json or prom, got '" + format + "'");
+  if (watch) {
+    watch_stats(address, interval_ms == 0 ? 1000 : interval_ms, count);
+    return 0;
+  }
+  print_stats_json(dist::query_stats(address));
   return 0;
 }
 
@@ -459,6 +609,7 @@ int main(int argc, char** argv) {
   const std::string subcommand = argv[1];
   Args args(argc, argv, 2);
   try {
+    apply_logging_flags(args);
     if (subcommand == "example-job") return cmd_example_job(args);
     if (subcommand == "plan") return cmd_plan(args);
     if (subcommand == "worker") return cmd_worker(args);
@@ -472,8 +623,12 @@ int main(int argc, char** argv) {
     if (subcommand == "shutdown") return cmd_shutdown(args);
     usage(argv[0]);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "sramlp_dist %s failed: %s\n", subcommand.c_str(),
-                 e.what());
+    // Through the logger, so failures land in the same (possibly JSONL)
+    // stream as everything else; the default sink is still stderr.  The
+    // "sramlp_dist <cmd> failed" message is a greppable contract
+    // (test_dist_cli asserts it).
+    obs::log_error("cli", "sramlp_dist " + subcommand + " failed",
+                   {obs::kv("error", e.what())});
     return 1;
   }
 }
