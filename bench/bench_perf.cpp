@@ -25,7 +25,10 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "search/evaluator.h"
+#include "search/schedule.h"
 #include "sram/simd.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -217,6 +220,69 @@ void BM_CohortEvalSimd(benchmark::State& state) {
   sram::simd::reset_level_for_testing();
 }
 BENCHMARK(BM_CohortEvalSimd)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The schedule search's batch-scoring kernel at each dispatch level
+// (arg = Level, clamped like BM_CohortEvalSimd): 1024 candidate lanes of
+// 12 slots each — a March C- schedule with half its slots idle windows —
+// through the branchless energy/cycles/peak-window walk.
+void BM_SearchScoreBatch(benchmark::State& state) {
+  sram::simd::set_level_for_testing(
+      static_cast<sram::simd::Level>(state.range(0)));
+  constexpr std::size_t kLanes = 1024;
+  constexpr std::size_t kSlots = 12;
+  std::vector<double> rates(kSlots * kLanes), cycles(kSlots * kLanes),
+      energy(kLanes), total(kLanes), peak(kLanes);
+  for (std::size_t s = 0; s < kSlots; ++s)
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      rates[s * kLanes + l] =
+          (s % 2 == 0) ? 1e-12 * static_cast<double>(l + 1) : 1e-14;
+      cycles[s * kLanes + l] =
+          (s % 2 == 0) ? 1024.0 : static_cast<double>((l % 8) * 128);
+    }
+  for (auto _ : state) {
+    sram::simd::search_score_batch(rates.data(), cycles.data(), kLanes,
+                                   kSlots, 2048.0, energy.data(),
+                                   total.data(), peak.data());
+    benchmark::DoNotOptimize(peak.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes));
+  state.SetLabel(std::string("candidate scores/s (") +
+                 sram::simd::level_name(sram::simd::active_level()) + ")");
+  sram::simd::reset_level_for_testing();
+}
+BENCHMARK(BM_SearchScoreBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The whole evaluator path the beam search pays per candidate at the
+// paper's full 512x512 scale: validity-preserved random candidates of
+// March C- (reorders + idle windows), SoA packing + SIMD scoring via
+// ScheduleEvaluator::score.  The ROADMAP target is >= 1M candidate
+// scores/s single-threaded; restarts fan out on top of this.
+void BM_SearchCandidatesPerSec(benchmark::State& state) {
+  core::SessionConfig cfg;
+  cfg.geometry = sram::Geometry::paper_512x512();
+  const auto test = march::algorithms::march_c_minus();
+  search::ScheduleEvaluator evaluator(cfg, test,
+                                      4 * cfg.geometry.words());
+  const search::MoveLimits limits{.idle_quantum = 65536,
+                                  .max_idle_quanta = 16};
+  util::Rng rng(17);
+  std::vector<search::Candidate> batch(
+      256, search::identity_candidate(evaluator.elements()));
+  for (search::Candidate& candidate : batch)
+    for (int move = 0; move < 4; ++move)
+      search::apply_random_move(candidate, evaluator.conds(), limits, rng);
+  std::vector<search::Score> scores;
+  for (auto _ : state) {
+    evaluator.score(batch, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+  state.SetLabel("512x512 March C- candidate scores/s (single thread)");
+}
+BENCHMARK(BM_SearchCandidatesPerSec);
 
 // The cohort engines' bulk meter accumulation: add(source, joules, count)
 // must stay a repeated-addition loop (bit-identity with the per-column

@@ -12,6 +12,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "search/serialize.h"
 #include "util/error.h"
 
 namespace sramlp::dist {
@@ -111,9 +112,11 @@ MergedResult merge_shard_results(const JobSpec& job, const ShardPlan& plan,
   std::vector<bool> filled(plan.total, false);
   if (job.kind == JobSpec::Kind::kSweep) {
     merged.sweep.resize(plan.total);
-  } else {
+  } else if (job.kind == JobSpec::Kind::kCampaign) {
     merged.campaign.algorithm = job.test->name();
     merged.campaign.entries.resize(plan.total);
+  } else {
+    merged.search.resize(plan.total);
   }
 
   for (std::size_t s = 0; s < plan.shard_count; ++s) {
@@ -135,10 +138,15 @@ MergedResult merge_shard_results(const JobSpec& job, const ShardPlan& plan,
         claim(point.index);
         merged.sweep[point.index] = point;
       }
-    } else {
+    } else if (job.kind == JobSpec::Kind::kCampaign) {
       for (const auto& [index, entry] : result.entries) {
         claim(index);
         merged.campaign.entries[index] = entry;
+      }
+    } else {
+      for (const auto& [index, restart] : result.search) {
+        claim(index);
+        merged.search[index] = restart;
       }
     }
   }
@@ -156,13 +164,27 @@ std::string merged_document(const MergedResult& merged) {
     for (const core::SweepPointResult& p : merged.sweep)
       points.push_back(io::to_json(p));
     doc.set("points", std::move(points));
-  } else {
+  } else if (merged.kind == JobSpec::Kind::kCampaign) {
     doc.set("kind", io::JsonValue::string("campaign"));
     doc.set("algorithm", io::JsonValue::string(merged.campaign.algorithm));
     io::JsonValue entries = io::JsonValue::array();
     for (const core::CampaignEntry& e : merged.campaign.entries)
       entries.push_back(io::to_json(e));
     doc.set("entries", std::move(entries));
+  } else {
+    // The global Pareto front depends only on the per-restart results
+    // (search::merge_front), so this document is byte-identical whether the
+    // restarts came from one process, N shards, or the service.
+    doc.set("kind", io::JsonValue::string("search"));
+    io::JsonValue restarts = io::JsonValue::array();
+    for (const search::RestartResult& r : merged.search)
+      restarts.push_back(io::to_json(r));
+    doc.set("restarts", std::move(restarts));
+    io::JsonValue front = io::JsonValue::array();
+    for (const search::ScheduleResult& point :
+         search::merge_front(merged.search))
+      front.push_back(io::to_json(point));
+    doc.set("front", std::move(front));
   }
   return doc.dump(2) + "\n";
 }

@@ -42,6 +42,9 @@ struct MergedResult {
   /// CampaignRunner::run.  Cross-process session accounting is not
   /// aggregated: session_pairs / batch_sessions are zero.
   core::CampaignReport campaign;
+  /// Search jobs: search[i] is restart i — the same vector
+  /// search::run_search produces, to the bit.
+  std::vector<search::RestartResult> search;
 };
 
 /// Well-known file layout inside a work directory.

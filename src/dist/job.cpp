@@ -1,5 +1,6 @@
 #include "dist/job.h"
 
+#include "search/serialize.h"
 #include "util/error.h"
 
 namespace sramlp::dist {
@@ -10,12 +11,14 @@ const char* kind_slug(JobSpec::Kind kind) {
   switch (kind) {
     case JobSpec::Kind::kSweep: return "sweep";
     case JobSpec::Kind::kCampaign: return "campaign";
+    case JobSpec::Kind::kSearch: return "search";
   }
   throw Error("invalid JobSpec::Kind");
 }
 
 JobSpec::Kind kind_from_slug(const std::string& slug) {
-  for (const auto kind : {JobSpec::Kind::kSweep, JobSpec::Kind::kCampaign})
+  for (const auto kind : {JobSpec::Kind::kSweep, JobSpec::Kind::kCampaign,
+                          JobSpec::Kind::kSearch})
     if (slug == kind_slug(kind)) return kind;
   throw Error("unknown job kind '" + slug + "'");
 }
@@ -23,7 +26,12 @@ JobSpec::Kind kind_from_slug(const std::string& slug) {
 }  // namespace
 
 std::size_t JobSpec::size() const {
-  return kind == Kind::kSweep ? grid.size() : faults.size();
+  switch (kind) {
+    case Kind::kSweep: return grid.size();
+    case Kind::kCampaign: return faults.size();
+    case Kind::kSearch: return search ? search->size() : 0;
+  }
+  throw Error("invalid JobSpec::Kind");
 }
 
 void JobSpec::validate() const {
@@ -31,9 +39,12 @@ void JobSpec::validate() const {
     SRAMLP_REQUIRE(!grid.geometries.empty() && !grid.backgrounds.empty() &&
                        !grid.algorithms.empty(),
                    "sweep job has an empty grid axis");
-  } else {
+  } else if (kind == Kind::kCampaign) {
     SRAMLP_REQUIRE(test.has_value(), "campaign job needs a March test");
     SRAMLP_REQUIRE(!faults.empty(), "campaign job has no faults");
+  } else {
+    SRAMLP_REQUIRE(search.has_value(), "search job needs a SearchSpec");
+    search->validate();
   }
 }
 
@@ -56,7 +67,7 @@ io::JsonValue to_json(const JobSpec& job) {
   v.set("kind", io::JsonValue::string(kind_slug(job.kind)));
   if (job.kind == JobSpec::Kind::kSweep) {
     v.set("grid", io::to_json(job.grid));
-  } else {
+  } else if (job.kind == JobSpec::Kind::kCampaign) {
     v.set("config", io::to_json(job.config));
     SRAMLP_REQUIRE(job.test.has_value(), "campaign job needs a March test");
     v.set("test", io::to_json(*job.test));
@@ -64,6 +75,9 @@ io::JsonValue to_json(const JobSpec& job) {
     for (const faults::FaultSpec& f : job.faults)
       faults.push_back(io::to_json(f));
     v.set("faults", std::move(faults));
+  } else {
+    SRAMLP_REQUIRE(job.search.has_value(), "search job needs a SearchSpec");
+    v.set("search", io::to_json(*job.search));
   }
   return v;
 }
@@ -73,12 +87,14 @@ JobSpec job_from_json(const io::JsonValue& json) {
   job.kind = kind_from_slug(json.at("kind").as_string());
   if (job.kind == JobSpec::Kind::kSweep) {
     job.grid = io::sweep_grid_from_json(json.at("grid"));
-  } else {
+  } else if (job.kind == JobSpec::Kind::kCampaign) {
     job.config = io::session_config_from_json(json.at("config"));
     job.test = io::march_from_json(json.at("test"));
     const io::JsonValue& faults = json.at("faults");
     for (std::size_t i = 0; i < faults.size(); ++i)
       job.faults.push_back(io::fault_spec_from_json(faults.at(i)));
+  } else {
+    job.search = io::search_spec_from_json(json.at("search"));
   }
   job.validate();
   return job;

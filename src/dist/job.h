@@ -19,6 +19,7 @@
 #include "core/sweep.h"
 #include "dist/shard.h"
 #include "io/serialize.h"
+#include "search/search.h"
 
 namespace sramlp::dist {
 
@@ -26,9 +27,10 @@ namespace sramlp::dist {
 /// sweep service's per-point cache keys (dist/service.h).
 std::uint64_t fnv1a64(std::string_view text);
 
-/// One distributed job: a sweep grid or a fault campaign.
+/// One distributed job: a sweep grid, a fault campaign, or a schedule
+/// search (one work item per seeded restart).
 struct JobSpec {
-  enum class Kind { kSweep, kCampaign };
+  enum class Kind { kSweep, kCampaign, kSearch };
 
   Kind kind = Kind::kSweep;
 
@@ -40,7 +42,10 @@ struct JobSpec {
   std::optional<march::MarchTest> test;     ///< campaign algorithm
   std::vector<faults::FaultSpec> faults;    ///< campaign fault library
 
-  /// Flat work items: grid points or faults.
+  // --- kind == kSearch ---------------------------------------------------
+  std::optional<search::SearchSpec> search; ///< schedule-search spec
+
+  /// Flat work items: grid points, faults, or search restarts.
   std::size_t size() const;
 
   void validate() const;

@@ -9,6 +9,7 @@
 #include "core/sweep.h"
 #include "dist/coordinator.h"
 #include "io/serialize.h"
+#include "search/serialize.h"
 #include "obs/clock.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -103,6 +104,32 @@ struct WorkerMetrics {
   }
 };
 
+/// Per-submitter fairness instruments (satellite of the search PR): one
+/// labelled counter family per lifecycle stage, so `metrics` / Prometheus
+/// scrapes show who is queueing, leasing and completing work.  Labelled
+/// instances are register-or-fetch, so these helpers are cheap after the
+/// first call per submitter.
+obs::Counter& submitter_queued(const std::string& submitter) {
+  return obs::Registry::global().counter(
+      "sramlp_submitter_jobs_queued_total",
+      "Jobs submitted to the service, by submitter",
+      {{"submitter", submitter}});
+}
+
+obs::Counter& submitter_leased(const std::string& submitter) {
+  return obs::Registry::global().counter(
+      "sramlp_submitter_shards_leased_total",
+      "Shards leased to workers, by the owning job's submitter",
+      {{"submitter", submitter}});
+}
+
+obs::Counter& submitter_completed(const std::string& submitter) {
+  return obs::Registry::global().counter(
+      "sramlp_submitter_jobs_completed_total",
+      "Jobs finished with a merged document, by submitter",
+      {{"submitter", submitter}});
+}
+
 io::JsonValue make_message(const char* type) {
   io::JsonValue v = io::JsonValue::object();
   v.set("type", io::JsonValue::string(type));
@@ -182,11 +209,18 @@ std::uint64_t point_fingerprint(const JobSpec& job, std::size_t index) {
     key.set("kind", io::JsonValue::string("sweep_point"));
     key.set("config", io::to_json(job.grid.config_at(index)));
     key.set("test", io::to_json(job.grid.algorithms[algorithm]));
-  } else {
+  } else if (job.kind == JobSpec::Kind::kCampaign) {
     key.set("kind", io::JsonValue::string("campaign_entry"));
     key.set("config", io::to_json(job.config));
     key.set("test", io::to_json(*job.test));
     key.set("fault", io::to_json(job.faults[index]));
+  } else {
+    // A restart result is a pure function of (whole spec, restart index),
+    // so the key must cover the entire SearchSpec — two jobs share a
+    // cached restart only when every search knob matches.
+    key.set("kind", io::JsonValue::string("search_restart"));
+    key.set("search", io::to_json(*job.search));
+    key.set("restart", io::JsonValue::integer(index));
   }
   return fnv1a64(key.dump());
 }
@@ -204,12 +238,16 @@ struct Service::ActiveJob {
   std::size_t cached_points = 0;
   std::vector<core::SweepPointResult> sweep;
   std::vector<core::CampaignEntry> entries;
+  std::vector<search::RestartResult> search;
   std::vector<bool> filled;
   std::size_t filled_count = 0;
   std::vector<std::shared_ptr<io::LineChannel>> listeners;
   /// Result lines already streamed, replayed to a duplicate submitter
   /// that attaches mid-flight.
   std::vector<io::JsonValue> replay;
+  /// Who submitted this job ("anonymous" when the submit message carried
+  /// no submitter) — the label on the per-submitter fairness counters.
+  std::string submitter;
   bool finished = false;
   bool failed = false;
   /// Tracing bookkeeping (set only while the tracer is enabled; never read
@@ -395,13 +433,19 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
   }
   const std::uint64_t fingerprint = job.fingerprint();
   const std::size_t total = job.size();
+  std::string submitter = "anonymous";
+  if (message.has("submitter") &&
+      !message.at("submitter").as_string().empty())
+    submitter = message.at("submitter").as_string();
   obs::log_info("service", "job submitted",
                 {obs::kv("conn", conn->id), obs::kv_hex("job", fingerprint),
-                 obs::kv("points", total)});
+                 obs::kv("points", total),
+                 obs::kv("submitter", submitter)});
 
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.jobs_submitted;
   metrics.jobs_submitted.inc();
+  submitter_queued(submitter).inc();
 
   // --- whole-job cache hit: replay the exact bytes, execute nothing ------
   if (const std::optional<std::string> document = cache_.get(fingerprint)) {
@@ -409,6 +453,7 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
     ++stats_.jobs_completed;
     metrics.job_cache_hits.inc();
     metrics.jobs_completed.inc();
+    submitter_completed(submitter).inc();
     obs::log_debug("service", "job answered from cache",
                    {obs::kv("conn", conn->id),
                     obs::kv_hex("job", fingerprint)});
@@ -463,11 +508,14 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
   active->job = std::move(job);
   active->job_json = dist::to_json(active->job);
   active->total = total;
+  active->submitter = submitter;
   active->filled.assign(total, false);
   if (active->job.kind == JobSpec::Kind::kSweep)
     active->sweep.resize(total);
-  else
+  else if (active->job.kind == JobSpec::Kind::kCampaign)
     active->entries.resize(total);
+  else
+    active->search.resize(total);
 
   // Per-point cache: indices the service has answered before (under any
   // job) are filled from the cache; only the rest go onto the steal queue.
@@ -494,11 +542,16 @@ void Service::handle_submit(const std::shared_ptr<Connection>& conn,
         active->sweep[i] = point;
         line = make_message("sweep_point");
         line.set("data", io::to_json(point));
-      } else {
+      } else if (active->job.kind == JobSpec::Kind::kCampaign) {
         active->entries[i] = io::campaign_entry_from_json(data);
         line = make_message("campaign_entry");
         line.set("index", io::JsonValue::integer(i));
         line.set("data", io::to_json(active->entries[i]));
+      } else {
+        active->search[i] = io::restart_result_from_json(data);
+        line = make_message("search_restart");
+        line.set("index", io::JsonValue::integer(i));
+        line.set("data", io::to_json(active->search[i]));
       }
     } catch (const Error& e) {
       obs::log_warn("service", "unreadable point-cache entry; recomputing",
@@ -603,6 +656,7 @@ void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
               response.set("job", job->job_json);
             if (obs::Tracer::global().enabled())
               job->shard_trace_start[shard->id] = obs::monotonic_micros();
+            submitter_leased(job->submitter).inc();
             leased = true;
             break;
           }
@@ -615,7 +669,8 @@ void Service::handle_worker(const std::shared_ptr<Connection>& conn) {
       }
       if (!conn->channel->send(response)) break;
       if (response.at("type").as_string() == "stop") break;
-    } else if (type == "sweep_point" || type == "campaign_entry") {
+    } else if (type == "sweep_point" || type == "campaign_entry" ||
+               type == "search_restart") {
       deliver_result(*message);
     } else if (type == "shard_done") {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -710,12 +765,20 @@ bool Service::deliver_result(const io::JsonValue& message) {
       job->sweep[index] = std::move(point);
       line = make_message("sweep_point");
       line.set("data", message.at("data"));
-    } else {
+    } else if (job->job.kind == JobSpec::Kind::kCampaign) {
       index = message.at("index").as_size();
       SRAMLP_REQUIRE(index < job->total, "worker result index out of range");
       if (job->filled[index]) return true;
       job->entries[index] = io::campaign_entry_from_json(message.at("data"));
       line = make_message("campaign_entry");
+      line.set("index", io::JsonValue::integer(index));
+      line.set("data", message.at("data"));
+    } else {
+      index = message.at("index").as_size();
+      SRAMLP_REQUIRE(index < job->total, "worker result index out of range");
+      if (job->filled[index]) return true;
+      job->search[index] = io::restart_result_from_json(message.at("data"));
+      line = make_message("search_restart");
       line.set("index", io::JsonValue::integer(index));
       line.set("data", message.at("data"));
     }
@@ -750,9 +813,11 @@ void Service::finalize_job_locked(std::unique_lock<std::mutex>& lock,
   merged.kind = job->job.kind;
   if (job->job.kind == JobSpec::Kind::kSweep) {
     merged.sweep = job->sweep;
-  } else {
+  } else if (job->job.kind == JobSpec::Kind::kCampaign) {
     merged.campaign.algorithm = job->job.test->name();
     merged.campaign.entries = job->entries;
+  } else {
+    merged.search = job->search;
   }
   const std::string document = merged_document(merged);
 
@@ -769,8 +834,10 @@ void Service::finalize_job_locked(std::unique_lock<std::mutex>& lock,
         neutral.background = 0;
         neutral.algorithm = 0;
         payload = io::to_json(neutral).dump();
-      } else {
+      } else if (job->job.kind == JobSpec::Kind::kCampaign) {
         payload = io::to_json(job->entries[i]).dump();
+      } else {
+        payload = io::to_json(job->search[i]).dump();
       }
       cache_.put(point_fingerprint(job->job, i), std::move(payload));
     }
@@ -793,6 +860,7 @@ void Service::finalize_job_locked(std::unique_lock<std::mutex>& lock,
   ++stats_.jobs_completed;
   ServiceMetrics& metrics = ServiceMetrics::get();
   metrics.jobs_completed.inc();
+  submitter_completed(job->submitter).inc();
   metrics.jobs_in_flight.sub(1);
   active_jobs_.erase(job->fingerprint);
   job_order_.erase(
@@ -938,7 +1006,7 @@ std::size_t ServiceWorker::run(const std::string& address,
           line.set("data", io::to_json(point));
           if (!emit_point(std::move(line))) return computed;
         }
-      } else {
+      } else if (job.kind == JobSpec::Kind::kCampaign) {
         core::CampaignRunner::Options campaign_options;
         campaign_options.threads = options_.threads;
         campaign_options.batched = options_.batched_campaigns;
@@ -950,6 +1018,18 @@ std::size_t ServiceWorker::run(const std::string& address,
           line.set("fingerprint", io::JsonValue::integer(fingerprint));
           line.set("index", io::JsonValue::integer(indices[j]));
           line.set("data", io::to_json(entries[j]));
+          if (!emit_point(std::move(line))) return computed;
+        }
+      } else {
+        // run_restart(spec, r) is pure, so the stolen restarts are
+        // bit-identical to the single-process slots they fill.
+        for (const std::size_t index : indices) {
+          const search::RestartResult restart =
+              search::run_restart(*job.search, index);
+          io::JsonValue line = make_message("search_restart");
+          line.set("fingerprint", io::JsonValue::integer(fingerprint));
+          line.set("index", io::JsonValue::integer(index));
+          line.set("data", io::to_json(restart));
           if (!emit_point(std::move(line))) return computed;
         }
       }
@@ -978,11 +1058,14 @@ std::size_t ServiceWorker::run(const std::string& address,
 
 SubmitResult submit_job(
     const std::string& address, const JobSpec& job, int connect_timeout_ms,
-    const std::function<void(const io::JsonValue&)>& on_line) {
+    const std::function<void(const io::JsonValue&)>& on_line,
+    const std::string& submitter) {
   job.validate();
   io::LineChannel channel(io::connect_socket(address, connect_timeout_ms));
   io::JsonValue submit = make_message("submit");
   submit.set("job", dist::to_json(job));
+  if (!submitter.empty())
+    submit.set("submitter", io::JsonValue::string(submitter));
   SRAMLP_REQUIRE(channel.send(submit), "service connection lost on submit");
 
   SubmitResult result;
@@ -994,7 +1077,8 @@ SubmitResult submit_job(
     if (type == "job_accepted") {
       result.total_points = message->at("points").as_size();
       result.cached_points = message->at("cached_points").as_size();
-    } else if (type == "sweep_point" || type == "campaign_entry") {
+    } else if (type == "sweep_point" || type == "campaign_entry" ||
+               type == "search_restart") {
       ++result.streamed_lines;
       if (on_line) on_line(*message);
     } else if (type == "job_complete") {

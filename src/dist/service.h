@@ -206,12 +206,14 @@ struct SubmitResult {
 };
 
 /// Submit @p job and stream until completion.  @p on_line (optional) sees
-/// every live result line.  Throws sramlp::Error on connection failure or
-/// a job_failed reply.
+/// every live result line.  @p submitter (optional) labels the service's
+/// per-submitter fairness counters; empty reads as "anonymous".  Throws
+/// sramlp::Error on connection failure or a job_failed reply.
 SubmitResult submit_job(
     const std::string& address, const JobSpec& job,
     int connect_timeout_ms = 5000,
-    const std::function<void(const io::JsonValue&)>& on_line = {});
+    const std::function<void(const io::JsonValue&)>& on_line = {},
+    const std::string& submitter = {});
 
 /// Fetch a running service's statistics.
 ServiceStats query_stats(const std::string& address,

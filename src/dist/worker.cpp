@@ -6,6 +6,8 @@
 #include <ostream>
 #include <string>
 
+#include "engine/parallel.h"
+#include "search/serialize.h"
 #include "util/error.h"
 
 namespace sramlp::dist {
@@ -50,6 +52,25 @@ void Worker::run(const ShardSpec& spec, std::ostream& out) const {
       io::JsonValue line = io::JsonValue::object();
       line.set("type", io::JsonValue::string("sweep_point"));
       line.set("data", io::to_json(point));
+      emit_line(out, line);
+      ++points;
+    }
+  } else if (spec.job.kind == JobSpec::Kind::kSearch) {
+    // Search shard: run_restart(spec, r) is a pure function of its
+    // arguments, so each owned restart reproduces the exact bytes the
+    // single-process run_search computes for that slot.
+    std::vector<search::RestartResult> results(owned.size());
+    engine::parallel_for(owned.size(), options_.threads,
+                         [&](std::size_t j) {
+                           results[j] = search::run_restart(
+                               *spec.job.search, owned[j]);
+                         });
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      slow_down(options_.slow_point_us);
+      io::JsonValue line = io::JsonValue::object();
+      line.set("type", io::JsonValue::string("search_restart"));
+      line.set("index", io::JsonValue::integer(owned[j]));
+      line.set("data", io::to_json(results[j]));
       emit_line(out, line);
       ++points;
     }
@@ -115,6 +136,10 @@ ShardResult parse_shard_results(std::istream& in, const JobSpec& job,
         result.entries.emplace_back(
             value.at("index").as_size(),
             io::campaign_entry_from_json(value.at("data")));
+      } else if (type == "search_restart") {
+        result.search.emplace_back(
+            value.at("index").as_size(),
+            io::restart_result_from_json(value.at("data")));
       } else if (type == "shard_complete") {
         trailer_ok = value.at("shard").as_size() == shard &&
                      value.at("points").as_size() == expected;
@@ -124,9 +149,12 @@ ShardResult parse_shard_results(std::istream& in, const JobSpec& job,
       break;  // structurally wrong record: report incomplete
     }
   }
-  const std::size_t points = job.kind == JobSpec::Kind::kSweep
-                                 ? result.sweep.size()
-                                 : result.entries.size();
+  std::size_t points = 0;
+  switch (job.kind) {
+    case JobSpec::Kind::kSweep: points = result.sweep.size(); break;
+    case JobSpec::Kind::kCampaign: points = result.entries.size(); break;
+    case JobSpec::Kind::kSearch: points = result.search.size(); break;
+  }
   result.complete = header_ok && trailer_ok && points == expected;
   return result;
 }

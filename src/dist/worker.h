@@ -11,6 +11,7 @@
 //    "total":N, "points":M}
 //   {"type":"sweep_point", "data":{...}}            (sweep jobs, M lines)
 //   {"type":"campaign_entry", "index":i, "data":{...}} (campaign jobs)
+//   {"type":"search_restart", "index":i, "data":{...}} (search jobs)
 //   {"type":"shard_complete", "shard":k, "points":M}
 //
 // The header fingerprint ties the file to the job that produced it; the
@@ -35,6 +36,8 @@ struct ShardResult {
   std::vector<core::SweepPointResult> sweep;
   /// Campaign jobs: (flat index, entry) pairs.
   std::vector<std::pair<std::size_t, core::CampaignEntry>> entries;
+  /// Search jobs: (restart index, restart result) pairs.
+  std::vector<std::pair<std::size_t, search::RestartResult>> search;
 };
 
 class Worker {

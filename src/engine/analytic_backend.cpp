@@ -6,16 +6,9 @@
 
 namespace sramlp::engine {
 
-namespace {
-
-/// Closed-form per-cycle supply expectation of ONE March element.  Every
-/// term of the model's pf()/plpt() scales with either nothing, #elm/#ops
-/// or the transition rate — all of which reduce to single-element counts —
-/// so evaluating the model on a one-element AlgorithmCounts IS the
-/// per-element rate, and the operation-weighted mean over elements
-/// recovers the whole-algorithm figure.
-double element_rate(const power::AnalyticModel& model,
-                    const march::MarchElement& element, bool low_power) {
+double analytic_element_rate(const power::AnalyticModel& model,
+                             const march::MarchElement& element,
+                             bool low_power) {
   power::AlgorithmCounts counts;
   counts.elements = 1;
   counts.operations = static_cast<int>(element.ops.size());
@@ -27,8 +20,6 @@ double element_rate(const power::AnalyticModel& model,
   }
   return low_power ? model.plpt(counts) : model.pf(counts);
 }
-
-}  // namespace
 
 ExecutionResult AnalyticBackend::run(CommandStream& stream) {
   SRAMLP_REQUIRE(!stream.done(),
@@ -88,8 +79,8 @@ ExecutionResult AnalyticBackend::run(CommandStream& stream) {
           elements[i].is_pause()
               ? static_cast<double>(span) * model.idle_energy_per_cycle()
               : static_cast<double>(span) *
-                    element_rate(model, elements[i],
-                                 stream.options().low_power);
+                    analytic_element_rate(model, elements[i],
+                                          stream.options().low_power);
       trace.add_supply_block(energy, cursor, span);
       cursor += span;
     }

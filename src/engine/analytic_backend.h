@@ -9,10 +9,24 @@
 #pragma once
 
 #include "engine/backend.h"
+#include "march/test.h"
+#include "power/analytic.h"
 #include "power/technology.h"
 #include "sram/geometry.h"
 
 namespace sramlp::engine {
+
+/// Closed-form per-cycle supply expectation of ONE March element.  Every
+/// term of the model's pf()/plpt() scales with either nothing, #elm/#ops
+/// or the transition rate — all of which reduce to single-element counts —
+/// so evaluating the model on a one-element AlgorithmCounts IS the
+/// per-element rate, and the operation-weighted mean over elements
+/// recovers the whole-algorithm figure.  This is the exact arithmetic the
+/// AnalyticBackend uses for its traced per-element attribution; the
+/// schedule-search evaluator (src/search/) memoizes it per element.
+double analytic_element_rate(const power::AnalyticModel& model,
+                             const march::MarchElement& element,
+                             bool low_power);
 
 class AnalyticBackend final : public ExecutionBackend {
  public:

@@ -146,6 +146,9 @@ struct Logger::Impl {
   Format format = Format::kHuman;
   std::FILE* out = stderr;
   bool owns_out = false;
+  std::string path;            // non-empty only when owns_out
+  std::size_t max_bytes = 0;   // 0 = unbounded append
+  std::size_t bytes = 0;       // current file size (tracked, not stat'd)
 
   ~Impl() {
     if (owns_out && out != nullptr) std::fclose(out);
@@ -162,17 +165,29 @@ Logger& Logger::global() {
   return logger;
 }
 
-void Logger::configure(LogLevel level, Format format,
-                       const std::string& path) {
+void Logger::configure(LogLevel level, Format format, const std::string& path,
+                       std::size_t max_bytes) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   if (impl_->owns_out && impl_->out != nullptr) std::fclose(impl_->out);
   impl_->out = stderr;
   impl_->owns_out = false;
+  impl_->path.clear();
+  impl_->max_bytes = 0;
+  impl_->bytes = 0;
   if (!path.empty()) {
     std::FILE* file = std::fopen(path.c_str(), "a");
     SRAMLP_REQUIRE(file != nullptr, "cannot open log file " + path);
     impl_->out = file;
     impl_->owns_out = true;
+    impl_->path = path;
+    impl_->max_bytes = max_bytes;
+    // Appending to an existing file: start the size counter from what is
+    // already there, so the cap bounds total file size, not this process's
+    // contribution.
+    if (std::fseek(file, 0, SEEK_END) == 0) {
+      const long at = std::ftell(file);
+      if (at > 0) impl_->bytes = static_cast<std::size_t>(at);
+    }
   }
   impl_->format = format;
   level_.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -219,6 +234,25 @@ void Logger::log(LogLevel level, std::string_view component,
   line += '\n';
   std::fwrite(line.data(), 1, line.size(), impl_->out);
   std::fflush(impl_->out);
+  if (impl_->owns_out && impl_->max_bytes > 0) {
+    impl_->bytes += line.size();
+    if (impl_->bytes >= impl_->max_bytes) {
+      // Rotate: the full file becomes path.1 (replacing any previous one)
+      // and a fresh file takes its place.  Rotation happens after the write
+      // so a single oversized line still lands somewhere.
+      std::fclose(impl_->out);
+      std::rename(impl_->path.c_str(), (impl_->path + ".1").c_str());
+      std::FILE* file = std::fopen(impl_->path.c_str(), "w");
+      if (file != nullptr) {
+        impl_->out = file;
+      } else {
+        impl_->out = stderr;  // disk trouble: keep logging, drop the cap
+        impl_->owns_out = false;
+        impl_->max_bytes = 0;
+      }
+      impl_->bytes = 0;
+    }
+  }
 }
 
 void log_trace(std::string_view component, std::string_view message,

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -68,7 +69,13 @@ class Logger {
 
   /// Point output at @p path (append; empty = back to stderr), pick the
   /// format, set the level.  Safe at any time from any thread.
-  void configure(LogLevel level, Format format, const std::string& path);
+  /// @p max_bytes caps the log file for long soaks: once the file reaches
+  /// the cap after a write, it is rotated to `path + ".1"` (replacing any
+  /// previous `.1`) and a fresh file is started, so a soak never holds
+  /// more than ~2x the cap on disk.  0 (the default) keeps today's
+  /// unbounded append; the cap is ignored when logging to stderr.
+  void configure(LogLevel level, Format format, const std::string& path,
+                 std::size_t max_bytes = 0);
   void set_level(LogLevel level);
   LogLevel level() const {
     return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));

@@ -1,0 +1,85 @@
+#include "search/evaluator.h"
+
+#include "engine/analytic_backend.h"
+#include "sram/simd.h"
+#include "util/error.h"
+
+namespace sramlp::search {
+
+ScheduleEvaluator::ScheduleEvaluator(const core::SessionConfig& config,
+                                     const march::MarchTest& base,
+                                     std::uint64_t window_cycles) {
+  SRAMLP_REQUIRE(window_cycles >= 1, "peak window must span >= 1 cycle");
+  SRAMLP_REQUIRE(!base.elements().empty(), "base test has no elements");
+  const power::AnalyticModel model(config.tech, config.geometry.rows,
+                                   config.geometry.cols,
+                                   config.geometry.word_width);
+  const bool low_power = config.mode == sram::Mode::kLowPowerTest;
+  const std::size_t words = config.geometry.words();
+  idle_rate_ = model.idle_energy_per_cycle();
+  window_cycles_ = static_cast<double>(window_cycles);
+  window_seconds_ =
+      static_cast<double>(window_cycles) * config.tech.clock_period;
+  const std::vector<march::MarchElement>& elements = base.elements();
+  rates_.reserve(elements.size());
+  cycles_.reserve(elements.size());
+  conds_.reserve(elements.size());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    rates_.push_back(elements[i].is_pause()
+                         ? idle_rate_
+                         : engine::analytic_element_rate(model, elements[i],
+                                                         low_power));
+    cycles_.push_back(static_cast<double>(base.element_cycles(i, words)));
+    conds_.push_back(element_state(elements[i]));
+  }
+}
+
+void ScheduleEvaluator::score(const std::vector<Candidate>& candidates,
+                              std::vector<Score>& out) {
+  const std::size_t lanes = candidates.size();
+  out.resize(lanes);
+  if (lanes == 0) return;
+  const std::size_t n = rates_.size();
+  // Two slots per schedule position: the element, then its trailing idle
+  // window (zero cycles when none — a zero-cycle slot is a no-op in the
+  // kernel, so every candidate shares one fixed slot count).
+  const std::size_t slots = 2 * n;
+  soa_rates_.resize(slots * lanes);
+  soa_cycles_.resize(slots * lanes);
+  out_energy_.resize(lanes);
+  out_cycles_.resize(lanes);
+  out_peak_.resize(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const Candidate& candidate = candidates[lane];
+    SRAMLP_REQUIRE(candidate.order.size() == n &&
+                       candidate.idle_after.size() == n,
+                   "candidate does not match the evaluator's base test");
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t element = candidate.order[s];
+      soa_rates_[(2 * s) * lanes + lane] = rates_[element];
+      soa_cycles_[(2 * s) * lanes + lane] = cycles_[element];
+      soa_rates_[(2 * s + 1) * lanes + lane] = idle_rate_;
+      soa_cycles_[(2 * s + 1) * lanes + lane] =
+          static_cast<double>(candidate.idle_after[s]);
+    }
+  }
+  sram::simd::search_score_batch(soa_rates_.data(), soa_cycles_.data(),
+                                 lanes, slots, window_cycles_,
+                                 out_energy_.data(), out_cycles_.data(),
+                                 out_peak_.data());
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    out[lane].energy_j = out_energy_[lane];
+    out[lane].cycles = out_cycles_[lane];
+    out[lane].peak_window_j = out_peak_[lane];
+    out[lane].peak_power_w = out_peak_[lane] / window_seconds_;
+  }
+}
+
+Score ScheduleEvaluator::score_one(const Candidate& candidate) {
+  const std::vector<Candidate> one{candidate};
+  std::vector<Score> scored;
+  score(one, scored);
+  return scored.front();
+}
+
+}  // namespace sramlp::search

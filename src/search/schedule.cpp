@@ -1,0 +1,151 @@
+#include "search/schedule.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace sramlp::search {
+
+StateCond element_state(const march::MarchElement& element) {
+  StateCond cond;
+  if (element.is_pause()) return cond;  // state-transparent
+  const march::Operation first = element.ops.front();
+  if (march::is_read(first)) cond.pre = march::value_of(first) ? 1 : 0;
+  // The last operation fixes the departing value whether it reads (the
+  // cell keeps what the read observed) or writes (the cell takes it).
+  cond.post = march::value_of(element.ops.back()) ? 1 : 0;
+  return cond;
+}
+
+std::string Candidate::key() const {
+  std::string key;
+  key.reserve(order.size() * 8);
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    if (s != 0) key += ' ';
+    key += std::to_string(order[s]);
+    if (idle_after[s] != 0) {
+      key += '+';
+      key += std::to_string(idle_after[s]);
+    }
+  }
+  return key;
+}
+
+Candidate identity_candidate(std::size_t elements) {
+  Candidate candidate;
+  candidate.order.resize(elements);
+  for (std::size_t i = 0; i < elements; ++i) candidate.order[i] = i;
+  candidate.idle_after.assign(elements, 0);
+  return candidate;
+}
+
+bool order_is_valid(const std::vector<StateCond>& conds,
+                    const std::vector<std::size_t>& order) {
+  int cur = -1;  // unknown: satisfies no pre-condition
+  for (const std::size_t index : order) {
+    const StateCond& cond = conds[index];
+    if (cond.pre >= 0 && cur != cond.pre) return false;
+    if (cond.post >= 0) cur = cond.post;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t total_quanta(const Candidate& candidate,
+                           const MoveLimits& limits) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t idle : candidate.idle_after)
+    total += idle / limits.idle_quantum;
+  return total;
+}
+
+/// Slots eligible for idle: every slot but the last (trailing idle only
+/// lengthens the run).  Requires at least two slots.
+std::size_t random_idle_slot(const Candidate& candidate, util::Rng& rng) {
+  return static_cast<std::size_t>(
+      rng.next_below(candidate.order.size() - 1));
+}
+
+}  // namespace
+
+bool apply_random_move(Candidate& candidate,
+                       const std::vector<StateCond>& conds,
+                       const MoveLimits& limits, util::Rng& rng) {
+  const std::size_t n = candidate.order.size();
+  if (n < 2) return false;
+  const std::uint64_t kind = rng.next_below(5);
+  switch (kind) {
+    case 0: {  // swap two interior elements
+      if (n < 4) return false;
+      const std::size_t i = 1 + static_cast<std::size_t>(rng.next_below(n - 2));
+      const std::size_t j = 1 + static_cast<std::size_t>(rng.next_below(n - 2));
+      if (i == j) return false;
+      std::swap(candidate.order[i], candidate.order[j]);
+      if (order_is_valid(conds, candidate.order)) return true;
+      std::swap(candidate.order[i], candidate.order[j]);
+      return false;
+    }
+    case 1: {  // relocate one interior element to another interior slot
+      if (n < 4) return false;
+      const std::size_t i = 1 + static_cast<std::size_t>(rng.next_below(n - 2));
+      const std::size_t j = 1 + static_cast<std::size_t>(rng.next_below(n - 2));
+      if (i == j) return false;
+      std::vector<std::size_t> moved = candidate.order;
+      const std::size_t element = moved[i];
+      moved.erase(moved.begin() + static_cast<std::ptrdiff_t>(i));
+      moved.insert(moved.begin() + static_cast<std::ptrdiff_t>(j), element);
+      if (!order_is_valid(conds, moved)) return false;
+      candidate.order = std::move(moved);
+      // Idle windows stay attached to their slot, not the moved element:
+      // they schedule time, not content.
+      return true;
+    }
+    case 2: {  // add one idle quantum
+      if (total_quanta(candidate, limits) >= limits.max_idle_quanta)
+        return false;
+      candidate.idle_after[random_idle_slot(candidate, rng)] +=
+          limits.idle_quantum;
+      return true;
+    }
+    case 3: {  // remove one idle quantum
+      const std::size_t slot = random_idle_slot(candidate, rng);
+      if (candidate.idle_after[slot] < limits.idle_quantum) return false;
+      candidate.idle_after[slot] -= limits.idle_quantum;
+      return true;
+    }
+    default: {  // shift one idle quantum between slots
+      const std::size_t src = random_idle_slot(candidate, rng);
+      const std::size_t dst = random_idle_slot(candidate, rng);
+      if (src == dst || candidate.idle_after[src] < limits.idle_quantum)
+        return false;
+      candidate.idle_after[src] -= limits.idle_quantum;
+      candidate.idle_after[dst] += limits.idle_quantum;
+      return true;
+    }
+  }
+}
+
+march::MarchTest build_schedule(const march::MarchTest& base,
+                                const Candidate& candidate,
+                                const std::string& name) {
+  const std::vector<march::MarchElement>& elements = base.elements();
+  SRAMLP_REQUIRE(candidate.order.size() == elements.size() &&
+                     candidate.idle_after.size() == elements.size(),
+                 "candidate does not match the base test's element count");
+  std::vector<march::MarchElement> scheduled;
+  scheduled.reserve(elements.size() * 2);
+  for (std::size_t s = 0; s < candidate.order.size(); ++s) {
+    scheduled.push_back(elements.at(candidate.order[s]));
+    if (candidate.idle_after[s] > 0) {
+      march::MarchElement pause;
+      pause.pause_cycles =
+          static_cast<std::size_t>(candidate.idle_after[s]);
+      scheduled.push_back(pause);
+    }
+  }
+  return march::MarchTest(name, std::move(scheduled));
+}
+
+}  // namespace sramlp::search

@@ -1,7 +1,9 @@
 #include "sram/simd.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -233,6 +235,234 @@ void cohort_eval_batch(const double* factors, std::size_t n,
   }
 #endif
   cohort_eval_scalar(factors, n, k, v_low, stress_j, dv, equiv, recharge_e);
+}
+
+// --- candidate-schedule scoring ---------------------------------------------
+
+namespace {
+
+/// The executable specification of search_score_batch, one lane at a time.
+/// @p stride is the lane count of the FULL batch (the SoA row stride); the
+/// vector variants reuse this loop for their remainder lanes by offsetting
+/// the base pointers while keeping the original stride.
+///
+/// Window-walk state per lane: `fill` cycles and `acc` joules sit in the
+/// current partial window; `peak` tracks the max closed-window energy.
+/// Each slot contributes a head (closing the current window if it crosses),
+/// m full windows of r*W each, and a tail that reopens the partial window.
+/// Every step is a two-way select on one comparison, so the vector variants
+/// express the identical tree with cmp+blend.
+void search_score_scalar(const double* rates, const double* cycles,
+                         std::size_t lanes, std::size_t stride,
+                         std::size_t slots, double window, double* energy_j,
+                         double* total_cycles, double* peak_window_j) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    double energy = 0.0;
+    double cyc = 0.0;
+    double fill = 0.0;
+    double acc = 0.0;
+    double peak = 0.0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const double r = rates[s * stride + l];
+      const double c = cycles[s * stride + l];
+      energy += r * c;
+      cyc += c;
+      const double avail = window - fill;
+      const bool crosses = c >= avail;
+      const double head = crosses ? avail : c;
+      const double acc_head = acc + r * head;
+      const double rem = crosses ? c - avail : 0.0;
+      const double m = std::floor(rem / window);
+      const double closed = crosses ? acc_head : 0.0;
+      peak = std::max(peak, closed);
+      const double mid = m >= 1.0 ? r * window : 0.0;
+      peak = std::max(peak, mid);
+      const double tail = rem - m * window;
+      acc = crosses ? r * tail : acc_head;
+      fill = crosses ? tail : fill + c;
+    }
+    // The trailing partial window is rated against the full window width by
+    // PowerTrace, so its energy competes for the peak as-is.
+    peak = std::max(peak, acc);
+    energy_j[l] = energy;
+    total_cycles[l] = cyc;
+    peak_window_j[l] = peak;
+  }
+}
+
+#ifdef SRAMLP_SIMD_X86
+
+// Lane-exact: mul/sub/div/floor/max/cmp+blend only, each the correctly
+// rounded IEEE-754 image of the scalar expression; no FMA can form from
+// explicit intrinsics.
+__attribute__((target("avx2"))) void search_score_avx2(
+    const double* rates, const double* cycles, std::size_t lanes,
+    std::size_t slots, double window, double* energy_j, double* total_cycles,
+    double* peak_window_j) {
+  const __m256d w = _mm256_set1_pd(window);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t l = 0;
+  for (; l + 4 <= lanes; l += 4) {
+    __m256d energy = zero;
+    __m256d cyc = zero;
+    __m256d fill = zero;
+    __m256d acc = zero;
+    __m256d peak = zero;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const __m256d r = _mm256_loadu_pd(rates + s * lanes + l);
+      const __m256d c = _mm256_loadu_pd(cycles + s * lanes + l);
+      energy = _mm256_add_pd(energy, _mm256_mul_pd(r, c));
+      cyc = _mm256_add_pd(cyc, c);
+      const __m256d avail = _mm256_sub_pd(w, fill);
+      const __m256d crosses = _mm256_cmp_pd(c, avail, _CMP_GE_OQ);
+      const __m256d head = _mm256_blendv_pd(c, avail, crosses);
+      const __m256d acc_head = _mm256_add_pd(acc, _mm256_mul_pd(r, head));
+      const __m256d rem =
+          _mm256_blendv_pd(zero, _mm256_sub_pd(c, avail), crosses);
+      const __m256d m = _mm256_floor_pd(_mm256_div_pd(rem, w));
+      const __m256d closed = _mm256_blendv_pd(zero, acc_head, crosses);
+      peak = _mm256_max_pd(peak, closed);
+      const __m256d mid = _mm256_blendv_pd(
+          zero, _mm256_mul_pd(r, w), _mm256_cmp_pd(m, one, _CMP_GE_OQ));
+      peak = _mm256_max_pd(peak, mid);
+      const __m256d tail = _mm256_sub_pd(rem, _mm256_mul_pd(m, w));
+      acc = _mm256_blendv_pd(acc_head, _mm256_mul_pd(r, tail), crosses);
+      fill = _mm256_blendv_pd(_mm256_add_pd(fill, c), tail, crosses);
+    }
+    peak = _mm256_max_pd(peak, acc);
+    _mm256_storeu_pd(energy_j + l, energy);
+    _mm256_storeu_pd(total_cycles + l, cyc);
+    _mm256_storeu_pd(peak_window_j + l, peak);
+  }
+  search_score_scalar(rates + l, cycles + l, lanes - l, lanes, slots, window,
+                      energy_j + l, total_cycles + l, peak_window_j + l);
+}
+
+__attribute__((target("avx512f"))) void search_score_avx512(
+    const double* rates, const double* cycles, std::size_t lanes,
+    std::size_t slots, double window, double* energy_j, double* total_cycles,
+    double* peak_window_j) {
+  const __m512d w = _mm512_set1_pd(window);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d one = _mm512_set1_pd(1.0);
+  std::size_t l = 0;
+  for (; l + 8 <= lanes; l += 8) {
+    __m512d energy = zero;
+    __m512d cyc = zero;
+    __m512d fill = zero;
+    __m512d acc = zero;
+    __m512d peak = zero;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const __m512d r = _mm512_loadu_pd(rates + s * lanes + l);
+      const __m512d c = _mm512_loadu_pd(cycles + s * lanes + l);
+      energy = _mm512_add_pd(energy, _mm512_mul_pd(r, c));
+      cyc = _mm512_add_pd(cyc, c);
+      const __m512d avail = _mm512_sub_pd(w, fill);
+      const __mmask8 crosses = _mm512_cmp_pd_mask(c, avail, _CMP_GE_OQ);
+      const __m512d head = _mm512_mask_blend_pd(crosses, c, avail);
+      const __m512d acc_head = _mm512_add_pd(acc, _mm512_mul_pd(r, head));
+      const __m512d rem =
+          _mm512_mask_blend_pd(crosses, zero, _mm512_sub_pd(c, avail));
+      const __m512d m = _mm512_roundscale_pd(
+          _mm512_div_pd(rem, w), _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+      const __m512d closed = _mm512_mask_blend_pd(crosses, zero, acc_head);
+      peak = _mm512_max_pd(peak, closed);
+      const __m512d mid = _mm512_mask_blend_pd(
+          _mm512_cmp_pd_mask(m, one, _CMP_GE_OQ), zero, _mm512_mul_pd(r, w));
+      peak = _mm512_max_pd(peak, mid);
+      const __m512d tail = _mm512_sub_pd(rem, _mm512_mul_pd(m, w));
+      acc = _mm512_mask_blend_pd(crosses, acc_head, _mm512_mul_pd(r, tail));
+      fill = _mm512_mask_blend_pd(crosses, _mm512_add_pd(fill, c), tail);
+    }
+    peak = _mm512_max_pd(peak, acc);
+    _mm512_storeu_pd(energy_j + l, energy);
+    _mm512_storeu_pd(total_cycles + l, cyc);
+    _mm512_storeu_pd(peak_window_j + l, peak);
+  }
+  search_score_scalar(rates + l, cycles + l, lanes - l, lanes, slots, window,
+                      energy_j + l, total_cycles + l, peak_window_j + l);
+}
+
+#endif  // SRAMLP_SIMD_X86
+
+#ifdef SRAMLP_SIMD_NEON
+
+// Lane-exact like the x86 variants; vbslq selects per lane off the vcgeq
+// mask, vrndmq is floor, and explicit intrinsics prevent FMA contraction.
+void search_score_neon(const double* rates, const double* cycles,
+                       std::size_t lanes, std::size_t slots, double window,
+                       double* energy_j, double* total_cycles,
+                       double* peak_window_j) {
+  const float64x2_t w = vdupq_n_f64(window);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    float64x2_t energy = zero;
+    float64x2_t cyc = zero;
+    float64x2_t fill = zero;
+    float64x2_t acc = zero;
+    float64x2_t peak = zero;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const float64x2_t r = vld1q_f64(rates + s * lanes + l);
+      const float64x2_t c = vld1q_f64(cycles + s * lanes + l);
+      energy = vaddq_f64(energy, vmulq_f64(r, c));
+      cyc = vaddq_f64(cyc, c);
+      const float64x2_t avail = vsubq_f64(w, fill);
+      const uint64x2_t crosses = vcgeq_f64(c, avail);
+      const float64x2_t head = vbslq_f64(crosses, avail, c);
+      const float64x2_t acc_head = vaddq_f64(acc, vmulq_f64(r, head));
+      const float64x2_t rem = vbslq_f64(crosses, vsubq_f64(c, avail), zero);
+      const float64x2_t m = vrndmq_f64(vdivq_f64(rem, w));
+      const float64x2_t closed = vbslq_f64(crosses, acc_head, zero);
+      peak = vmaxq_f64(peak, closed);
+      const float64x2_t mid =
+          vbslq_f64(vcgeq_f64(m, one), vmulq_f64(r, w), zero);
+      peak = vmaxq_f64(peak, mid);
+      const float64x2_t tail = vsubq_f64(rem, vmulq_f64(m, w));
+      acc = vbslq_f64(crosses, vmulq_f64(r, tail), acc_head);
+      fill = vbslq_f64(crosses, tail, vaddq_f64(fill, c));
+    }
+    peak = vmaxq_f64(peak, acc);
+    vst1q_f64(energy_j + l, energy);
+    vst1q_f64(total_cycles + l, cyc);
+    vst1q_f64(peak_window_j + l, peak);
+  }
+  search_score_scalar(rates + l, cycles + l, lanes - l, lanes, slots, window,
+                      energy_j + l, total_cycles + l, peak_window_j + l);
+}
+
+#endif  // SRAMLP_SIMD_NEON
+
+}  // namespace
+
+void search_score_batch(const double* rates, const double* cycles,
+                        std::size_t lanes, std::size_t slots,
+                        double window_cycles, double* energy_j,
+                        double* total_cycles, double* peak_window_j) {
+#if defined(SRAMLP_SIMD_X86)
+  switch (active_level()) {
+    case Level::kAvx512:
+      search_score_avx512(rates, cycles, lanes, slots, window_cycles,
+                          energy_j, total_cycles, peak_window_j);
+      return;
+    case Level::kAvx2:
+      search_score_avx2(rates, cycles, lanes, slots, window_cycles, energy_j,
+                        total_cycles, peak_window_j);
+      return;
+    case Level::kNeon: break;  // no NEON code in an x86 build: scalar
+    case Level::kScalar: break;
+  }
+#elif defined(SRAMLP_SIMD_NEON)
+  if (active_level() != Level::kScalar) {
+    search_score_neon(rates, cycles, lanes, slots, window_cycles, energy_j,
+                      total_cycles, peak_window_j);
+    return;
+  }
+#endif
+  search_score_scalar(rates, cycles, lanes, lanes, slots, window_cycles,
+                      energy_j, total_cycles, peak_window_j);
 }
 
 // --- word kernels ------------------------------------------------------------

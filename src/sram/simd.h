@@ -72,6 +72,30 @@ void cohort_eval_batch(const double* factors, std::size_t n,
                        double* stress_j, double* dv, double* equiv,
                        double* recharge_e);
 
+/// Batched candidate-schedule scoring for the search subsystem
+/// (src/search/): each LANE is one candidate schedule of @p slots segments;
+/// @p rates / @p cycles are slot-major SoA, the entry for slot s of lane l
+/// at index `s * lanes + l` (so a vector load at fixed s spans consecutive
+/// candidates).  Per lane the kernel walks the slots once, accumulating
+///
+///   energy_j[l]      = sum_s rates[s][l] * cycles[s][l]
+///   total_cycles[l]  = sum_s cycles[s][l]
+///   peak_window_j[l] = max energy of any fixed window of
+///                      @p window_cycles cycles, windows aligned at cycle 0
+///                      — exactly power::PowerTrace's fixed-window peak
+///                      semantics (a trailing partial window counts).
+///
+/// The window walk is branchless (compare-select, floor, max only) so the
+/// vector variants are bit-identical to the scalar spec; all inputs are
+/// integer-valued doubles < 2^53 (cycle counts) or non-negative rates, for
+/// which floor(rem / window) is exact-enough: the correctly-rounded
+/// quotient of integers below 2^53 can never round across the next
+/// integer, so the per-window decomposition matches exact arithmetic.
+void search_score_batch(const double* rates, const double* cycles,
+                        std::size_t lanes, std::size_t slots,
+                        double window_cycles, double* energy_j,
+                        double* total_cycles, double* peak_window_j);
+
 /// Total set bits over @p n words.
 std::uint64_t popcount_words(const std::uint64_t* words, std::size_t n);
 

@@ -377,4 +377,67 @@ TEST(Log, ConcurrentLoggingKeepsLinesIntact) {
   EXPECT_EQ(count, kThreads * kLines);
 }
 
+TEST(Log, RotatesToDotOneWhenMaxBytesReached) {
+  TempFile file("rotate");
+  const std::string rotated = file.str() + ".1";
+  std::remove(rotated.c_str());
+  obs::Logger logger;
+  // Cap sized so the 10 ~50-byte lines rotate exactly once (a second
+  // rotation would clobber .1 — only one generation is kept).
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman,
+                   file.str(), 300);
+  for (int i = 0; i < 10; ++i)
+    logger.log(obs::LogLevel::kInfo, "rot", "line",
+               {obs::kv("i", static_cast<std::uint64_t>(i))});
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman, "");
+
+  // The overflow moved to <path>.1 and the live file started over; no
+  // line was lost or torn across the boundary.
+  const std::string old_text = read_file(rotated);
+  const std::string new_text = read_file(file.str());
+  EXPECT_FALSE(old_text.empty());
+  EXPECT_NE(old_text.find("i=0"), std::string::npos);
+  std::size_t total = 0;
+  for (const std::string& text : {old_text, new_text})
+    for (const char c : text)
+      if (c == '\n') ++total;
+  EXPECT_EQ(total, 10u);
+  std::remove(rotated.c_str());
+}
+
+TEST(Log, RotationCountsPreexistingBytes) {
+  TempFile file("rotate_resume");
+  const std::string rotated = file.str() + ".1";
+  std::remove(rotated.c_str());
+  {
+    std::ofstream out(file.str());
+    out << std::string(190, 'x') << '\n';  // already near the cap
+  }
+  obs::Logger logger;
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman,
+                   file.str(), 200);
+  logger.log(obs::LogLevel::kInfo, "rot", "tips the scale");
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman, "");
+  // The append crossed the cap, so everything so far rotated out.
+  const std::string old_text = read_file(rotated);
+  EXPECT_NE(old_text.find("xxx"), std::string::npos);
+  EXPECT_NE(old_text.find("tips the scale"), std::string::npos);
+  EXPECT_TRUE(read_file(file.str()).empty());
+  std::remove(rotated.c_str());
+}
+
+TEST(Log, NoMaxBytesNeverRotates) {
+  TempFile file("no_rotate");
+  const std::string rotated = file.str() + ".1";
+  std::remove(rotated.c_str());
+  obs::Logger logger;
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman,
+                   file.str());
+  for (int i = 0; i < 50; ++i)
+    logger.log(obs::LogLevel::kInfo, "rot", "line");
+  logger.configure(obs::LogLevel::kInfo, obs::Logger::Format::kHuman, "");
+  std::ifstream in(rotated);
+  EXPECT_FALSE(in.good());
+}
+
 }  // namespace

@@ -26,6 +26,12 @@ Hazard classes
                       (FMA contraction evaluates shared energy
                       expressions differently on FMA targets), and no
                       file may re-enable contraction or -ffast-math.
+  random-device       std::random_device — hardware-entropy seeding in the
+                      parity-locked subsystems (the schedule search's
+                      restarts, the engines, the dist/ merge paths) makes
+                      the same spec produce different bytes per run; every
+                      RNG must be util::Rng keyed from serialized state
+                      (e.g. SearchSpec::seed ^ restart index).
   unordered-iteration range-for over a std::unordered_{map,set} — their
                       iteration order is implementation-defined, so any
                       such loop that feeds a serializer or accumulates
@@ -66,6 +72,8 @@ FLOAT_DIRS = ("src/power/", "src/engine/")
 
 FP_CONTRACT_BAD = re.compile(r"-ffp-contract=(?:fast|on)|-ffast-math"
                              r"|__FP_FAST_FMA|#pragma\s+STDC\s+FP_CONTRACT\s+ON")
+
+RANDOM_DEVICE = re.compile(r"\bstd::random_device\b|\brandom_device\b")
 
 UNORDERED_DECL = re.compile(
     r"std::unordered_(?:map|set)\s*<[^;{}]*?>\s+(\w+)\s*[;{=]")
@@ -130,6 +138,12 @@ def scan(root: Path):
                         "`float` in a parity-locked double subsystem "
                         f"({rel}) — narrows differently per optimization "
                         "level")
+
+            for m in RANDOM_DEVICE.finditer(line):
+                add("random-device", rel, lineno, m.group(0),
+                    f"'{m.group(0)}' — hardware entropy in a "
+                    "parity-locked subsystem; seed util::Rng from "
+                    "serialized state instead")
 
             for m in FP_CONTRACT_BAD.finditer(line):
                 add("fp-contract", rel, lineno, m.group(0),

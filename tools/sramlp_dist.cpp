@@ -65,6 +65,7 @@
 #include "obs/clock.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "search/search.h"
 #include "util/error.h"
 
 namespace {
@@ -76,7 +77,7 @@ using namespace sramlp;
       stderr,
       "usage: %s <subcommand> [options]\n"
       "\n"
-      "  example-job [--campaign] [--trace]               demo job spec -> stdout\n"
+      "  example-job [--campaign|--search] [--trace]      demo job spec -> stdout\n"
       "  plan   --job J --shards K --dir D [--strategy contiguous|strided]\n"
       "  worker --spec S --out R [--threads N] [--per-fault]\n"
       "  run    --job J --shards K --workers N --dir D --out M\n"
@@ -90,12 +91,14 @@ using namespace sramlp;
       "  work   --connect A [--threads N] [--per-fault] [--slow-us U]\n"
       "         [--trace-out F]\n"
       "  submit --connect A --job J [--out M] [--expect-cache-hit]\n"
+      "         [--submitter NAME]\n"
       "  stats  --connect A [--format json|prom]\n"
       "         [--watch [--interval MS] [--count N]]\n"
       "  shutdown --connect A\n"
       "\n"
       "  every subcommand: [--log-level trace|debug|info|warn|error|off]\n"
-      "                    [--log-format human|jsonl] [--log-file PATH]\n",
+      "                    [--log-format human|jsonl] [--log-file PATH]\n"
+      "                    [--log-max-bytes N]  (rotate PATH -> PATH.1 at N)\n",
       argv0);
   std::exit(2);
 }
@@ -182,6 +185,12 @@ void apply_logging_flags(Args& args) {
   const std::optional<std::string> level_text = args.value("--log-level");
   const std::optional<std::string> format_text = args.value("--log-format");
   const std::optional<std::string> file = args.value("--log-file");
+  // --log-max-bytes N: rotate the log file to PATH.1 once it reaches N
+  // bytes (obs::Logger keeps one rotated generation).  Only meaningful
+  // with --log-file; the cap is ignored for the stderr sink.
+  const std::size_t max_bytes = args.number("--log-max-bytes", 0);
+  if (max_bytes > 0 && !file)
+    throw Error("--log-max-bytes needs --log-file (stderr never rotates)");
   if (!level_text && !format_text && !file) return;
   const obs::LogLevel level = level_text
                                   ? obs::log_level_from_string(*level_text)
@@ -196,7 +205,7 @@ void apply_logging_flags(Args& args) {
     }
   }
   obs::Logger::global().configure(level, format,
-                                  file ? *file : std::string());
+                                  file ? *file : std::string(), max_bytes);
   if (level_text) ::setenv("SRAMLP_LOG", level_text->c_str(), 1);
 }
 
@@ -219,6 +228,7 @@ std::string self_path(const char* argv0) {
 
 int cmd_example_job(Args& args) {
   const bool campaign = args.flag("--campaign");
+  const bool search_job = args.flag("--search");
   // --trace: time-resolved power accounting on every run of the sweep
   // job; the sharded merge stays byte-identical to `single` (CI diffs
   // it).  Campaign reports reduce to per-fault verdicts, which carry no
@@ -226,12 +236,33 @@ int cmd_example_job(Args& args) {
   // output, so it is an error rather than a silent no-op.
   const bool trace = args.flag("--trace");
   args.reject_leftovers();
-  if (campaign && trace)
+  if (campaign && search_job)
+    throw Error("--campaign and --search are mutually exclusive");
+  if ((campaign || search_job) && trace)
     throw Error("--trace applies to sweep jobs only: campaign entries "
                 "reduce to per-fault verdicts and would pay the traced-run "
-                "cost without reporting a trace");
+                "cost without reporting a trace; search winners are traced "
+                "internally by their cycle-accurate verification");
   dist::JobSpec job;
-  if (campaign) {
+  if (search_job) {
+    // A small peak-constrained schedule search: one restart per work
+    // item, sized so the daemon e2e finishes in seconds while still
+    // exercising reorder + idle-insertion moves and winner verification.
+    job.kind = dist::JobSpec::Kind::kSearch;
+    search::SearchSpec spec;
+    spec.config.geometry = {16, 32, 1};
+    spec.base = march::algorithms::march_c_minus();
+    spec.window_cycles = 4 * spec.config.geometry.words();
+    spec.seed = 7;
+    spec.restarts = 4;
+    spec.steps = 24;
+    spec.beam_width = 4;
+    spec.neighbors = 8;
+    spec.idle_quantum = 512;
+    spec.max_idle_quanta = 8;
+    spec.max_front = 4;
+    job.search = std::move(spec);
+  } else if (campaign) {
     job.kind = dist::JobSpec::Kind::kCampaign;
     job.config.geometry = {16, 32, 1};
     job.test = march::algorithms::march_c_minus();
@@ -349,6 +380,11 @@ int cmd_single(Args& args) {
   merged.kind = job.kind;
   if (job.kind == dist::JobSpec::Kind::kSweep) {
     merged.sweep = core::SweepRunner().run(job.grid);
+  } else if (job.kind == dist::JobSpec::Kind::kSearch) {
+    // run_search is byte-identical at any thread count (one result slot
+    // per restart, restart-order reduction), so the hardware default is
+    // safe for a reference document.
+    merged.search = search::run_search(*job.search).restarts;
   } else {
     core::CampaignRunner::Options options;
     options.batched = true;
@@ -463,8 +499,13 @@ int cmd_submit(Args& args) {
   // CI hook: fail loudly when a resubmission that must be answered from
   // the cache was computed instead.
   const bool expect_cache_hit = args.flag("--expect-cache-hit");
+  // Label for the service's per-submitter fairness counters
+  // (sramlp_submitter_*_total{submitter="..."}); empty reads as
+  // "anonymous" on the service side.
+  const std::string submitter = args.value("--submitter").value_or("");
   args.reject_leftovers();
-  const dist::SubmitResult result = dist::submit_job(address, job);
+  const dist::SubmitResult result =
+      dist::submit_job(address, job, 5000, {}, submitter);
   if (out_path) write_file(*out_path, result.document);
   std::printf("job done: %zu points (%zu from cache, %zu streamed), "
               "whole-job cache %s, service hit rate %.3f%s%s\n",
